@@ -1,0 +1,37 @@
+// Ablation A3: communication-to-computation ratio (CCR).
+//
+// The slicing technique deliberately assumes zero communication cost when
+// predicting critical paths (§4.3): schedulers tend to cluster heavy
+// communicators and real-time control traffic is light. This bench checks
+// how far that assumption carries as messages grow from free (CCR = 0) to
+// execution-sized (CCR = 1): the metric ordering should be stable and
+// degradation graceful.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dsslice;
+  CliParser cli = bench::make_parser(
+      "ablation_ccr", "A3: success ratio vs CCR (zero-cost assumption)");
+  if (!cli.parse(argc, argv)) {
+    return 0;
+  }
+  ThreadPool pool = bench::make_pool(cli);
+  ExperimentConfig base = bench::base_config(cli);
+  base.generator.platform.processor_count = 3;
+
+  std::vector<SeriesSpec> specs;
+  for (const SeriesSpec& spec : metric_series(base)) {
+    specs.push_back(SeriesSpec{spec.name, [spec](double ccr) {
+                                 ExperimentConfig c = spec.factory(ccr);
+                                 c.generator.workload.ccr = ccr;
+                                 return c;
+                               }});
+  }
+  const SweepResult sweep =
+      run_sweep("CCR", {0.0, 0.05, 0.1, 0.2, 0.5, 1.0}, specs, pool,
+                cli.get_bool("verbose"));
+  bench::report("A3 — success ratio vs CCR (m=3, OLR=0.8, ETD=25%; "
+                "paper default 0.1)",
+                sweep, cli);
+  return 0;
+}

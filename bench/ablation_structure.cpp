@@ -1,0 +1,74 @@
+// Ablation A7: workload-structure interpretations the paper leaves open.
+//
+// Two generator dimensions are ambiguous in §5.2 and resolved in DESIGN.md:
+//  * edge locality — whether precedence arcs connect only adjacent levels
+//    (default) or may skip levels. Skip arcs create paths of wildly
+//    different lengths whose sliced windows become structurally infeasible
+//    independent of the system size: the success ratio plateaus instead of
+//    converging to 100% as m grows, contradicting Fig. 2. This bench shows
+//    that plateau explicitly.
+//  * per-class WCET model — shared per-class speed factors (uniform
+//    machines, default) vs independent per-(task, class) deviations
+//    (unrelated machines).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dsslice;
+  CliParser cli = bench::make_parser(
+      "ablation_structure",
+      "A7: generator structure interpretations (edge locality, class model)");
+  if (!cli.parse(argc, argv)) {
+    return 0;
+  }
+  ThreadPool pool = bench::make_pool(cli);
+  const ExperimentConfig base = bench::base_config(cli);
+
+  {
+    std::vector<SeriesSpec> specs;
+    for (const EdgeLocality mode :
+         {EdgeLocality::kAdjacentLevel, EdgeLocality::kAnyEarlierLevel}) {
+      for (const DistributionTechnique t :
+           {DistributionTechnique::kSlicingNorm,
+            DistributionTechnique::kSlicingAdaptL}) {
+        specs.push_back(SeriesSpec{
+            to_string(metric_of(t)) + "/" + to_string(mode),
+            [base, mode, t](double m) {
+              ExperimentConfig c = base;
+              c.technique = t;
+              c.generator.workload.edge_locality = mode;
+              c.generator.platform.processor_count =
+                  static_cast<std::size_t>(m);
+              return c;
+            }});
+      }
+    }
+    const SweepResult sweep = run_sweep("m", {2, 3, 4, 6, 8}, specs, pool,
+                                        cli.get_bool("verbose"));
+    bench::report(
+        "A7a — edge locality: skip-level arcs cause an m-independent "
+        "infeasibility plateau",
+        sweep, cli);
+  }
+  {
+    std::vector<SeriesSpec> specs;
+    for (const ClassModel model :
+         {ClassModel::kUniformFactors, ClassModel::kUnrelated}) {
+      specs.push_back(SeriesSpec{
+          "ADAPT-L/" + to_string(model), [base, model](double olr) {
+            ExperimentConfig c = base;
+            c.technique = DistributionTechnique::kSlicingAdaptL;
+            c.generator.platform.class_model = model;
+            c.generator.platform.processor_count = 3;
+            c.generator.workload.olr = olr;
+            return c;
+          }});
+    }
+    const SweepResult sweep = run_sweep("OLR", {0.5, 0.6, 0.7, 0.8}, specs,
+                                        pool, cli.get_bool("verbose"));
+    bench::report(
+        "A7b — per-class WCET model: uniform speed factors vs unrelated "
+        "machines (m=3)",
+        sweep, cli);
+  }
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Ablation A2: sensitivity to the execution-time threshold c_thres.
+//
+// The paper fixes c_thres = 1.0 × c_mean (§6). This bench sweeps the
+// threshold factor for both adaptive metrics at the default operating
+// point. A factor of 0 inflates every task (no filtering); a large factor
+// degenerates the adaptive metrics to PURE (nothing crosses the threshold).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dsslice;
+  CliParser cli = bench::make_parser(
+      "ablation_threshold",
+      "A2: sensitivity to the execution-time threshold factor");
+  if (!cli.parse(argc, argv)) {
+    return 0;
+  }
+  ThreadPool pool = bench::make_pool(cli);
+  ExperimentConfig base = bench::base_config(cli);
+  base.generator.platform.processor_count = 3;
+
+  std::vector<SeriesSpec> specs;
+  for (const DistributionTechnique t :
+       {DistributionTechnique::kSlicingAdaptG,
+        DistributionTechnique::kSlicingAdaptL}) {
+    specs.push_back(SeriesSpec{to_string(metric_of(t)), [base, t](double f) {
+                                 ExperimentConfig c = base;
+                                 c.technique = t;
+                                 c.metric_params.threshold_factor = f;
+                                 return c;
+                               }});
+  }
+  const SweepResult sweep =
+      run_sweep("c_thres/c_mean", {0.0, 0.5, 0.75, 1.0, 1.1, 1.25, 2.0},
+                specs, pool, cli.get_bool("verbose"));
+  bench::report(
+      "A2 — adaptive metrics vs execution-time threshold factor "
+      "(m=3, OLR=0.8, ETD=25%; paper default 1.0)",
+      sweep, cli);
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Shared scaffolding for the figure-reproduction and ablation benches.
+//
+// Every bench binary follows the same recipe: parse the common flags, run a
+// sweep on the shared thread pool, print the paper-style table plus an ASCII
+// chart of the series, and drop a CSV next to the binary (best effort).
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "dsslice/dsslice.hpp"
+
+namespace dsslice::bench {
+
+/// Registers the flags every bench shares.
+inline CliParser make_parser(const std::string& name,
+                             const std::string& description) {
+  CliParser p(name, description);
+  p.add_flag("graphs", "1024", "task graphs per experiment point (paper: 1024)");
+  p.add_flag("seed", "20250707", "base seed for workload generation");
+  p.add_flag("threads", "0", "worker threads (0 = hardware concurrency)");
+  p.add_flag("csv", "", "write the sweep as CSV to this path");
+  p.add_bool_flag("verbose", "progress on stderr");
+  return p;
+}
+
+/// Baseline experiment configuration from the common flags (paper defaults:
+/// m=3, OLR=0.8, ETD=25%, CCR=0.1, WCET-AVG, k_G=1.5, k_L=0.2).
+inline ExperimentConfig base_config(const CliParser& cli) {
+  ExperimentConfig config;
+  config.generator.graph_count =
+      static_cast<std::size_t>(cli.get_int("graphs"));
+  config.generator.base_seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  return config;
+}
+
+inline ThreadPool make_pool(const CliParser& cli) {
+  return ThreadPool(static_cast<std::size_t>(cli.get_int("threads")));
+}
+
+/// Prints the sweep in paper-figure form: headline, table, chart.
+inline void report(const std::string& title, const SweepResult& sweep,
+                   const CliParser& cli) {
+  std::printf("== %s ==\n", title.c_str());
+  std::printf("   (success ratio over %lld task graphs per point, "
+              "95%% binomial CI)\n\n",
+              static_cast<long long>(cli.get_int("graphs")));
+  std::fputs(format_sweep_table(sweep).c_str(), stdout);
+  std::fputs("\n", stdout);
+  std::fputs(format_sweep_chart(sweep).c_str(), stdout);
+  const std::string csv_path = cli.get_string("csv");
+  if (!csv_path.empty()) {
+    if (write_text_file(csv_path, to_csv(sweep))) {
+      std::printf("\nCSV written to %s\n", csv_path.c_str());
+    } else {
+      std::fprintf(stderr, "warning: could not write %s\n", csv_path.c_str());
+    }
+  }
+  std::fputs("\n", stdout);
+}
+
+}  // namespace dsslice::bench

@@ -1,0 +1,28 @@
+// Figure 2 reproduction: success ratio as a function of system size.
+//
+// Paper setup: m = 2..8 processors, OLR = 0.8, ETD = 25%, CCR = 0.1, 1024
+// random task graphs per point, EDF list scheduling, WCET-AVG estimates.
+// Series: PURE, NORM, ADAPT-G, ADAPT-L.
+//
+// Shape targets (paper §6.1): success monotone in m for every metric, all
+// metrics converge to ~100% by m = 8, ADAPT-L dominates everywhere, and
+// the gap between ADAPT-L and the weakest metric at m = 2 is roughly an
+// order of magnitude.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dsslice;
+  CliParser cli = bench::make_parser(
+      "fig2_system_size", "Fig. 2: success ratio vs system size (m = 2..8)");
+  if (!cli.parse(argc, argv)) {
+    return 0;
+  }
+  ThreadPool pool = bench::make_pool(cli);
+  const ExperimentConfig base = bench::base_config(cli);
+  const SweepResult sweep = sweep_system_size(
+      base, {2, 3, 4, 5, 6, 7, 8}, pool, cli.get_bool("verbose"));
+  bench::report("Fig. 2 — success ratio vs system size "
+                "(OLR=0.8, ETD=25%, CCR=0.1)",
+                sweep, cli);
+  return 0;
+}

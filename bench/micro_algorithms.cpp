@@ -1,0 +1,110 @@
+// M1: google-benchmark micro-benchmarks for the algorithmic kernels,
+// checking the complexity classes the paper quotes:
+//  * SLICING main loop: O(n²) per application (§4.4);
+//  * transitive closure for ADAPT-L: within the quoted O(n³) (§4.5);
+//  * EDF list scheduler: O(n²·m) (§5.4).
+#include <benchmark/benchmark.h>
+#include <cstdint>
+
+#include "dsslice/dsslice.hpp"
+
+namespace {
+
+using namespace dsslice;
+
+GeneratorConfig sized_config(std::size_t tasks, std::size_t processors) {
+  GeneratorConfig cfg;
+  cfg.platform.processor_count = processors;
+  cfg.workload.min_tasks = tasks;
+  cfg.workload.max_tasks = tasks;
+  cfg.workload.min_depth = std::max<std::size_t>(2, tasks / 5);
+  cfg.workload.max_depth = std::max<std::size_t>(2, tasks / 5);
+  cfg.base_seed = 0xBE7C;
+  return cfg;
+}
+
+void BM_SlicingByMetric(benchmark::State& state, MetricKind kind) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Scenario sc = generate_scenario_at(sized_config(n, 3), 0);
+  const auto est = estimate_wcets(sc.application, WcetEstimation::kAverage);
+  const DeadlineMetric metric(kind);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        run_slicing(sc.application, est, metric, 3));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+
+void BM_SlicingPure(benchmark::State& state) {
+  BM_SlicingByMetric(state, MetricKind::kPure);
+}
+void BM_SlicingAdaptL(benchmark::State& state) {
+  BM_SlicingByMetric(state, MetricKind::kAdaptL);
+}
+BENCHMARK(BM_SlicingPure)->RangeMultiplier(2)->Range(16, 512)->Complexity();
+BENCHMARK(BM_SlicingAdaptL)->RangeMultiplier(2)->Range(16, 512)->Complexity();
+
+void BM_TransitiveClosure(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Scenario sc = generate_scenario_at(sized_config(n, 3), 1);
+  for (auto _ : state) {
+    TransitiveClosure closure(sc.application.graph());
+    benchmark::DoNotOptimize(closure.parallel_set_size(0));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_TransitiveClosure)
+    ->RangeMultiplier(2)
+    ->Range(16, 1024)
+    ->Complexity();
+
+void BM_EdfScheduler(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto m = static_cast<std::size_t>(state.range(1));
+  const Scenario sc = generate_scenario_at(sized_config(n, m), 2);
+  const auto est = estimate_wcets(sc.application, WcetEstimation::kAverage);
+  const auto assignment = run_slicing(
+      sc.application, est, DeadlineMetric(MetricKind::kNorm), m);
+  SchedulerOptions options;
+  options.abort_on_miss = false;  // measure full-schedule cost
+  const EdfListScheduler scheduler(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        scheduler.run(sc.application, assignment, sc.platform));
+  }
+}
+BENCHMARK(BM_EdfScheduler)
+    ->Args({64, 2})
+    ->Args({64, 8})
+    ->Args({256, 2})
+    ->Args({256, 8})
+    ->Args({512, 8});
+
+void BM_WorkloadGeneration(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const GeneratorConfig cfg = sized_config(n, 3);
+  std::uint64_t k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generate_scenario(cfg, derive_seed(1, k++)));
+  }
+}
+BENCHMARK(BM_WorkloadGeneration)->Arg(50)->Arg(200);
+
+void BM_FullPipelinePaperPoint(benchmark::State& state) {
+  // One paper-default task set end to end: generate → estimate → slice
+  // (ADAPT-L) → schedule. This is the per-graph unit cost of every figure.
+  GeneratorConfig cfg;  // paper defaults
+  cfg.base_seed = 0xF16;
+  ExperimentConfig config;
+  config.generator = cfg;
+  config.technique = DistributionTechnique::kSlicingAdaptL;
+  std::uint64_t k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluate_scenario(config, derive_seed(2, k++)));
+  }
+}
+BENCHMARK(BM_FullPipelinePaperPoint);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,109 @@
+// Radar track-while-scan scenario: wide fan-out parallelism that exceeds
+// the processor count — exactly the contention regime where the paper's
+// locally adaptive metric earns its keep.
+//
+// One dwell produces N beams; each beam runs matched filtering → CFAR
+// detection → plot extraction; a correlator joins all plots and a tracker
+// closes the loop. With N well above the processor count, the per-beam
+// chains contend for processors inside overlapping windows. The example
+// sweeps the deadline and reports, for each metric, the tightest deadline
+// it can still schedule — ADAPT-L's per-task parallel-set laxity buys a
+// markedly tighter deadline than PURE's equal shares, while ADAPT-G's
+// global surplus over-inflates on this very wide graph.
+#include <cstdio>
+#include <vector>
+
+#include "dsslice/dsslice.hpp"
+
+namespace {
+
+dsslice::Application make_radar_app(std::size_t beams, double deadline) {
+  using namespace dsslice;
+  ApplicationBuilder b;
+  const NodeId dwell = b.add_uniform_task("dwell", 8.0);
+  b.set_input_arrival(dwell, 0.0);
+  std::vector<NodeId> plots;
+  for (std::size_t i = 0; i < beams; ++i) {
+    const std::string tag = std::to_string(i);
+    const NodeId mf = b.add_uniform_task("matched_filter" + tag, 22.0);
+    const NodeId cfar = b.add_uniform_task("cfar" + tag, 14.0);
+    const NodeId plot = b.add_uniform_task("plot_extract" + tag, 10.0);
+    b.add_precedence(dwell, mf, 6.0);
+    b.add_precedence(mf, cfar, 2.0);
+    b.add_precedence(cfar, plot, 1.0);
+    plots.push_back(plot);
+  }
+  const NodeId correlate = b.add_uniform_task("plot_correlator", 18.0);
+  for (const NodeId p : plots) {
+    b.add_precedence(p, correlate, 1.0);
+  }
+  const NodeId tracker = b.add_uniform_task("tracker", 16.0);
+  b.add_precedence(correlate, tracker, 2.0);
+  b.set_ete_deadline(tracker, deadline);
+  return b.build();
+}
+
+}  // namespace
+
+int main() {
+  using namespace dsslice;
+  constexpr std::size_t kBeams = 9;
+  const Platform platform = Platform::identical(3);
+
+  {
+    const Application probe = make_radar_app(kBeams, 1000.0);
+    const auto est = estimate_wcets(probe, WcetEstimation::kAverage);
+    std::printf("radar track-while-scan: %zu tasks, parallelism %.2f on "
+                "%zu processors\n\n",
+                probe.task_count(),
+                average_parallelism(probe.graph(), est),
+                platform.processor_count());
+  }
+
+  std::printf("tightest schedulable end-to-end deadline per metric\n");
+  Table table({"metric", "tightest D", "vs critical path"});
+  double adapt_l_tightest = -1.0;
+  for (const MetricKind kind : all_metric_kinds()) {
+    double tightest = -1.0;
+    double cp = 0.0;
+    for (double deadline = 90.0; deadline <= 500.0; deadline += 5.0) {
+      const Application app = make_radar_app(kBeams, deadline);
+      const auto est = estimate_wcets(app, WcetEstimation::kAverage);
+      cp = critical_path_length(app.graph(), est);
+      const auto windows = run_slicing(app, est, DeadlineMetric(kind),
+                                       platform.processor_count());
+      const auto result = EdfListScheduler().run(app, windows, platform);
+      if (result.success) {
+        tightest = deadline;
+        break;
+      }
+    }
+    if (kind == MetricKind::kAdaptL) {
+      adapt_l_tightest = tightest;
+    }
+    table.add_row({to_string(kind),
+                   tightest < 0 ? "unschedulable <= 500"
+                                : format_fixed(tightest, 0),
+                   tightest < 0 ? "-" : format_fixed(tightest / cp, 2)});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+
+  if (adapt_l_tightest < 0) {
+    std::printf("\nADAPT-L found no schedulable deadline below 500\n");
+    return 1;
+  }
+  // Show the ADAPT-L schedule at its tightest feasible deadline.
+  const Application app = make_radar_app(kBeams, adapt_l_tightest);
+  const auto est = estimate_wcets(app, WcetEstimation::kAverage);
+  const auto adapt = run_slicing(app, est, DeadlineMetric(MetricKind::kAdaptL),
+                                 platform.processor_count());
+  const auto result = EdfListScheduler().run(app, adapt, platform);
+  std::printf("\nADAPT-L schedule at its tightest deadline D=%.0f:\n",
+              adapt_l_tightest);
+  if (result.success) {
+    std::printf("\n%s", result.schedule.to_gantt(72).c_str());
+    std::printf("\nprocessor utilization: %s\n",
+                format_percent(result.schedule.utilization(), 1).c_str());
+  }
+  return 0;
+}

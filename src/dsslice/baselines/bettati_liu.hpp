@@ -1,0 +1,23 @@
+// Even end-to-end deadline distribution in the style of Bettati & Liu [7].
+//
+// The original technique targets flow-shop systems: the end-to-end deadline
+// is divided evenly over the (identical-execution-time) stages. The natural
+// DAG counterpart divides the window between the earliest input arrival and
+// the task's governing E-T-E deadline evenly over the *levels* of the graph:
+// a task at topological level ℓ of a depth-Λ graph receives the window
+// [a + ℓ·D/Λ, a + (ℓ+1)·D/Λ]. Like slicing — and unlike the Kao baselines —
+// this produces non-overlapping windows along every path, but it ignores
+// execution times and contention entirely.
+#pragma once
+
+#include <span>
+
+#include "dsslice/model/application.hpp"
+#include "dsslice/model/task.hpp"
+
+namespace dsslice {
+
+DeadlineAssignment distribute_bettati_liu(const Application& app,
+                                          std::span<const double> est_wcet);
+
+}  // namespace dsslice

@@ -1,0 +1,127 @@
+#include "dsslice/baselines/distribution_registry.hpp"
+
+#include <array>
+
+#include "dsslice/baselines/bettati_liu.hpp"
+#include "dsslice/baselines/iterative_refinement.hpp"
+#include "dsslice/core/slicing.hpp"
+#include "dsslice/util/check.hpp"
+
+namespace dsslice {
+
+std::string to_string(DistributionTechnique technique) {
+  switch (technique) {
+    case DistributionTechnique::kSlicingPure:
+      return "SLICE/PURE";
+    case DistributionTechnique::kSlicingNorm:
+      return "SLICE/NORM";
+    case DistributionTechnique::kSlicingAdaptG:
+      return "SLICE/ADAPT-G";
+    case DistributionTechnique::kSlicingAdaptL:
+      return "SLICE/ADAPT-L";
+    case DistributionTechnique::kKaoUD:
+      return "KAO/UD";
+    case DistributionTechnique::kKaoED:
+      return "KAO/ED";
+    case DistributionTechnique::kKaoEQS:
+      return "KAO/EQS";
+    case DistributionTechnique::kKaoEQF:
+      return "KAO/EQF";
+    case DistributionTechnique::kBettatiLiu:
+      return "BETTATI-LIU";
+    case DistributionTechnique::kIterative:
+      return "ITERATIVE";
+  }
+  return "unknown";
+}
+
+std::span<const DistributionTechnique> all_distribution_techniques() {
+  static constexpr std::array<DistributionTechnique, 10> kAll = {
+      DistributionTechnique::kSlicingPure,
+      DistributionTechnique::kSlicingNorm,
+      DistributionTechnique::kSlicingAdaptG,
+      DistributionTechnique::kSlicingAdaptL,
+      DistributionTechnique::kKaoUD,
+      DistributionTechnique::kKaoED,
+      DistributionTechnique::kKaoEQS,
+      DistributionTechnique::kKaoEQF,
+      DistributionTechnique::kBettatiLiu,
+      DistributionTechnique::kIterative,
+  };
+  return kAll;
+}
+
+bool is_slicing(DistributionTechnique technique) {
+  switch (technique) {
+    case DistributionTechnique::kSlicingPure:
+    case DistributionTechnique::kSlicingNorm:
+    case DistributionTechnique::kSlicingAdaptG:
+    case DistributionTechnique::kSlicingAdaptL:
+      return true;
+    default:
+      return false;
+  }
+}
+
+MetricKind metric_of(DistributionTechnique technique) {
+  switch (technique) {
+    case DistributionTechnique::kSlicingPure:
+      return MetricKind::kPure;
+    case DistributionTechnique::kSlicingNorm:
+      return MetricKind::kNorm;
+    case DistributionTechnique::kSlicingAdaptG:
+      return MetricKind::kAdaptG;
+    case DistributionTechnique::kSlicingAdaptL:
+      return MetricKind::kAdaptL;
+    default:
+      break;
+  }
+  DSSLICE_REQUIRE(false, "technique is not slicing-based: " +
+                             to_string(technique));
+  return MetricKind::kPure;  // unreachable
+}
+
+DeadlineAssignment distribute(DistributionTechnique technique,
+                              const Application& app,
+                              std::span<const double> est_wcet,
+                              std::size_t processor_count,
+                              const MetricParams& params) {
+  if (is_slicing(technique)) {
+    const DeadlineMetric metric(metric_of(technique), params);
+    return run_slicing(app, est_wcet, metric, processor_count);
+  }
+  switch (technique) {
+    case DistributionTechnique::kKaoUD:
+      return distribute_kao(app, est_wcet, KaoStrategy::kUltimateDeadline);
+    case DistributionTechnique::kKaoED:
+      return distribute_kao(app, est_wcet, KaoStrategy::kEffectiveDeadline);
+    case DistributionTechnique::kKaoEQS:
+      return distribute_kao(app, est_wcet, KaoStrategy::kEqualSlack);
+    case DistributionTechnique::kKaoEQF:
+      return distribute_kao(app, est_wcet, KaoStrategy::kEqualFlexibility);
+    case DistributionTechnique::kBettatiLiu:
+      return distribute_bettati_liu(app, est_wcet);
+    case DistributionTechnique::kIterative:
+      DSSLICE_REQUIRE(false,
+                      "ITERATIVE needs a platform: use the Platform overload");
+      break;
+    default:
+      break;
+  }
+  DSSLICE_CHECK(false, "unhandled distribution technique");
+  return {};
+}
+
+DeadlineAssignment distribute(DistributionTechnique technique,
+                              const Application& app,
+                              std::span<const double> est_wcet,
+                              const Platform& platform,
+                              const MetricParams& params) {
+  if (technique == DistributionTechnique::kIterative) {
+    return distribute_iterative(app, est_wcet, platform);
+  }
+  return distribute(technique, app, est_wcet, platform.processor_count(),
+                    params);
+}
+
+}  // namespace dsslice

@@ -1,0 +1,59 @@
+// Uniform entry point over every deadline-distribution technique in the
+// library — the four slicing metrics plus the related-work baselines — so
+// the evaluation framework, benches and examples can sweep techniques
+// through one API.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dsslice/baselines/kao_garcia_molina.hpp"
+#include "dsslice/core/metrics.hpp"
+#include "dsslice/model/application.hpp"
+#include "dsslice/model/task.hpp"
+
+namespace dsslice {
+
+enum class DistributionTechnique {
+  kSlicingPure,    ///< slicing + PURE metric [5]
+  kSlicingNorm,    ///< slicing + NORM metric [5]
+  kSlicingAdaptG,  ///< slicing + ADAPT-G metric [12]
+  kSlicingAdaptL,  ///< slicing + ADAPT-L metric (this paper)
+  kKaoUD,          ///< ultimate deadline [9]
+  kKaoED,          ///< effective deadline [9]
+  kKaoEQS,         ///< equal slack [9]
+  kKaoEQF,         ///< equal flexibility [9]
+  kBettatiLiu,     ///< even per-level distribution [7]
+  kIterative,      ///< iterative refinement in the spirit of [6]
+};
+
+std::string to_string(DistributionTechnique technique);
+
+/// All techniques in presentation order.
+std::span<const DistributionTechnique> all_distribution_techniques();
+
+/// The slicing metric behind a slicing technique; throws for baselines.
+MetricKind metric_of(DistributionTechnique technique);
+
+/// True for the four slicing-based techniques.
+bool is_slicing(DistributionTechnique technique);
+
+/// Runs the selected technique. `processor_count` and `params` only affect
+/// the adaptive slicing metrics. kIterative needs a full platform (it
+/// schedules internally) and is rejected by this overload.
+DeadlineAssignment distribute(DistributionTechnique technique,
+                              const Application& app,
+                              std::span<const double> est_wcet,
+                              std::size_t processor_count,
+                              const MetricParams& params = {});
+
+/// Platform-aware overload supporting every technique, including the
+/// iterative refinement baseline.
+DeadlineAssignment distribute(DistributionTechnique technique,
+                              const Application& app,
+                              std::span<const double> est_wcet,
+                              const Platform& platform,
+                              const MetricParams& params = {});
+
+}  // namespace dsslice

@@ -1,0 +1,107 @@
+#include "dsslice/core/anchors.hpp"
+
+#include <algorithm>
+
+#include "dsslice/util/check.hpp"
+
+namespace dsslice {
+
+AnchorState::AnchorState(const Application& app)
+    : assigned_(app.task_count(), false),
+      arrival_(app.task_count(), -kTimeInfinity),
+      deadline_(app.task_count(), kTimeInfinity),
+      window_(app.task_count()),
+      remaining_(app.task_count()) {
+  const TaskGraph& g = app.graph();
+  for (NodeId v = 0; v < app.task_count(); ++v) {
+    if (g.is_input(v)) {
+      arrival_[v] = app.input_arrival(v);
+    }
+    if (g.is_output(v) && app.has_ete_deadline(v)) {
+      deadline_[v] = app.ete_deadline(v);
+    }
+  }
+}
+
+void AnchorState::require_node(NodeId v) const {
+  DSSLICE_REQUIRE(v < assigned_.size(), "node id out of range");
+}
+
+bool AnchorState::assigned(NodeId v) const {
+  require_node(v);
+  return assigned_[v];
+}
+
+bool AnchorState::has_arrival_anchor(NodeId v) const {
+  require_node(v);
+  return arrival_[v] > -kTimeInfinity;
+}
+
+bool AnchorState::has_deadline_anchor(NodeId v) const {
+  require_node(v);
+  return deadline_[v] < kTimeInfinity;
+}
+
+Time AnchorState::arrival_anchor(NodeId v) const {
+  require_node(v);
+  return arrival_[v];
+}
+
+Time AnchorState::deadline_anchor(NodeId v) const {
+  require_node(v);
+  return deadline_[v];
+}
+
+void AnchorState::tighten_arrival(NodeId v, Time arrival) {
+  require_node(v);
+  DSSLICE_CHECK(!assigned_[v], "cannot tighten an assigned task");
+  arrival_[v] = std::max(arrival_[v], arrival);
+}
+
+void AnchorState::tighten_deadline(NodeId v, Time deadline) {
+  require_node(v);
+  DSSLICE_CHECK(!assigned_[v], "cannot tighten an assigned task");
+  deadline_[v] = std::min(deadline_[v], deadline);
+}
+
+void AnchorState::mark_assigned(NodeId v, const Window& w) {
+  require_node(v);
+  DSSLICE_CHECK(!assigned_[v], "task assigned twice");
+  assigned_[v] = true;
+  window_[v] = w;
+  --remaining_;
+}
+
+const Window& AnchorState::window(NodeId v) const {
+  require_node(v);
+  DSSLICE_REQUIRE(assigned_[v], "task has no window yet");
+  return window_[v];
+}
+
+bool AnchorState::is_pi_source(const TaskGraph& g, NodeId v) const {
+  require_node(v);
+  if (assigned_[v]) {
+    return false;
+  }
+  for (const NodeId u : g.predecessors(v)) {
+    if (!assigned_[u]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool AnchorState::is_pi_sink(const TaskGraph& g, NodeId v) const {
+  require_node(v);
+  if (assigned_[v]) {
+    return false;
+  }
+  for (const NodeId w : g.successors(v)) {
+    if (!assigned_[w]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace dsslice

@@ -1,0 +1,70 @@
+// Anchor bookkeeping for the SLICING algorithm (§4.4, steps 5–12).
+//
+// While the algorithm peels critical paths off the task graph, each
+// not-yet-assigned task accumulates *anchors*: a lower bound on its arrival
+// (the latest absolute deadline among already-assigned immediate
+// predecessors — plus its phasing if it is an input task) and an upper bound
+// on its absolute deadline (the earliest arrival among already-assigned
+// immediate successors — plus its E-T-E deadline if it is an output task).
+// Each remaining sub-problem's paths run from anchored starts to anchored
+// ends; the anchors are exactly the "new E-T-E deadlines" of §4.4 step 13.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dsslice/model/application.hpp"
+#include "dsslice/model/time.hpp"
+
+namespace dsslice {
+
+class AnchorState {
+ public:
+  /// Initializes anchors from the application's input arrivals and E-T-E
+  /// deadlines; all tasks start unassigned.
+  explicit AnchorState(const Application& app);
+
+  std::size_t task_count() const { return assigned_.size(); }
+  std::size_t remaining_count() const { return remaining_; }
+  bool all_assigned() const { return remaining_ == 0; }
+
+  bool assigned(NodeId v) const;
+
+  bool has_arrival_anchor(NodeId v) const;
+  bool has_deadline_anchor(NodeId v) const;
+
+  /// Arrival anchor (−infinity when absent).
+  Time arrival_anchor(NodeId v) const;
+  /// Deadline anchor (+infinity when absent).
+  Time deadline_anchor(NodeId v) const;
+
+  /// Raises the arrival anchor to at least `arrival` ("latest predecessor
+  /// deadline" accumulation).
+  void tighten_arrival(NodeId v, Time arrival);
+  /// Lowers the deadline anchor to at most `deadline` ("earliest successor
+  /// arrival" accumulation).
+  void tighten_deadline(NodeId v, Time deadline);
+
+  /// Marks v as assigned with its final execution window.
+  void mark_assigned(NodeId v, const Window& w);
+
+  /// The final window of an assigned task.
+  const Window& window(NodeId v) const;
+
+  /// True when every immediate predecessor of v is assigned (v can start a
+  /// path in the remaining sub-graph — a Π-source).
+  bool is_pi_source(const TaskGraph& g, NodeId v) const;
+  /// True when every immediate successor of v is assigned (a Π-sink).
+  bool is_pi_sink(const TaskGraph& g, NodeId v) const;
+
+ private:
+  void require_node(NodeId v) const;
+
+  std::vector<bool> assigned_;
+  std::vector<Time> arrival_;   // −inf = unset
+  std::vector<Time> deadline_;  // +inf = unset
+  std::vector<Window> window_;
+  std::size_t remaining_ = 0;
+};
+
+}  // namespace dsslice

@@ -1,0 +1,57 @@
+// Critical-path search for the SLICING algorithm (§4.4 step 3).
+//
+// The paper identifies, among all paths through the not-yet-assigned tasks
+// Π, the one minimizing the laxity-ratio metric R, using a breadth-first
+// traversal with O(|N| + |A|) cost per iteration. An exact minimizer over
+// all paths is exponential for ratio metrics, so — consistent with the
+// stated complexity — we implement a two-pass linear-time dynamic program:
+//
+//  1. Backward pass over reverse topological order computing L(v), a bound
+//     on the latest finish of v: its deadline anchor (if any) combined with
+//     min over unassigned successors w of (L(w) − weight_w).
+//  2. Forward pass keeping one best partial path per node. A partial path
+//     may start fresh at any Π-source (all predecessors assigned; its
+//     arrival anchor is then fully determined) or extend the best partial
+//     path of an unassigned predecessor. Candidates at node v are ranked by
+//     the *projected* ratio R(L(v) − start, Σw, n); at Π-sinks L(v) equals
+//     the deadline anchor, so the projected ratio is the true path metric.
+//
+// The returned path runs Π-source → Π-sink, so every remaining task is
+// reachable through some returned path across iterations, and the spine
+// windows [start, end] are always anchored at both ends.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "dsslice/core/anchors.hpp"
+#include "dsslice/core/metrics.hpp"
+#include "dsslice/graph/task_graph.hpp"
+#include "dsslice/model/time.hpp"
+
+namespace dsslice {
+
+struct CriticalPath {
+  /// Chain of immediate-successor tasks, all unassigned.
+  std::vector<NodeId> nodes;
+  /// Window start: arrival anchor of nodes.front().
+  Time window_start = kTimeZero;
+  /// Window end: deadline anchor of nodes.back().
+  Time window_end = kTimeZero;
+  /// Metric value R of this path (lower = more critical).
+  double metric_value = 0.0;
+
+  Time window_length() const { return window_end - window_start; }
+};
+
+/// Finds the most critical remaining path, or nullopt when no unassigned
+/// task remains. `topo_order` is the full-graph topological order (computed
+/// once by the caller and reused across iterations); `weights` are the
+/// metric weights (c̄ or ĉ) for all tasks.
+std::optional<CriticalPath> find_critical_path(
+    const TaskGraph& g, std::span<const NodeId> topo_order,
+    const AnchorState& anchors, std::span<const double> weights,
+    const DeadlineMetric& metric);
+
+}  // namespace dsslice

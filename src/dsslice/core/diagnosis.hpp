@@ -1,0 +1,62 @@
+// Failure diagnosis: explain WHY a task missed its deadline.
+//
+// A success-ratio experiment says only that a task set failed; improving a
+// metric requires knowing the failure mode. Given the failing task and the
+// (possibly partial) schedule, the diagnosis classifies the miss:
+//
+//  * kWindowTooSmall  — the window cannot hold the task's own execution on
+//                       any eligible class: a pure deadline-distribution
+//                       failure, no scheduler could help;
+//  * kCommunication   — the window could hold the task, but predecessor
+//                       messages arrive too late for any eligible processor;
+//  * kContention      — data and window were fine, but every eligible
+//                       processor was busy past the latest feasible start:
+//                       the window was consumed by overlapping rivals;
+//  * kEligibility     — no processor of an eligible class exists.
+//
+// The report also names the rival tasks occupying the diagnosed task's
+// window on its best processor — the contention witnesses.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dsslice/model/application.hpp"
+#include "dsslice/model/platform.hpp"
+#include "dsslice/model/task.hpp"
+#include "dsslice/sched/edf_list_scheduler.hpp"
+
+namespace dsslice {
+
+enum class MissCause {
+  kWindowTooSmall,
+  kCommunication,
+  kContention,
+  kEligibility,
+};
+
+std::string to_string(MissCause cause);
+
+struct MissDiagnosis {
+  NodeId task = 0;
+  MissCause cause = MissCause::kWindowTooSmall;
+  /// Latest start that would still have met the deadline on the best class.
+  Time latest_feasible_start = kTimeZero;
+  /// Earliest the task could actually have started (data + window).
+  Time earliest_possible_start = kTimeZero;
+  /// Tasks scheduled inside the window on the task's best processor
+  /// (contention witnesses; empty for non-contention causes).
+  std::vector<NodeId> rivals;
+  /// One-line human-readable explanation.
+  std::string summary;
+};
+
+/// Diagnoses why `result.failed_task` missed. The schedule must contain the
+/// failed task's predecessors (guaranteed by the EDF list scheduler, which
+/// fails at the first miss). Requires result.failed_task to be set.
+MissDiagnosis diagnose_failure(const Application& app,
+                               const Platform& platform,
+                               const DeadlineAssignment& assignment,
+                               const SchedulerResult& result);
+
+}  // namespace dsslice

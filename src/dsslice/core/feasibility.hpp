@@ -1,0 +1,49 @@
+// Analytic necessary conditions for schedulability.
+//
+// Cheap closed-form tests that must hold for ANY non-preemptive schedule of
+// a deadline assignment; failing one proves infeasibility without search.
+// (The branch-and-bound oracle provides the exact complement: these
+// conditions are necessary, its verdict is exact.)
+//
+//  * window fit: every window holds its task's fastest-class WCET;
+//  * chain fit: along every arc u→v, the windows leave room for both tasks
+//    (implied by window fit + non-overlap for slicing assignments, but not
+//    for overlapping-window baselines);
+//  * capacity: for every time interval [a, D] spanned by a window, the
+//    total fastest-class work of tasks whose windows lie fully inside the
+//    interval cannot exceed m·(D − a) (a demand-bound argument over the
+//    O(n²) interesting intervals);
+//  * E-T-E path bound: the fastest-class critical path through the graph
+//    cannot exceed the loosest E-T-E deadline.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dsslice/model/application.hpp"
+#include "dsslice/model/platform.hpp"
+#include "dsslice/model/task.hpp"
+
+namespace dsslice {
+
+struct FeasibilityReport {
+  /// Violated necessary conditions, human-readable (empty = may be
+  /// feasible; a non-empty list proves infeasibility).
+  std::vector<std::string> violations;
+
+  bool maybe_feasible() const { return violations.empty(); }
+};
+
+/// Runs every necessary-condition test against an assignment. O(n² + n·|A|).
+FeasibilityReport check_necessary_conditions(
+    const Application& app, const DeadlineAssignment& assignment,
+    const Platform& platform);
+
+/// The demand-bound test alone (exposed for tests): returns the worst
+/// interval's overload factor — demand / capacity — over all window-aligned
+/// intervals; > 1 proves infeasibility.
+double worst_interval_load(const Application& app,
+                           const DeadlineAssignment& assignment,
+                           const Platform& platform);
+
+}  // namespace dsslice

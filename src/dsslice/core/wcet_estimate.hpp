@@ -1,0 +1,34 @@
+// Estimated WCETs c̄_i for relaxed locality constraints (§5.3).
+//
+// Before task assignment is known, a task's execution time is ambiguous on a
+// heterogeneous platform: it depends on which processor class it will land
+// on. Deadline distribution therefore works with an *estimate* c̄_i derived
+// from the per-class WCET table. The paper studies three strategies.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dsslice/model/application.hpp"
+
+namespace dsslice {
+
+enum class WcetEstimation {
+  kAverage,  ///< WCET-AVG: mean over all eligible classes (Eq. 9)
+  kMax,      ///< WCET-MAX: pessimistic maximum (Eq. 10)
+  kMin,      ///< WCET-MIN: optimistic minimum (Eq. 11)
+};
+
+std::string to_string(WcetEstimation strategy);
+
+/// Computes c̄_i for every task. Only eligible classes participate ("all
+/// valid execution times"); applications must have ≥1 eligible class per
+/// task (enforced by Application::validate).
+std::vector<double> estimate_wcets(const Application& app,
+                                   WcetEstimation strategy);
+
+/// Single-task variant.
+double estimate_wcet(const Task& task, WcetEstimation strategy);
+
+}  // namespace dsslice

@@ -1,0 +1,63 @@
+#include "dsslice/gen/generator_config.hpp"
+
+#include "dsslice/util/check.hpp"
+
+namespace dsslice {
+
+std::string to_string(ClassModel m) {
+  switch (m) {
+    case ClassModel::kUniformFactors:
+      return "uniform-factors";
+    case ClassModel::kUnrelated:
+      return "unrelated";
+  }
+  return "unknown";
+}
+
+std::string to_string(EdgeLocality locality) {
+  switch (locality) {
+    case EdgeLocality::kAdjacentLevel:
+      return "adjacent-level";
+    case EdgeLocality::kAnyEarlierLevel:
+      return "any-earlier-level";
+  }
+  return "unknown";
+}
+
+void GeneratorConfig::validate() const {
+  DSSLICE_REQUIRE(platform.processor_count >= 1, "need >= 1 processor");
+  DSSLICE_REQUIRE(platform.min_class_count >= 1, "need >= 1 class");
+  DSSLICE_REQUIRE(platform.min_class_count <= platform.max_class_count,
+                  "class count range inverted");
+  DSSLICE_REQUIRE(platform.bus_delay_per_item >= 0.0, "negative bus delay");
+  DSSLICE_REQUIRE(platform.class_deviation >= 0.0 &&
+                      platform.class_deviation < 1.0,
+                  "class deviation must be in [0, 1)");
+
+  DSSLICE_REQUIRE(workload.min_tasks >= 1, "need >= 1 task");
+  DSSLICE_REQUIRE(workload.min_tasks <= workload.max_tasks,
+                  "task count range inverted");
+  DSSLICE_REQUIRE(workload.min_depth >= 1, "need >= 1 level");
+  DSSLICE_REQUIRE(workload.min_depth <= workload.max_depth,
+                  "depth range inverted");
+  DSSLICE_REQUIRE(workload.max_depth <= workload.min_tasks,
+                  "graph depth cannot exceed the minimum task count");
+  DSSLICE_REQUIRE(workload.min_degree >= 1, "need >= 1 predecessor");
+  DSSLICE_REQUIRE(workload.min_degree <= workload.max_degree,
+                  "degree range inverted");
+  DSSLICE_REQUIRE(workload.mean_execution_time > 0.0,
+                  "mean execution time must be positive");
+  DSSLICE_REQUIRE(workload.etd >= 0.0 && workload.etd <= 1.0,
+                  "ETD must be in [0, 1]");
+  DSSLICE_REQUIRE(workload.ineligible_probability >= 0.0 &&
+                      workload.ineligible_probability < 1.0,
+                  "ineligibility probability must be in [0, 1)");
+  DSSLICE_REQUIRE(workload.olr > 0.0, "OLR must be positive");
+  DSSLICE_REQUIRE(workload.olr_spread >= 0.0 && workload.olr_spread < 1.0,
+                  "OLR spread must be in [0, 1)");
+  DSSLICE_REQUIRE(workload.ccr >= 0.0, "CCR must be non-negative");
+
+  DSSLICE_REQUIRE(graph_count >= 1, "need >= 1 graph");
+}
+
+}  // namespace dsslice

@@ -1,0 +1,111 @@
+// Configuration of the random workload generator (§5.1–§5.2 of the paper).
+//
+// Defaults reproduce the paper's experimental setup exactly; every knob the
+// evaluation sweeps (system size, OLR, ETD, WCET strategy) is a field here.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "dsslice/model/time.hpp"
+
+namespace dsslice {
+
+/// How per-class execution-time heterogeneity is synthesized.
+/// See DESIGN.md §4.1 for why kUniformFactors is the default.
+enum class ClassModel {
+  /// Per-class speed factor shared by all tasks: c_i[e] = b_i · s_e with
+  /// s_e ~ U[1-h, 1+h] (uniform machines). Preserves the paper's ETD=0
+  /// invariant (identical estimated WCETs).
+  kUniformFactors,
+  /// Independent deviation per (task, class): c_i[e] = b_i · u_{i,e},
+  /// u ~ U[1-h, 1+h] (unrelated machines). Used in ablations.
+  kUnrelated,
+};
+
+std::string to_string(ClassModel m);
+
+/// How precedence arcs are drawn between the layers of the generated DAG.
+enum class EdgeLocality {
+  /// Predecessors come only from the immediately preceding level — chain-like
+  /// pipelines with aligned execution windows.
+  kAdjacentLevel,
+  /// Each task keeps one predecessor in the preceding level (pinning the
+  /// graph depth) but draws its remaining predecessors uniformly from *any*
+  /// earlier level. This produces paths of widely varying length — and thus
+  /// widely overlapping execution windows after slicing — which is the
+  /// contention regime the paper's evaluation exercises.
+  kAnyEarlierLevel,
+};
+
+std::string to_string(EdgeLocality locality);
+
+/// Parameters of the random platform (§5.1).
+struct PlatformConfig {
+  /// Number of processors m (paper: swept 2–8).
+  std::size_t processor_count = 3;
+  /// Processor class count is drawn uniformly from
+  /// [min_class_count, max_class_count] (paper: 1–3).
+  std::size_t min_class_count = 1;
+  std::size_t max_class_count = 3;
+  /// Shared-bus per-item delay (paper: 1 time unit per data item).
+  Time bus_delay_per_item = 1.0;
+  /// Maximum per-class speed deviation h (paper: ±25%).
+  double class_deviation = 0.25;
+  ClassModel class_model = ClassModel::kUniformFactors;
+};
+
+/// Parameters of the random task graphs (§5.2).
+struct WorkloadConfig {
+  /// Task count range (paper: 40–60).
+  std::size_t min_tasks = 40;
+  std::size_t max_tasks = 60;
+  /// Graph depth range in levels (paper: 8–12).
+  std::size_t min_depth = 8;
+  std::size_t max_depth = 12;
+  /// Predecessor/successor count range (paper: 1–3).
+  std::size_t min_degree = 1;
+  std::size_t max_degree = 3;
+  /// Arc structure between levels (see EdgeLocality). Adjacent-level is the
+  /// default: it reproduces the paper's convergence to a 100% success ratio
+  /// on large systems, whereas skip-level arcs introduce structurally
+  /// infeasible windows independent of the system size (see the structure
+  /// ablation bench).
+  EdgeLocality edge_locality = EdgeLocality::kAdjacentLevel;
+  /// Mean task execution time c_mean (paper: 20 time units).
+  double mean_execution_time = 20.0;
+  /// Execution-time distribution: max deviation from c_mean (paper default
+  /// 25%, swept 0–100% in Fig. 4/6).
+  double etd = 0.25;
+  /// Probability that a (task, class) pair is ineligible (paper: 5%).
+  double ineligible_probability = 0.05;
+  /// Overall laxity ratio: E-T-E deadline = olr × Σ c̄_i^avg (paper default
+  /// 0.8, swept in Figs. 3/5).
+  double olr = 0.8;
+  /// Per-output deadline spread: each output task's E-T-E deadline is
+  /// drawn as olr × workload × U[1−s, 1+s]. The paper gives one deadline
+  /// "per input–output task pair"; 0 (default) makes them identical, a
+  /// positive spread differentiates the pairs.
+  double olr_spread = 0.0;
+  /// Communication-to-computation ratio: mean message cost / mean execution
+  /// time (paper: 0.1). Mean message size = ccr × c_mean / bus_delay.
+  double ccr = 0.1;
+  /// Whether message sizes are integral items (paper's "data items").
+  bool integral_messages = true;
+};
+
+/// A full generation scenario: platform + workload + batch size and seed.
+struct GeneratorConfig {
+  PlatformConfig platform;
+  WorkloadConfig workload;
+  /// Number of task graphs per experiment (paper: 1024).
+  std::size_t graph_count = 1024;
+  /// Base seed; graph k uses derive_seed(base_seed, k).
+  std::uint64_t base_seed = 0x5EEDED5EEDED5EEDULL;
+
+  /// Throws ConfigError when any parameter is out of range.
+  void validate() const;
+};
+
+}  // namespace dsslice

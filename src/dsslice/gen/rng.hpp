@@ -1,0 +1,60 @@
+// Deterministic pseudo-random number generation for the workload generator.
+//
+// We implement SplitMix64 (seeding / stream derivation) and xoshiro256**
+// (bulk generation) rather than rely on std::mt19937 so that generated
+// workloads are bit-reproducible across standard libraries and platforms —
+// experiment seeds quoted in EXPERIMENTS.md must regenerate the same
+// workloads everywhere.
+#pragma once
+
+#include <cstdint>
+
+namespace dsslice {
+
+/// SplitMix64: tiny, full-period 2^64 generator; used to expand one user
+/// seed into independent stream seeds.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+  std::uint64_t next();
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna) — fast, high-quality 64-bit PRNG.
+class Xoshiro256 {
+ public:
+  /// Seeds all 256 bits from the given seed via SplitMix64.
+  explicit Xoshiro256(std::uint64_t seed);
+
+  using result_type = std::uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()() { return next(); }
+  std::uint64_t next();
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in the inclusive range [lo, hi] (unbiased via
+  /// rejection sampling).
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Derives an independent child seed from (base, index) — stable across
+/// runs, used to give each generated graph its own stream so batches can be
+/// generated in parallel in any order.
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t index);
+
+}  // namespace dsslice

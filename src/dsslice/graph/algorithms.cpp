@@ -1,0 +1,180 @@
+#include "dsslice/graph/algorithms.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "dsslice/util/check.hpp"
+
+namespace dsslice {
+
+std::optional<std::vector<NodeId>> topological_order(const TaskGraph& g) {
+  const std::size_t n = g.node_count();
+  std::vector<std::size_t> in_deg(n);
+  std::deque<NodeId> ready;
+  for (NodeId v = 0; v < n; ++v) {
+    in_deg[v] = g.in_degree(v);
+    if (in_deg[v] == 0) {
+      ready.push_back(v);
+    }
+  }
+  std::vector<NodeId> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    const NodeId v = ready.front();
+    ready.pop_front();
+    order.push_back(v);
+    for (const NodeId w : g.successors(v)) {
+      if (--in_deg[w] == 0) {
+        ready.push_back(w);
+      }
+    }
+  }
+  if (order.size() != n) {
+    return std::nullopt;  // cycle
+  }
+  return order;
+}
+
+bool is_dag(const TaskGraph& g) { return topological_order(g).has_value(); }
+
+std::vector<double> static_levels(const TaskGraph& g,
+                                  std::span<const double> weight) {
+  DSSLICE_REQUIRE(weight.size() == g.node_count(),
+                  "weight vector size mismatch");
+  const auto order = topological_order(g);
+  DSSLICE_REQUIRE(order.has_value(), "static levels require an acyclic graph");
+  std::vector<double> sl(g.node_count(), 0.0);
+  // Reverse topological order: successors are finalized before their preds.
+  for (auto it = order->rbegin(); it != order->rend(); ++it) {
+    const NodeId v = *it;
+    double best_succ = 0.0;
+    for (const NodeId w : g.successors(v)) {
+      best_succ = std::max(best_succ, sl[w]);
+    }
+    sl[v] = weight[v] + best_succ;
+  }
+  return sl;
+}
+
+std::vector<double> entry_path_lengths(const TaskGraph& g,
+                                       std::span<const double> weight) {
+  DSSLICE_REQUIRE(weight.size() == g.node_count(),
+                  "weight vector size mismatch");
+  const auto order = topological_order(g);
+  DSSLICE_REQUIRE(order.has_value(),
+                  "entry path lengths require an acyclic graph");
+  std::vector<double> epl(g.node_count(), 0.0);
+  for (const NodeId v : *order) {
+    double best_pred = 0.0;
+    for (const NodeId u : g.predecessors(v)) {
+      best_pred = std::max(best_pred, epl[u]);
+    }
+    epl[v] = weight[v] + best_pred;
+  }
+  return epl;
+}
+
+double critical_path_length(const TaskGraph& g,
+                            std::span<const double> weight) {
+  if (g.node_count() == 0) {
+    return 0.0;
+  }
+  const auto sl = static_levels(g, weight);
+  return *std::max_element(sl.begin(), sl.end());
+}
+
+double average_parallelism(const TaskGraph& g,
+                           std::span<const double> weight) {
+  const double cp = critical_path_length(g, weight);
+  if (cp <= 0.0) {
+    return 0.0;
+  }
+  double total = 0.0;
+  for (const double w : weight) {
+    total += w;
+  }
+  return total / cp;
+}
+
+std::vector<std::size_t> node_levels(const TaskGraph& g) {
+  const auto order = topological_order(g);
+  DSSLICE_REQUIRE(order.has_value(), "node levels require an acyclic graph");
+  std::vector<std::size_t> level(g.node_count(), 0);
+  for (const NodeId v : *order) {
+    for (const NodeId u : g.predecessors(v)) {
+      level[v] = std::max(level[v], level[u] + 1);
+    }
+  }
+  return level;
+}
+
+std::size_t graph_depth(const TaskGraph& g) {
+  if (g.node_count() == 0) {
+    return 0;
+  }
+  const auto levels = node_levels(g);
+  return 1 + *std::max_element(levels.begin(), levels.end());
+}
+
+namespace {
+
+void enumerate_from(const TaskGraph& g, NodeId v, std::vector<NodeId>& stack,
+                    std::vector<std::vector<NodeId>>& out,
+                    std::size_t max_paths) {
+  if (out.size() >= max_paths) {
+    return;
+  }
+  stack.push_back(v);
+  if (g.is_output(v)) {
+    out.push_back(stack);
+  } else {
+    for (const NodeId w : g.successors(v)) {
+      enumerate_from(g, w, stack, out, max_paths);
+      if (out.size() >= max_paths) {
+        break;
+      }
+    }
+  }
+  stack.pop_back();
+}
+
+}  // namespace
+
+std::vector<std::vector<NodeId>> enumerate_paths(const TaskGraph& g,
+                                                 std::size_t max_paths) {
+  DSSLICE_REQUIRE(is_dag(g), "path enumeration requires an acyclic graph");
+  std::vector<std::vector<NodeId>> out;
+  std::vector<NodeId> stack;
+  for (const NodeId s : g.input_nodes()) {
+    enumerate_from(g, s, stack, out, max_paths);
+    if (out.size() >= max_paths) {
+      break;
+    }
+  }
+  return out;
+}
+
+bool reachable(const TaskGraph& g, NodeId from, NodeId to) {
+  if (from == to) {
+    return true;
+  }
+  std::vector<bool> seen(g.node_count(), false);
+  std::deque<NodeId> queue{from};
+  seen[from] = true;
+  while (!queue.empty()) {
+    const NodeId v = queue.front();
+    queue.pop_front();
+    for (const NodeId w : g.successors(v)) {
+      if (w == to) {
+        return true;
+      }
+      if (!seen[w]) {
+        seen[w] = true;
+        queue.push_back(w);
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace dsslice

@@ -1,0 +1,57 @@
+// Graph algorithms used by deadline distribution and the workload generator:
+// topological ordering, weighted longest paths (static levels, §3.2),
+// level/depth structure, and bounded path enumeration for test oracles.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "dsslice/graph/task_graph.hpp"
+#include "dsslice/model/time.hpp"
+
+namespace dsslice {
+
+/// Kahn topological order; nullopt when the graph contains a cycle.
+std::optional<std::vector<NodeId>> topological_order(const TaskGraph& g);
+
+/// True iff the graph is acyclic.
+bool is_dag(const TaskGraph& g);
+
+/// Static level SL(τ_i) (§3.2): length of the longest chain starting at i
+/// and ending at an output task, measured as the sum of node weights of all
+/// chain members (including i itself). `weight[i]` is typically the
+/// estimated WCET c̄_i.
+std::vector<double> static_levels(const TaskGraph& g,
+                                  std::span<const double> weight);
+
+/// Longest entry path weight per node: max over chains from any input task
+/// up to and including i. Together with static_levels this brackets each
+/// task's position on its heaviest path.
+std::vector<double> entry_path_lengths(const TaskGraph& g,
+                                       std::span<const double> weight);
+
+/// max_i SL(i): the weighted critical-path length of the whole graph.
+double critical_path_length(const TaskGraph& g, std::span<const double> weight);
+
+/// Average task-graph parallelism ξ = Σ weight / critical-path length (Eq. 7).
+double average_parallelism(const TaskGraph& g, std::span<const double> weight);
+
+/// Topological depth of each node: inputs at level 0, otherwise
+/// 1 + max(level of predecessors).
+std::vector<std::size_t> node_levels(const TaskGraph& g);
+
+/// Number of levels = 1 + max node level (0 for the empty graph).
+std::size_t graph_depth(const TaskGraph& g);
+
+/// Enumerates complete input→output paths (each as a node sequence), up to
+/// `max_paths` (guard against exponential blowup). Intended for tests and
+/// small examples, not the production slicing path search.
+std::vector<std::vector<NodeId>> enumerate_paths(const TaskGraph& g,
+                                                 std::size_t max_paths);
+
+/// True when `to` is reachable from `from` by a directed path (BFS).
+bool reachable(const TaskGraph& g, NodeId from, NodeId to);
+
+}  // namespace dsslice

@@ -1,0 +1,60 @@
+// Transitive closure G* and parallel sets Ψ_i (§4.5).
+//
+// The ADAPT-L metric needs, for every task, the set of tasks that can
+// potentially execute in parallel with it: those that are neither its
+// predecessors nor its successors under the transitive precedence relation.
+// We materialize the closure as packed 64-bit row bitsets; the DP over a
+// topological order gives O(n·|A|/64 + n²/64) construction — comfortably
+// inside the paper's quoted O(n³) budget and cache-friendly for n ≤ a few
+// thousand.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "dsslice/graph/task_graph.hpp"
+
+namespace dsslice {
+
+class TransitiveClosure {
+ public:
+  /// Builds the closure of an acyclic graph.
+  explicit TransitiveClosure(const TaskGraph& g);
+
+  std::size_t node_count() const { return n_; }
+
+  /// True iff v is reachable from u via one or more arcs (irreflexive:
+  /// reaches(v, v) is false).
+  bool reaches(NodeId u, NodeId v) const;
+
+  /// True iff u and v are ordered by the precedence relation (either way).
+  bool ordered(NodeId u, NodeId v) const;
+
+  /// |Ψ_i|: number of tasks neither preceding nor succeeding i (excluding i).
+  std::size_t parallel_set_size(NodeId i) const;
+
+  /// Ψ_i as an explicit node list (ascending order).
+  std::vector<NodeId> parallel_set(NodeId i) const;
+
+  /// Number of strict descendants (successors under ≺).
+  std::size_t descendant_count(NodeId i) const;
+  /// Number of strict ancestors (predecessors under ≺).
+  std::size_t ancestor_count(NodeId i) const;
+
+  /// Convenience: |Ψ_i| for every node.
+  std::vector<std::size_t> all_parallel_set_sizes() const;
+
+ private:
+  std::size_t words() const { return (n_ + 63) / 64; }
+  const std::uint64_t* row(NodeId u) const { return &reach_[u * words()]; }
+  std::uint64_t* row(NodeId u) { return &reach_[u * words()]; }
+
+  std::size_t n_ = 0;
+  // reach_[u] row: bit v set iff u ≺ v (strict reachability).
+  std::vector<std::uint64_t> reach_;
+  std::vector<std::size_t> descendants_;
+  std::vector<std::size_t> ancestors_;
+};
+
+}  // namespace dsslice

@@ -1,0 +1,29 @@
+#include "dsslice/graph/dot.hpp"
+
+#include <sstream>
+
+#include "dsslice/util/string_util.hpp"
+
+namespace dsslice {
+
+std::string to_dot(const TaskGraph& g, const DotOptions& options) {
+  std::ostringstream os;
+  os << "digraph " << options.graph_name << " {\n";
+  os << "  rankdir=TB;\n  node [shape=box];\n";
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const std::string label =
+        options.node_label ? options.node_label(v) : "t" + std::to_string(v);
+    os << "  n" << v << " [label=\"" << label << "\"];\n";
+  }
+  for (const Arc& a : g.arcs()) {
+    os << "  n" << a.from << " -> n" << a.to;
+    if (options.show_message_sizes && a.message_items > 0.0) {
+      os << " [label=\"" << format_fixed(a.message_items, 0) << "\"]";
+    }
+    os << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace dsslice

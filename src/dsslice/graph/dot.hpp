@@ -1,0 +1,24 @@
+// Graphviz DOT export for task graphs — debugging and documentation aid.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "dsslice/graph/task_graph.hpp"
+
+namespace dsslice {
+
+/// Options controlling DOT rendering.
+struct DotOptions {
+  /// Per-node label; defaults to "t<i>" when empty.
+  std::function<std::string(NodeId)> node_label;
+  /// Whether to annotate arcs with their message sizes.
+  bool show_message_sizes = true;
+  /// Graph name emitted in the DOT header.
+  std::string graph_name = "taskgraph";
+};
+
+/// Renders the graph in Graphviz DOT syntax.
+std::string to_dot(const TaskGraph& g, const DotOptions& options = {});
+
+}  // namespace dsslice

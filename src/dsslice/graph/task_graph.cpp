@@ -1,0 +1,84 @@
+#include "dsslice/graph/task_graph.hpp"
+
+#include <algorithm>
+
+#include "dsslice/util/check.hpp"
+
+namespace dsslice {
+
+TaskGraph::TaskGraph(std::size_t n)
+    : succ_(n), pred_(n), succ_items_(n) {}
+
+NodeId TaskGraph::add_node() {
+  succ_.emplace_back();
+  pred_.emplace_back();
+  succ_items_.emplace_back();
+  return static_cast<NodeId>(succ_.size() - 1);
+}
+
+void TaskGraph::require_node(NodeId v) const {
+  DSSLICE_REQUIRE(v < succ_.size(), "node id out of range");
+}
+
+void TaskGraph::add_arc(NodeId from, NodeId to, double message_items) {
+  require_node(from);
+  require_node(to);
+  DSSLICE_REQUIRE(from != to, "self-loop arcs are not allowed");
+  DSSLICE_REQUIRE(message_items >= 0.0, "negative message size");
+  DSSLICE_REQUIRE(!has_arc(from, to), "parallel arcs are not allowed");
+  succ_[from].push_back(to);
+  succ_items_[from].push_back(message_items);
+  pred_[to].push_back(from);
+  arcs_.push_back(Arc{from, to, message_items});
+}
+
+std::span<const NodeId> TaskGraph::successors(NodeId v) const {
+  require_node(v);
+  return succ_[v];
+}
+
+std::span<const NodeId> TaskGraph::predecessors(NodeId v) const {
+  require_node(v);
+  return pred_[v];
+}
+
+bool TaskGraph::has_arc(NodeId from, NodeId to) const {
+  require_node(from);
+  require_node(to);
+  const auto& out = succ_[from];
+  return std::find(out.begin(), out.end(), to) != out.end();
+}
+
+std::optional<double> TaskGraph::message_items(NodeId from, NodeId to) const {
+  require_node(from);
+  require_node(to);
+  const auto& out = succ_[from];
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (out[i] == to) {
+      return succ_items_[from][i];
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<NodeId> TaskGraph::input_nodes() const {
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < node_count(); ++v) {
+    if (pred_[v].empty()) {
+      out.push_back(v);
+    }
+  }
+  return out;
+}
+
+std::vector<NodeId> TaskGraph::output_nodes() const {
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < node_count(); ++v) {
+    if (succ_[v].empty()) {
+      out.push_back(v);
+    }
+  }
+  return out;
+}
+
+}  // namespace dsslice

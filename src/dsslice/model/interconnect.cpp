@@ -1,0 +1,52 @@
+#include "dsslice/model/interconnect.hpp"
+
+#include "dsslice/util/check.hpp"
+
+namespace dsslice {
+
+SharedBus::SharedBus(Time per_item_delay) : per_item_delay_(per_item_delay) {
+  DSSLICE_REQUIRE(per_item_delay >= 0.0, "bus delay must be non-negative");
+}
+
+Time SharedBus::delay(ProcessorId src, ProcessorId dst, double items) const {
+  DSSLICE_REQUIRE(items >= 0.0, "negative message size");
+  if (src == dst) {
+    return kTimeZero;
+  }
+  return items * per_item_delay_;
+}
+
+LinkNetwork::LinkNetwork(std::size_t processors, Time default_per_item_delay)
+    : size_(processors), per_item_(processors * processors,
+                                   default_per_item_delay) {
+  DSSLICE_REQUIRE(processors > 0, "network needs at least one processor");
+  DSSLICE_REQUIRE(default_per_item_delay >= 0.0,
+                  "link delay must be non-negative");
+  for (std::size_t p = 0; p < size_; ++p) {
+    per_item_[p * size_ + p] = kTimeZero;
+  }
+}
+
+void LinkNetwork::set_link(ProcessorId src, ProcessorId dst,
+                           Time per_item_delay) {
+  DSSLICE_REQUIRE(src < size_ && dst < size_, "link endpoint out of range");
+  DSSLICE_REQUIRE(per_item_delay >= 0.0, "link delay must be non-negative");
+  if (src == dst) {
+    return;  // intra-processor cost is always zero
+  }
+  per_item_[src * size_ + dst] = per_item_delay;
+}
+
+void LinkNetwork::set_bidirectional(ProcessorId a, ProcessorId b,
+                                    Time per_item_delay) {
+  set_link(a, b, per_item_delay);
+  set_link(b, a, per_item_delay);
+}
+
+Time LinkNetwork::delay(ProcessorId src, ProcessorId dst, double items) const {
+  DSSLICE_REQUIRE(src < size_ && dst < size_, "processor out of range");
+  DSSLICE_REQUIRE(items >= 0.0, "negative message size");
+  return items * per_item_[src * size_ + dst];
+}
+
+}  // namespace dsslice

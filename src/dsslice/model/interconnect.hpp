@@ -1,0 +1,77 @@
+// Interconnection-network model (§3.1).
+//
+// The paper's experimental platform is a time-multiplexed shared bus where
+// transferring one data item between two different processors costs one time
+// unit; communication between co-located tasks goes through shared memory at
+// zero cost, and communication is asynchronous (overlaps computation), so
+// only the receiving task observes the delay.
+//
+// `Interconnect` abstracts the worst-case ("nominal") delay model so that
+// alternative networks can be plugged into the scheduler. Two concrete
+// models are provided:
+//  * SharedBus      — the paper's platform (cost = items × per-item delay).
+//  * LinkNetwork    — per-processor-pair delay table (dedicated links with
+//                     individual bandwidths; arbitrary topologies reduce to
+//                     their worst-case route delay, which is all the
+//                     scheduler's admission test needs).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dsslice/model/processor.hpp"
+#include "dsslice/model/time.hpp"
+
+namespace dsslice {
+
+class Interconnect {
+ public:
+  virtual ~Interconnect() = default;
+
+  /// Worst-case delay for sending `items` data items from `src` to `dst`.
+  /// Implementations must return 0 when src == dst (shared memory).
+  virtual Time delay(ProcessorId src, ProcessorId dst, double items) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Time-multiplexed shared bus: `items * per_item_delay` between distinct
+/// processors (the paper uses per_item_delay = 1 time unit).
+class SharedBus final : public Interconnect {
+ public:
+  explicit SharedBus(Time per_item_delay = 1.0);
+
+  Time delay(ProcessorId src, ProcessorId dst, double items) const override;
+  std::string name() const override { return "shared-bus"; }
+
+  Time per_item_delay() const { return per_item_delay_; }
+
+ private:
+  Time per_item_delay_;
+};
+
+/// Dense per-pair nominal delay table: delay(src→dst, items) =
+/// items * per_item_delay[src][dst]. Diagonal is forced to zero.
+class LinkNetwork final : public Interconnect {
+ public:
+  /// Creates a network over `processors` with a uniform default per-item
+  /// delay; individual links can then be overridden.
+  LinkNetwork(std::size_t processors, Time default_per_item_delay);
+
+  void set_link(ProcessorId src, ProcessorId dst, Time per_item_delay);
+  /// Symmetric convenience setter.
+  void set_bidirectional(ProcessorId a, ProcessorId b, Time per_item_delay);
+
+  Time delay(ProcessorId src, ProcessorId dst, double items) const override;
+  std::string name() const override { return "link-network"; }
+
+  std::size_t processor_count() const { return size_; }
+
+ private:
+  std::size_t size_;
+  std::vector<Time> per_item_;  // row-major size_ × size_
+};
+
+}  // namespace dsslice

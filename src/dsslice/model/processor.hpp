@@ -1,0 +1,33 @@
+// Processors and processor classes (§3.1 of the paper).
+//
+// Heterogeneity is expressed through processor classes: every processor
+// belongs to exactly one class e(p) ∈ E, and a task's WCET is looked up per
+// class. Classes carry a descriptive speed factor used by the workload
+// generator (uniform-machines flavour) but the scheduler only ever consults
+// per-class WCET tables, so unrelated machines are equally supported.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dsslice {
+
+using ProcessorId = std::uint32_t;
+using ProcessorClassId = std::uint32_t;
+
+/// Hardware configuration shared by all processors of one class.
+struct ProcessorClass {
+  std::string name;
+  /// Relative speed factor (1.0 = nominal). Informational: execution times
+  /// are always taken from per-class WCET tables, not derived from this.
+  double speed_factor = 1.0;
+};
+
+/// A schedulable processor p_q with its class e(p_q).
+struct Processor {
+  std::string name;
+  ProcessorClassId klass = 0;
+};
+
+}  // namespace dsslice

@@ -1,0 +1,70 @@
+#include "dsslice/model/resources.hpp"
+
+#include <algorithm>
+
+#include "dsslice/util/check.hpp"
+
+namespace dsslice {
+
+ResourceModel::ResourceModel(std::size_t task_count,
+                             std::size_t resource_count)
+    : resource_count_(resource_count),
+      per_task_(task_count),
+      per_resource_(resource_count) {}
+
+void ResourceModel::require_task(NodeId task) const {
+  DSSLICE_REQUIRE(task < per_task_.size(), "task id out of range");
+}
+
+void ResourceModel::require_resource(ResourceId resource) const {
+  DSSLICE_REQUIRE(resource < resource_count_, "resource id out of range");
+}
+
+void ResourceModel::require(NodeId task, ResourceId resource) {
+  require_task(task);
+  require_resource(resource);
+  auto& resources = per_task_[task];
+  const auto pos = std::lower_bound(resources.begin(), resources.end(),
+                                    resource);
+  if (pos != resources.end() && *pos == resource) {
+    return;  // idempotent
+  }
+  resources.insert(pos, resource);
+  auto& holders = per_resource_[resource];
+  holders.insert(std::lower_bound(holders.begin(), holders.end(), task),
+                 task);
+  ++requirement_count_;
+}
+
+std::span<const ResourceId> ResourceModel::resources_of(NodeId task) const {
+  require_task(task);
+  return per_task_[task];
+}
+
+bool ResourceModel::conflicts(NodeId a, NodeId b) const {
+  require_task(a);
+  require_task(b);
+  const auto& ra = per_task_[a];
+  const auto& rb = per_task_[b];
+  // Both sorted: linear merge scan.
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < ra.size() && j < rb.size()) {
+    if (ra[i] == rb[j]) {
+      return true;
+    }
+    if (ra[i] < rb[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return false;
+}
+
+std::span<const NodeId> ResourceModel::holders_of(ResourceId resource) const {
+  require_resource(resource);
+  return per_resource_[resource];
+}
+
+}  // namespace dsslice

@@ -1,0 +1,61 @@
+// General resource requirements (paper §7.3 future work).
+//
+// Beyond processors, real-time tasks contend for shared data structures,
+// devices and other serially-reusable resources. The model here is
+// deliberately simple and matches the paper's non-preemptive run-to-
+// completion semantics: a task holds every resource it requires for its
+// whole execution interval, and each resource is exclusive (one holder at
+// a time). Under non-preemptive execution this is deadlock-free by
+// construction — a task acquires all resources atomically at its start
+// time and releases them at its finish time.
+//
+// The model is intentionally kept outside Task so existing applications
+// are unaffected; it is attached at the scheduling / metric call sites.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dsslice/graph/task_graph.hpp"
+
+namespace dsslice {
+
+using ResourceId = std::uint32_t;
+
+class ResourceModel {
+ public:
+  ResourceModel(std::size_t task_count, std::size_t resource_count);
+
+  std::size_t task_count() const { return per_task_.size(); }
+  std::size_t resource_count() const { return resource_count_; }
+
+  /// Declares that `task` needs exclusive access to `resource` while it
+  /// executes. Duplicate declarations are idempotent.
+  void require(NodeId task, ResourceId resource);
+
+  /// Resources required by a task (ascending order).
+  std::span<const ResourceId> resources_of(NodeId task) const;
+
+  /// True when the two tasks share at least one resource (and are thus
+  /// serialized even across different processors).
+  bool conflicts(NodeId a, NodeId b) const;
+
+  /// Tasks requiring a given resource (ascending order).
+  std::span<const NodeId> holders_of(ResourceId resource) const;
+
+  /// Total number of (task, resource) requirement pairs.
+  std::size_t requirement_count() const { return requirement_count_; }
+
+ private:
+  void require_task(NodeId task) const;
+  void require_resource(ResourceId resource) const;
+
+  std::size_t resource_count_;
+  std::size_t requirement_count_ = 0;
+  std::vector<std::vector<ResourceId>> per_task_;
+  std::vector<std::vector<NodeId>> per_resource_;
+};
+
+}  // namespace dsslice

@@ -1,0 +1,23 @@
+#include "dsslice/model/task.hpp"
+
+#include <algorithm>
+
+#include "dsslice/util/check.hpp"
+
+namespace dsslice {
+
+double Task::wcet(ProcessorClassId e) const {
+  DSSLICE_REQUIRE(e < wcet_by_class.size(),
+                  "class id out of range for task " + name);
+  const double c = wcet_by_class[e];
+  DSSLICE_REQUIRE(c >= 0.0, "task " + name + " is ineligible on this class");
+  return c;
+}
+
+std::size_t Task::eligible_class_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(wcet_by_class.begin(), wcet_by_class.end(),
+                    [](double c) { return c >= 0.0; }));
+}
+
+}  // namespace dsslice

@@ -1,0 +1,65 @@
+// Task model (§3.2): static parameters ⟨c_i, φ_i, d_i, T_i⟩ with per-class
+// WCET vectors for heterogeneous platforms.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dsslice/model/processor.hpp"
+#include "dsslice/model/time.hpp"
+
+namespace dsslice {
+
+/// Sentinel WCET marking a (task, class) pair as ineligible — the task
+/// requires hardware resources the class does not provide (§5.2's 5% rule).
+inline constexpr double kIneligibleWcet = -1.0;
+
+/// A task τ_i. The relative deadline d_i and arrival time a_i are *outputs*
+/// of deadline distribution, so they live in DeadlineAssignment, not here;
+/// the task only carries the static application-level parameters.
+struct Task {
+  std::string name;
+
+  /// Worst-case execution time per processor class; kIneligibleWcet where
+  /// the task may not run. Must have one entry per platform class.
+  std::vector<double> wcet_by_class;
+
+  /// Earliest time of the first invocation, relative to the time origin.
+  Time phasing = kTimeZero;
+
+  /// Period T_i; 0 marks a single-shot (aperiodic) task. For periodic tasks
+  /// the planning-cycle expander (sched/planning_cycle) unrolls invocations.
+  Time period = kTimeZero;
+
+  bool is_periodic() const { return period > kTimeZero; }
+
+  bool eligible(ProcessorClassId e) const {
+    return e < wcet_by_class.size() && wcet_by_class[e] >= 0.0;
+  }
+
+  /// WCET on class `e`; requires eligibility.
+  double wcet(ProcessorClassId e) const;
+
+  /// Number of classes the task may execute on.
+  std::size_t eligible_class_count() const;
+};
+
+/// Per-task execution window produced by deadline distribution: the dynamic
+/// parameters (a_i, D_i) for the invocation under analysis, plus the derived
+/// relative deadline d_i = D_i - a_i.
+struct DeadlineAssignment {
+  /// windows[i] is the execution window of task/node i.
+  std::vector<Window> windows;
+
+  /// Optional diagnostic: the order (pass index) in which the slicing
+  /// algorithm assigned each task; -1 when produced by a non-slicing
+  /// technique. pass_of[i] == k means task i was on the k-th critical path.
+  std::vector<int> pass_of;
+
+  Time arrival(std::size_t i) const { return windows[i].arrival; }
+  Time absolute_deadline(std::size_t i) const { return windows[i].deadline; }
+  Time relative_deadline(std::size_t i) const { return windows[i].length(); }
+};
+
+}  // namespace dsslice

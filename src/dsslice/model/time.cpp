@@ -1,0 +1,34 @@
+#include "dsslice/model/time.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "dsslice/util/check.hpp"
+#include "dsslice/util/string_util.hpp"
+
+namespace dsslice {
+
+std::string to_string(const Window& w) {
+  std::ostringstream os;
+  os << "[" << format_fixed(w.arrival, 2) << ", "
+     << format_fixed(w.deadline, 2) << "]";
+  return os.str();
+}
+
+long long time_gcd(long long a, long long b) {
+  a = std::llabs(a);
+  b = std::llabs(b);
+  while (b != 0) {
+    const long long r = a % b;
+    a = b;
+    b = r;
+  }
+  return a;
+}
+
+long long time_lcm(long long a, long long b) {
+  DSSLICE_REQUIRE(a > 0 && b > 0, "lcm requires positive periods");
+  return a / time_gcd(a, b) * b;
+}
+
+}  // namespace dsslice

@@ -1,0 +1,68 @@
+#include "dsslice/report/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "dsslice/sim/sweeps.hpp"
+#include "dsslice/util/string_util.hpp"
+
+namespace dsslice {
+
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) {
+    return field;
+  }
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') {
+      out += "\"\"";
+    } else {
+      out += c;
+    }
+  }
+  out += "\"";
+  return out;
+}
+
+std::string to_csv(const Table& table) {
+  std::ostringstream os;
+  const auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : ",") << csv_escape(row[c]);
+    }
+    os << "\n";
+  };
+  emit(table.header());
+  for (const auto& row : table.rows()) {
+    emit(row);
+  }
+  return os.str();
+}
+
+std::string to_csv(const SweepResult& sweep) {
+  std::ostringstream os;
+  os << csv_escape(sweep.x_label);
+  for (const Series& s : sweep.series) {
+    os << "," << csv_escape(s.name);
+  }
+  os << "\n";
+  for (std::size_t i = 0; i < sweep.x.size(); ++i) {
+    os << format_fixed(sweep.x[i], 4);
+    for (const Series& s : sweep.series) {
+      os << "," << format_fixed(s.success_ratio[i], 6);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+bool write_text_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return false;
+  }
+  out << text;
+  return static_cast<bool>(out);
+}
+
+}  // namespace dsslice

@@ -1,0 +1,26 @@
+// CSV emission for sweep results and tables (machine-readable companions to
+// the ASCII output; every bench writes one CSV next to its printed table).
+#pragma once
+
+#include <string>
+
+#include "dsslice/report/table.hpp"
+
+namespace dsslice {
+
+struct SweepResult;
+
+/// RFC-4180-style escaping (quotes fields containing separators/quotes).
+std::string csv_escape(const std::string& field);
+
+/// Serializes a table as CSV text.
+std::string to_csv(const Table& table);
+
+/// Serializes a sweep: header `x_label,<series...>`, one row per x value.
+std::string to_csv(const SweepResult& sweep);
+
+/// Writes text to a file, creating/truncating it; returns false on I/O
+/// failure (benches treat CSV output as best-effort).
+bool write_text_file(const std::string& path, const std::string& text);
+
+}  // namespace dsslice

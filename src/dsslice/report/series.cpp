@@ -1,0 +1,76 @@
+#include "dsslice/report/series.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "dsslice/report/table.hpp"
+#include "dsslice/util/string_util.hpp"
+
+namespace dsslice {
+
+std::string format_sweep_table(const SweepResult& sweep, bool with_ci) {
+  std::vector<std::string> headers{sweep.x_label};
+  for (const Series& s : sweep.series) {
+    headers.push_back(s.name);
+  }
+  Table table(std::move(headers));
+  for (std::size_t i = 0; i < sweep.x.size(); ++i) {
+    std::vector<std::string> row;
+    row.push_back(format_fixed(sweep.x[i], 2));
+    for (const Series& s : sweep.series) {
+      std::string cell = format_percent(s.success_ratio[i], 1);
+      if (with_ci) {
+        cell += " ±" + format_percent(s.ci95[i], 1);
+      }
+      row.push_back(std::move(cell));
+    }
+    table.add_row(std::move(row));
+  }
+  return table.to_string();
+}
+
+std::string format_sweep_chart(const SweepResult& sweep, std::size_t height,
+                               std::size_t width) {
+  if (sweep.x.empty() || height < 2 || width < 8) {
+    return "(no data)\n";
+  }
+  std::vector<std::string> grid(height, std::string(width, ' '));
+  const double x_lo = sweep.x.front();
+  const double x_hi = sweep.x.back();
+  const double x_span = x_hi > x_lo ? x_hi - x_lo : 1.0;
+
+  for (std::size_t si = 0; si < sweep.series.size(); ++si) {
+    const Series& s = sweep.series[si];
+    const char mark = static_cast<char>('A' + (si % 26));
+    for (std::size_t i = 0; i < sweep.x.size(); ++i) {
+      const double fx = (sweep.x[i] - x_lo) / x_span;
+      const double fy = std::clamp(s.success_ratio[i], 0.0, 1.0);
+      const auto col = static_cast<std::size_t>(
+          std::lround(fx * static_cast<double>(width - 1)));
+      const auto row_from_top = static_cast<std::size_t>(
+          std::lround((1.0 - fy) * static_cast<double>(height - 1)));
+      char& cell = grid[row_from_top][col];
+      cell = (cell == ' ') ? mark : '*';  // '*' marks overlapping series
+    }
+  }
+
+  std::ostringstream os;
+  for (std::size_t r = 0; r < height; ++r) {
+    const double y =
+        1.0 - static_cast<double>(r) / static_cast<double>(height - 1);
+    os << pad_left(format_fixed(y, 2), 5) << " |" << grid[r] << "\n";
+  }
+  os << "      +" << std::string(width, '-') << "\n";
+  os << "       " << pad_right(format_fixed(x_lo, 2), width - 6)
+     << format_fixed(x_hi, 2) << "  (" << sweep.x_label << ")\n";
+  os << "      legend:";
+  for (std::size_t si = 0; si < sweep.series.size(); ++si) {
+    os << " " << static_cast<char>('A' + (si % 26)) << "="
+       << sweep.series[si].name;
+  }
+  os << "  (*=overlap)\n";
+  return os.str();
+}
+
+}  // namespace dsslice

@@ -1,0 +1,21 @@
+// Sweep-result presentation: aligned tables and a terminal line chart so a
+// bench binary's stdout reads like the paper's figures.
+#pragma once
+
+#include <string>
+
+#include "dsslice/sim/sweeps.hpp"
+
+namespace dsslice {
+
+/// The sweep as an aligned ASCII table: one row per x value, one success-
+/// ratio column per series (with 95% CI when `with_ci`).
+std::string format_sweep_table(const SweepResult& sweep, bool with_ci = true);
+
+/// A crude terminal line chart of success ratio (y ∈ [0, 1]) vs x — one
+/// letter per series. Meant for eyeballing figure shapes in bench output.
+std::string format_sweep_chart(const SweepResult& sweep,
+                               std::size_t height = 16,
+                               std::size_t width = 64);
+
+}  // namespace dsslice

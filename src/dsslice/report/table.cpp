@@ -1,0 +1,56 @@
+#include "dsslice/report/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "dsslice/util/check.hpp"
+#include "dsslice/util/string_util.hpp"
+
+namespace dsslice {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  DSSLICE_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  DSSLICE_REQUIRE(cells.size() == headers_.size(),
+                  "row width does not match header");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::to_string(std::size_t indent) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  const std::string pad(indent, ' ');
+  std::ostringstream os;
+  const auto emit_row = [&](const std::vector<std::string>& row) {
+    os << pad;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : "  ");
+      // First column left-aligned (labels), the rest right-aligned (values).
+      os << (c == 0 ? pad_right(row[c], width[c])
+                    : pad_left(row[c], width[c]));
+    }
+    os << "\n";
+  };
+  emit_row(headers_);
+  os << pad;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << (c == 0 ? "" : "  ") << std::string(width[c], '-');
+  }
+  os << "\n";
+  for (const auto& row : rows_) {
+    emit_row(row);
+  }
+  return os.str();
+}
+
+}  // namespace dsslice

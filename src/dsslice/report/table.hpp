@@ -1,0 +1,29 @@
+// Aligned ASCII table rendering for bench and example output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dsslice {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t column_count() const { return headers_.size(); }
+  std::size_t row_count() const { return rows_.size(); }
+  const std::vector<std::string>& header() const { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+  /// Renders with column alignment, a header separator, and `indent`
+  /// leading spaces per line.
+  std::string to_string(std::size_t indent = 0) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dsslice

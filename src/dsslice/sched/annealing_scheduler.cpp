@@ -1,0 +1,181 @@
+#include "dsslice/sched/annealing_scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "dsslice/gen/rng.hpp"
+#include "dsslice/util/check.hpp"
+
+namespace dsslice {
+
+SchedulerResult schedule_with_fixed_mapping(
+    const Application& app, const DeadlineAssignment& assignment,
+    const Platform& platform, const std::vector<ProcessorId>& mapping) {
+  const TaskGraph& g = app.graph();
+  const std::size_t n = g.node_count();
+  const std::size_t m = platform.processor_count();
+  DSSLICE_REQUIRE(assignment.windows.size() == n, "assignment size mismatch");
+  DSSLICE_REQUIRE(mapping.size() == n, "mapping size mismatch");
+  for (NodeId v = 0; v < n; ++v) {
+    DSSLICE_REQUIRE(mapping[v] < m, "mapped processor out of range");
+    DSSLICE_REQUIRE(app.task(v).eligible(platform.class_of(mapping[v])),
+                    "task " + app.task(v).name +
+                        " mapped to an ineligible processor class");
+  }
+
+  SchedulerResult result{Schedule(n, m), false, std::nullopt, "", {}};
+  Schedule& schedule = result.schedule;
+
+  std::vector<std::size_t> unscheduled_preds(n);
+  std::vector<NodeId> ready;
+  for (NodeId v = 0; v < n; ++v) {
+    unscheduled_preds[v] = g.in_degree(v);
+    if (unscheduled_preds[v] == 0) {
+      ready.push_back(v);
+    }
+  }
+
+  bool missed = false;
+  while (!ready.empty()) {
+    // Same EDF selection rule as EdfListScheduler (deadline, arrival, id)
+    // so a fixed mapping taken from a greedy schedule replays it exactly.
+    std::size_t pick = 0;
+    for (std::size_t k = 1; k < ready.size(); ++k) {
+      const Window& a = assignment.windows[ready[k]];
+      const Window& b = assignment.windows[ready[pick]];
+      if (a.deadline < b.deadline ||
+          (a.deadline == b.deadline &&
+           (a.arrival < b.arrival ||
+            (a.arrival == b.arrival && ready[k] < ready[pick])))) {
+        pick = k;
+      }
+    }
+    const NodeId v = ready[pick];
+    ready[pick] = ready.back();
+    ready.pop_back();
+
+    const ProcessorId p = mapping[v];
+    const double c = app.task(v).wcet(platform.class_of(p));
+    Time bound =
+        std::max(assignment.windows[v].arrival, schedule.processor_available(p));
+    for (const NodeId u : g.predecessors(v)) {
+      const ScheduledTask& pe = schedule.entry(u);
+      const double items = g.message_items(u, v).value_or(0.0);
+      bound = std::max(bound,
+                       pe.finish + platform.comm_delay(pe.processor, p,
+                                                       items));
+    }
+    const Time finish = bound + c;
+    if (finish > assignment.windows[v].deadline + 1e-9) {
+      missed = true;
+      if (!result.failed_task.has_value()) {
+        result.failed_task = v;
+        result.failure_reason =
+            "task " + app.task(v).name + " missed its deadline";
+      }
+    }
+    schedule.place(v, p, bound, finish);
+    for (const NodeId s : g.successors(v)) {
+      if (--unscheduled_preds[s] == 0) {
+        ready.push_back(s);
+      }
+    }
+  }
+  result.success = schedule.complete() && !missed;
+  return result;
+}
+
+namespace {
+
+/// Maximum lateness of a complete schedule — the annealing energy.
+double energy_of(const SchedulerResult& result,
+                 const DeadlineAssignment& assignment) {
+  double worst = -std::numeric_limits<double>::infinity();
+  for (NodeId v = 0; v < assignment.windows.size(); ++v) {
+    worst = std::max(worst, result.schedule.entry(v).finish -
+                                assignment.windows[v].deadline);
+  }
+  return worst;
+}
+
+}  // namespace
+
+AnnealingResult anneal_schedule(const Application& app,
+                                const DeadlineAssignment& assignment,
+                                const Platform& platform,
+                                const AnnealingOptions& options) {
+  const std::size_t n = app.task_count();
+  const std::size_t m = platform.processor_count();
+  DSSLICE_REQUIRE(options.iterations >= 1, "need at least one iteration");
+  DSSLICE_REQUIRE(options.cooling > 0.0 && options.cooling < 1.0,
+                  "cooling factor must be in (0, 1)");
+  DSSLICE_REQUIRE(options.initial_temperature > 0.0,
+                  "initial temperature must be positive");
+
+  // Seed mapping: the greedy EDF list schedule in lateness mode (always
+  // complete), which also seeds the incumbent energy.
+  SchedulerOptions greedy_options;
+  greedy_options.abort_on_miss = false;
+  const SchedulerResult greedy =
+      EdfListScheduler(greedy_options).run(app, assignment, platform);
+  DSSLICE_REQUIRE(greedy.schedule.complete(),
+                  "greedy seed schedule failed: " + greedy.failure_reason);
+
+  std::vector<ProcessorId> current(n);
+  for (NodeId v = 0; v < n; ++v) {
+    current[v] = greedy.schedule.entry(v).processor;
+  }
+
+  AnnealingResult best(n, m);
+  best.mapping = current;
+  best.result = schedule_with_fixed_mapping(app, assignment, platform,
+                                            current);
+  best.energy = energy_of(best.result, assignment);
+
+  double current_energy = best.energy;
+  double temperature = options.initial_temperature;
+  Xoshiro256 rng(options.seed);
+
+  for (std::size_t it = 0; it < options.iterations; ++it) {
+    // Neighbour: move one random task to another eligible processor.
+    const auto v = static_cast<NodeId>(
+        rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    std::vector<ProcessorId> candidates;
+    for (ProcessorId p = 0; p < m; ++p) {
+      if (p != current[v] && app.task(v).eligible(platform.class_of(p))) {
+        candidates.push_back(p);
+      }
+    }
+    if (candidates.empty()) {
+      temperature *= options.cooling;
+      continue;  // task is pinned by eligibility
+    }
+    const ProcessorId target = candidates[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(candidates.size()) - 1))];
+
+    std::vector<ProcessorId> neighbour = current;
+    neighbour[v] = target;
+    const SchedulerResult trial =
+        schedule_with_fixed_mapping(app, assignment, platform, neighbour);
+    const double trial_energy = energy_of(trial, assignment);
+
+    const double delta = trial_energy - current_energy;
+    const bool accept =
+        delta < 0.0 || rng.next_double() < std::exp(-delta / temperature);
+    if (accept) {
+      current = std::move(neighbour);
+      current_energy = trial_energy;
+      if (trial_energy < best.energy) {
+        best.energy = trial_energy;
+        best.mapping = current;
+        best.result = trial;
+        ++best.improvements;
+      }
+    }
+    temperature *= options.cooling;
+  }
+  return best;
+}
+
+}  // namespace dsslice

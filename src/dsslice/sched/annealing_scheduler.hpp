@@ -1,0 +1,65 @@
+// Simulated-annealing schedule optimization.
+//
+// The paper's related work applies simulated annealing to real-time
+// scheduling and jitter control (Di Natale & Stankovic [15]), and §7.3
+// calls for evaluating the slicing metrics under other assignment/
+// scheduling policies. This module optimizes the task→processor *mapping*:
+// given a fixed mapping, tasks are sequenced EDF within their windows
+// (schedule_with_fixed_mapping); annealing then walks the mapping space —
+// moving one task to another eligible processor per step — accepting
+// regressions with the Metropolis rule under geometric cooling. The energy
+// is the schedule's maximum lateness, so the search keeps pushing even
+// after feasibility is reached (more margin = more robustness).
+//
+// Deterministic: all randomness comes from the seeded xoshiro stream in
+// the options.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dsslice/model/application.hpp"
+#include "dsslice/model/platform.hpp"
+#include "dsslice/model/task.hpp"
+#include "dsslice/sched/edf_list_scheduler.hpp"
+
+namespace dsslice {
+
+/// List-schedules the application with every task pinned to the given
+/// processor (strict locality): EDF order, append placement, honouring
+/// windows and communication. Tasks must be eligible on their mapped
+/// processor's class. Runs in lateness mode (never aborts).
+SchedulerResult schedule_with_fixed_mapping(
+    const Application& app, const DeadlineAssignment& assignment,
+    const Platform& platform, const std::vector<ProcessorId>& mapping);
+
+struct AnnealingOptions {
+  std::size_t iterations = 2000;
+  double initial_temperature = 20.0;
+  /// Geometric cooling factor per iteration.
+  double cooling = 0.9975;
+  std::uint64_t seed = 0xA22EA1;
+};
+
+struct AnnealingResult {
+  /// Schedule of the best mapping found (lateness mode, always complete).
+  SchedulerResult result;
+  std::vector<ProcessorId> mapping;
+  /// Final energy = maximum lateness of the best schedule.
+  double energy = 0.0;
+  /// Number of strictly improving moves accepted.
+  std::size_t improvements = 0;
+
+  AnnealingResult(std::size_t tasks, std::size_t processors)
+      : result{Schedule(tasks, processors), false, std::nullopt, "", {}} {}
+};
+
+/// Anneals the task→processor mapping starting from the greedy EDF
+/// placement. The best-ever mapping is returned (the walk itself may end
+/// somewhere worse).
+AnnealingResult anneal_schedule(const Application& app,
+                                const DeadlineAssignment& assignment,
+                                const Platform& platform,
+                                const AnnealingOptions& options = {});
+
+}  // namespace dsslice

@@ -1,0 +1,225 @@
+#include "dsslice/sched/branch_and_bound.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "dsslice/core/wcet_estimate.hpp"
+#include "dsslice/graph/algorithms.hpp"
+#include "dsslice/util/check.hpp"
+
+namespace dsslice {
+
+std::string to_string(BnbStatus status) {
+  switch (status) {
+    case BnbStatus::kFeasible:
+      return "feasible";
+    case BnbStatus::kInfeasible:
+      return "infeasible";
+    case BnbStatus::kNodeLimit:
+      return "node-limit";
+  }
+  return "unknown";
+}
+
+namespace {
+
+struct SearchState {
+  const Application& app;
+  const DeadlineAssignment& assignment;
+  const Platform& platform;
+  const BnbOptions& options;
+
+  std::vector<double> min_wcet;          // fastest eligible class per task
+  std::vector<std::size_t> preds_left;   // unscheduled predecessor count
+  std::vector<bool> scheduled;
+  std::vector<Time> finish;
+  std::vector<ProcessorId> placed_on;
+  std::vector<Time> avail;               // per-processor available time
+  std::size_t remaining = 0;
+  std::size_t nodes = 0;
+  bool node_limit_hit = false;
+
+  SearchState(const Application& a, const DeadlineAssignment& da,
+              const Platform& p, const BnbOptions& o)
+      : app(a),
+        assignment(da),
+        platform(p),
+        options(o),
+        min_wcet(estimate_wcets(a, WcetEstimation::kMin)),
+        preds_left(a.task_count()),
+        scheduled(a.task_count(), false),
+        finish(a.task_count(), kTimeZero),
+        placed_on(a.task_count(), 0),
+        avail(p.processor_count(), kTimeZero),
+        remaining(a.task_count()) {
+    const TaskGraph& g = a.graph();
+    for (NodeId v = 0; v < a.task_count(); ++v) {
+      preds_left[v] = g.in_degree(v);
+    }
+  }
+
+  /// Optimistic feasibility bound: every unscheduled task must still be
+  /// able to finish by its deadline ignoring processor contention, using
+  /// its fastest class and the actual finish times of scheduled
+  /// predecessors (with zero message cost — a valid lower bound).
+  bool bound_ok() const {
+    const TaskGraph& g = app.graph();
+    std::vector<Time> lb_finish(app.task_count(), kTimeZero);
+    for (const NodeId v : topo_) {
+      if (scheduled[v]) {
+        lb_finish[v] = finish[v];
+        continue;
+      }
+      Time start = assignment.windows[v].arrival;
+      for (const NodeId u : g.predecessors(v)) {
+        start = std::max(start, lb_finish[u]);
+      }
+      lb_finish[v] = start + min_wcet[v];
+      if (lb_finish[v] > assignment.windows[v].deadline + 1e-9) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  std::vector<NodeId> topo_;
+
+  bool dfs(BnbResult& result) {
+    if (node_limit_hit) {
+      return false;
+    }
+    if (++nodes > options.max_nodes) {
+      node_limit_hit = true;
+      return false;
+    }
+    if (remaining == 0) {
+      // Commit the found schedule.
+      for (NodeId v = 0; v < app.task_count(); ++v) {
+        result.schedule.place(v, placed_on[v],
+                              finish[v] - actual_wcet(v), finish[v]);
+      }
+      return true;
+    }
+    if (!bound_ok()) {
+      return false;
+    }
+
+    // Ready tasks in EDF order (good first descent).
+    std::vector<NodeId> ready;
+    for (NodeId v = 0; v < app.task_count(); ++v) {
+      if (!scheduled[v] && preds_left[v] == 0) {
+        ready.push_back(v);
+      }
+    }
+    std::sort(ready.begin(), ready.end(), [&](NodeId a, NodeId b) {
+      const Time da = assignment.windows[a].deadline;
+      const Time db = assignment.windows[b].deadline;
+      return da != db ? da < db : a < b;
+    });
+
+    const TaskGraph& g = app.graph();
+    for (const NodeId v : ready) {
+      const Task& task = app.task(v);
+      // Distinct processor options: collapse symmetric processors.
+      struct Option {
+        ProcessorId proc;
+        Time start;
+        Time finishing;
+      };
+      std::vector<Option> options_list;
+      for (ProcessorId p = 0; p < platform.processor_count(); ++p) {
+        const ProcessorClassId e = platform.class_of(p);
+        if (!task.eligible(e)) {
+          continue;
+        }
+        Time bound = std::max(assignment.windows[v].arrival, avail[p]);
+        for (const NodeId u : g.predecessors(v)) {
+          const double items = g.message_items(u, v).value_or(0.0);
+          bound = std::max(bound, finish[u] + platform.comm_delay(
+                                                  placed_on[u], p, items));
+        }
+        const Time end = bound + task.wcet(e);
+        if (end > assignment.windows[v].deadline + 1e-9) {
+          continue;  // this placement misses — prune the branch
+        }
+        // Symmetry: identical (start, finish) options are interchangeable.
+        const bool duplicate = std::any_of(
+            options_list.begin(), options_list.end(), [&](const Option& o) {
+              return o.start == bound && o.finishing == end;
+            });
+        if (!duplicate) {
+          options_list.push_back(Option{p, bound, end});
+        }
+      }
+      std::sort(options_list.begin(), options_list.end(),
+                [](const Option& a, const Option& b) {
+                  return a.finishing != b.finishing
+                             ? a.finishing < b.finishing
+                             : a.proc < b.proc;
+                });
+      for (const Option& o : options_list) {
+        // Apply.
+        scheduled[v] = true;
+        finish[v] = o.finishing;
+        placed_on[v] = o.proc;
+        const Time saved_avail = avail[o.proc];
+        avail[o.proc] = o.finishing;
+        for (const NodeId s : g.successors(v)) {
+          --preds_left[s];
+        }
+        --remaining;
+
+        if (dfs(result)) {
+          return true;
+        }
+
+        // Undo.
+        scheduled[v] = false;
+        avail[o.proc] = saved_avail;
+        for (const NodeId s : g.successors(v)) {
+          ++preds_left[s];
+        }
+        ++remaining;
+        if (node_limit_hit) {
+          return false;
+        }
+      }
+    }
+    return false;
+  }
+
+  double actual_wcet(NodeId v) const {
+    return app.task(v).wcet(platform.class_of(placed_on[v]));
+  }
+};
+
+}  // namespace
+
+BnbResult branch_and_bound_schedule(const Application& app,
+                                    const DeadlineAssignment& assignment,
+                                    const Platform& platform,
+                                    const BnbOptions& options) {
+  DSSLICE_REQUIRE(assignment.windows.size() == app.task_count(),
+                  "assignment size mismatch");
+  DSSLICE_REQUIRE(options.max_nodes >= 1, "need a positive node budget");
+
+  BnbResult result(app.task_count(), platform.processor_count());
+  SearchState state(app, assignment, platform, options);
+  const auto topo = topological_order(app.graph());
+  DSSLICE_REQUIRE(topo.has_value(), "requires an acyclic task graph");
+  state.topo_ = *topo;
+
+  const bool found = state.dfs(result);
+  result.nodes_explored = state.nodes;
+  if (found) {
+    result.status = BnbStatus::kFeasible;
+  } else if (state.node_limit_hit) {
+    result.status = BnbStatus::kNodeLimit;
+  } else {
+    result.status = BnbStatus::kInfeasible;
+  }
+  return result;
+}
+
+}  // namespace dsslice

@@ -1,0 +1,64 @@
+// Exact feasibility search by branch-and-bound.
+//
+// The paper notes that optimal task assignment is NP-complete [11] and that
+// branch-and-bound strategies [3, 4] are the exact alternative to heuristic
+// list scheduling. This module implements that alternative for the
+// *scheduling* decision: given a deadline assignment, does ANY
+// non-preemptive schedule meet every window?
+//
+// Search space: at every node, branch over (ready task × distinct processor
+// option). Pruning:
+//  * a branch dies when the chosen placement misses the task's deadline;
+//  * a node dies when some unscheduled task cannot meet its deadline even
+//    with an optimistic bound (earliest start via predecessors only,
+//    fastest eligible class, zero contention);
+//  * processor symmetry: options with identical (class, available-time,
+//    data-ready-time) collapse to one branch.
+// Branch order is earliest-deadline-first with earliest-finish processor
+// preference, so the first descent replays the heuristic scheduler and the
+// search degenerates gracefully on easy instances.
+//
+// Intended for small instances (n ≲ 20) — the optimality-gap ablation and
+// tests; the node budget bounds the worst case.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "dsslice/model/application.hpp"
+#include "dsslice/model/platform.hpp"
+#include "dsslice/model/task.hpp"
+#include "dsslice/sched/schedule.hpp"
+
+namespace dsslice {
+
+enum class BnbStatus {
+  kFeasible,    ///< a feasible schedule was found (returned)
+  kInfeasible,  ///< the whole search space was exhausted — provably none
+  kNodeLimit,   ///< budget exhausted before a verdict
+};
+
+std::string to_string(BnbStatus status);
+
+struct BnbOptions {
+  /// Maximum search-tree nodes before giving up with kNodeLimit.
+  std::size_t max_nodes = 200000;
+};
+
+struct BnbResult {
+  BnbStatus status = BnbStatus::kNodeLimit;
+  /// Complete only when status == kFeasible.
+  Schedule schedule;
+  std::size_t nodes_explored = 0;
+
+  BnbResult(std::size_t tasks, std::size_t processors)
+      : schedule(tasks, processors) {}
+};
+
+/// Searches for any schedule meeting every execution window.
+BnbResult branch_and_bound_schedule(const Application& app,
+                                    const DeadlineAssignment& assignment,
+                                    const Platform& platform,
+                                    const BnbOptions& options = {});
+
+}  // namespace dsslice

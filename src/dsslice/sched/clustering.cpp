@@ -1,0 +1,223 @@
+#include "dsslice/sched/clustering.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "dsslice/util/check.hpp"
+
+namespace dsslice {
+
+std::size_t Clustering::size_of(std::size_t cluster) const {
+  return static_cast<std::size_t>(
+      std::count(cluster_of.begin(), cluster_of.end(), cluster));
+}
+
+namespace {
+
+/// Plain union-find with path compression.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  std::size_t size(std::size_t x) { return size_[find(x)]; }
+
+  void unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) {
+      return;
+    }
+    if (size_[a] < size_[b]) {
+      std::swap(a, b);
+    }
+    parent_[b] = a;
+    size_[a] += size_[b];
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> size_;
+};
+
+}  // namespace
+
+Clustering cluster_by_communication(const Application& app,
+                                    double message_threshold,
+                                    std::size_t max_cluster_size) {
+  DSSLICE_REQUIRE(max_cluster_size >= 1, "cluster size cap must be >= 1");
+  const std::size_t n = app.task_count();
+  UnionFind uf(n);
+
+  // Heaviest messages first so the size cap spends its budget on the arcs
+  // that matter most.
+  std::vector<Arc> arcs = app.graph().arcs();
+  std::sort(arcs.begin(), arcs.end(), [](const Arc& a, const Arc& b) {
+    if (a.message_items != b.message_items) {
+      return a.message_items > b.message_items;
+    }
+    return a.from != b.from ? a.from < b.from : a.to < b.to;
+  });
+  for (const Arc& arc : arcs) {
+    if (arc.message_items < message_threshold) {
+      continue;
+    }
+    if (uf.find(arc.from) == uf.find(arc.to)) {
+      continue;
+    }
+    if (uf.size(arc.from) + uf.size(arc.to) > max_cluster_size) {
+      continue;
+    }
+    uf.unite(arc.from, arc.to);
+  }
+
+  Clustering clustering;
+  clustering.cluster_of.resize(n);
+  std::vector<std::size_t> dense(n, SIZE_MAX);
+  for (NodeId v = 0; v < n; ++v) {
+    const std::size_t root = uf.find(v);
+    if (dense[root] == SIZE_MAX) {
+      dense[root] = clustering.cluster_count++;
+    }
+    clustering.cluster_of[v] = dense[root];
+  }
+  return clustering;
+}
+
+ClusteredScheduler::ClusteredScheduler(Clustering clustering,
+                                       bool abort_on_miss)
+    : clustering_(std::move(clustering)), abort_on_miss_(abort_on_miss) {}
+
+SchedulerResult ClusteredScheduler::run(const Application& app,
+                                        const DeadlineAssignment& assignment,
+                                        const Platform& platform) const {
+  const TaskGraph& g = app.graph();
+  const std::size_t n = g.node_count();
+  const std::size_t m = platform.processor_count();
+  DSSLICE_REQUIRE(assignment.windows.size() == n, "assignment size mismatch");
+  DSSLICE_REQUIRE(clustering_.cluster_of.size() == n,
+                  "clustering size mismatch");
+
+  SchedulerResult result{Schedule(n, m), false, std::nullopt, "", {}};
+  Schedule& schedule = result.schedule;
+
+  constexpr ProcessorId kUnpinned = static_cast<ProcessorId>(-1);
+  std::vector<ProcessorId> cluster_proc(clustering_.cluster_count, kUnpinned);
+
+  // A cluster may only be pinned to a processor whose class every member is
+  // eligible on.
+  const auto cluster_eligible = [&](std::size_t cluster, ProcessorId p) {
+    const ProcessorClassId e = platform.class_of(p);
+    for (NodeId v = 0; v < n; ++v) {
+      if (clustering_.cluster_of[v] == cluster && !app.task(v).eligible(e)) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  std::vector<std::size_t> unscheduled_preds(n);
+  std::vector<NodeId> ready;
+  for (NodeId v = 0; v < n; ++v) {
+    unscheduled_preds[v] = g.in_degree(v);
+    if (unscheduled_preds[v] == 0) {
+      ready.push_back(v);
+    }
+  }
+
+  const auto fail = [&](NodeId v, std::string reason) {
+    result.success = false;
+    result.failed_task = v;
+    result.failure_reason = std::move(reason);
+    return result;
+  };
+
+  bool missed = false;
+  while (!ready.empty()) {
+    std::size_t pick = 0;
+    for (std::size_t k = 1; k < ready.size(); ++k) {
+      const Window& a = assignment.windows[ready[k]];
+      const Window& b = assignment.windows[ready[pick]];
+      if (a.deadline < b.deadline ||
+          (a.deadline == b.deadline &&
+           (a.arrival < b.arrival ||
+            (a.arrival == b.arrival && ready[k] < ready[pick])))) {
+        pick = k;
+      }
+    }
+    const NodeId v = ready[pick];
+    ready[pick] = ready.back();
+    ready.pop_back();
+
+    const std::size_t cluster = clustering_.cluster_of[v];
+    const Window& window = assignment.windows[v];
+
+    const auto start_on = [&](ProcessorId p) {
+      Time bound = std::max(window.arrival, schedule.processor_available(p));
+      for (const NodeId u : g.predecessors(v)) {
+        const ScheduledTask& pe = schedule.entry(u);
+        const double items = g.message_items(u, v).value_or(0.0);
+        bound = std::max(bound, pe.finish + platform.comm_delay(
+                                                pe.processor, p, items));
+      }
+      return bound;
+    };
+
+    ProcessorId chosen = kUnpinned;
+    if (cluster_proc[cluster] != kUnpinned) {
+      chosen = cluster_proc[cluster];
+    } else {
+      Time best_start = kTimeInfinity;
+      for (ProcessorId p = 0; p < m; ++p) {
+        if (!cluster_eligible(cluster, p)) {
+          continue;
+        }
+        const Time start = start_on(p);
+        if (start < best_start) {
+          best_start = start;
+          chosen = p;
+        }
+      }
+      if (chosen == kUnpinned) {
+        return fail(v, "cluster of task " + app.task(v).name +
+                           " has no commonly eligible processor");
+      }
+      cluster_proc[cluster] = chosen;
+    }
+
+    const Time start = start_on(chosen);
+    const Time finish =
+        start + app.task(v).wcet(platform.class_of(chosen));
+    if (finish > window.deadline) {
+      missed = true;
+      if (abort_on_miss_) {
+        return fail(v, "task " + app.task(v).name +
+                           " misses its deadline under clustering");
+      }
+      if (!result.failed_task.has_value()) {
+        result.failed_task = v;
+        result.failure_reason =
+            "task " + app.task(v).name + " missed its deadline";
+      }
+    }
+    schedule.place(v, chosen, start, finish);
+    for (const NodeId s : g.successors(v)) {
+      if (--unscheduled_preds[s] == 0) {
+        ready.push_back(s);
+      }
+    }
+  }
+  result.success = schedule.complete() && !missed;
+  return result;
+}
+
+}  // namespace dsslice

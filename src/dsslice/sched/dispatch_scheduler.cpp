@@ -1,0 +1,223 @@
+#include "dsslice/sched/dispatch_scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "dsslice/util/check.hpp"
+
+namespace dsslice {
+
+std::string to_string(SchedulerAlgorithm algorithm) {
+  switch (algorithm) {
+    case SchedulerAlgorithm::kListEdf:
+      return "list-edf";
+    case SchedulerAlgorithm::kDispatchEdf:
+      return "dispatch-edf";
+    case SchedulerAlgorithm::kPreemptiveEdf:
+      return "preemptive-edf";
+  }
+  return "unknown";
+}
+
+EdfDispatchScheduler::EdfDispatchScheduler(DispatchOptions options)
+    : options_(options) {}
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+/// Per-task dispatch state.
+struct TaskState {
+  std::size_t preds_left = 0;
+  bool started = false;
+  bool done = false;
+  Time finish = kTimeZero;
+  ProcessorId processor = 0;
+};
+
+}  // namespace
+
+SchedulerResult EdfDispatchScheduler::run(const Application& app,
+                                          const DeadlineAssignment& assignment,
+                                          const Platform& platform) const {
+  const TaskGraph& g = app.graph();
+  const std::size_t n = g.node_count();
+  const std::size_t m = platform.processor_count();
+  DSSLICE_REQUIRE(assignment.windows.size() == n, "assignment size mismatch");
+
+  SchedulerResult result{Schedule(n, m), false, std::nullopt, ""};
+  std::vector<TaskState> state(n);
+  std::vector<Time> busy_until(m, kTimeZero);
+  std::size_t remaining = n;
+  for (NodeId v = 0; v < n; ++v) {
+    state[v].preds_left = g.in_degree(v);
+  }
+
+  const auto fail = [&](NodeId v, std::string reason) {
+    result.success = false;
+    result.failed_task = v;
+    result.failure_reason = std::move(reason);
+    return result;
+  };
+
+  // Earliest time the data of ready task v is available on processor p.
+  const auto data_ready = [&](NodeId v, ProcessorId p) {
+    Time ready = kTimeZero;
+    for (const NodeId u : g.predecessors(v)) {
+      const double items = g.message_items(u, v).value_or(0.0);
+      ready = std::max(ready,
+                       state[u].finish + platform.comm_delay(
+                                             state[u].processor, p, items));
+    }
+    return ready;
+  };
+
+  bool missed = false;
+  Time now = kTimeZero;
+  std::size_t guard = 0;
+  while (remaining > 0) {
+    // Each iteration advances to a strictly later event; the event set is
+    // bounded by n completions + n arrivals + n·m data-ready instants.
+    DSSLICE_CHECK(++guard <= n * (m + 4) + 16, "dispatch failed to converge");
+
+    // Complete tasks whose finish time has been reached.
+    for (NodeId v = 0; v < n; ++v) {
+      if (state[v].started && !state[v].done &&
+          state[v].finish <= now + kEps) {
+        state[v].done = true;
+        --remaining;
+        if (state[v].finish > assignment.windows[v].deadline + kEps) {
+          missed = true;
+          if (options_.abort_on_miss) {
+            return fail(v, "task " + app.task(v).name +
+                               " misses its deadline at dispatch time");
+          }
+          if (!result.failed_task.has_value()) {
+            result.failed_task = v;
+            result.failure_reason =
+                "task " + app.task(v).name + " missed its deadline";
+          }
+        }
+        for (const NodeId s : g.successors(v)) {
+          --state[s].preds_left;
+        }
+      }
+    }
+    if (remaining == 0) {
+      break;
+    }
+
+    // Dispatch loop at the current instant: repeatedly hand the
+    // closest-deadline dispatchable task to a processor until nothing more
+    // can start at `now`.
+    for (;;) {
+      NodeId best = static_cast<NodeId>(n);
+      ProcessorId best_proc = 0;
+      double best_wcet = 0.0;
+      Time best_deadline = kTimeInfinity;
+      for (NodeId v = 0; v < n; ++v) {
+        const TaskState& ts = state[v];
+        if (ts.started || ts.preds_left != 0 ||
+            assignment.windows[v].arrival > now + kEps) {
+          continue;
+        }
+        const Time deadline = assignment.windows[v].deadline;
+        if (best < n && deadline > best_deadline + kEps) {
+          continue;  // cannot beat the current best
+        }
+        // Idle, eligible processor with data present; prefer the fastest
+        // class, then the lowest id (deterministic).
+        ProcessorId chosen = 0;
+        double chosen_wcet = 0.0;
+        bool found = false;
+        for (ProcessorId p = 0; p < m; ++p) {
+          if (busy_until[p] > now + kEps) {
+            continue;
+          }
+          const Task& task = app.task(v);
+          if (!task.eligible(platform.class_of(p))) {
+            continue;
+          }
+          if (data_ready(v, p) > now + kEps) {
+            continue;
+          }
+          const double c = task.wcet(platform.class_of(p));
+          if (!found || c < chosen_wcet) {
+            found = true;
+            chosen = p;
+            chosen_wcet = c;
+          }
+        }
+        if (!found) {
+          continue;
+        }
+        const bool wins =
+            best == n || deadline < best_deadline - kEps ||
+            (std::abs(deadline - best_deadline) <= kEps && v < best);
+        if (wins) {
+          best = v;
+          best_proc = chosen;
+          best_wcet = chosen_wcet;
+          best_deadline = deadline;
+        }
+      }
+      if (best >= n) {
+        break;  // nothing dispatchable right now
+      }
+      state[best].started = true;
+      state[best].processor = best_proc;
+      state[best].finish = now + best_wcet;
+      busy_until[best_proc] = state[best].finish;
+      result.schedule.place(best, best_proc, now, state[best].finish);
+    }
+
+    // Advance to the next event: a completion, a slice arrival of a ready
+    // task, or a data arrival on some eligible processor.
+    Time next = kTimeInfinity;
+    for (ProcessorId p = 0; p < m; ++p) {
+      if (busy_until[p] > now + kEps) {
+        next = std::min(next, busy_until[p]);
+      }
+    }
+    for (NodeId v = 0; v < n; ++v) {
+      const TaskState& ts = state[v];
+      if (ts.started || ts.preds_left != 0) {
+        continue;
+      }
+      const Time arrival = assignment.windows[v].arrival;
+      if (arrival > now + kEps) {
+        next = std::min(next, arrival);
+        continue;
+      }
+      const Task& task = app.task(v);
+      bool any_eligible = false;
+      for (ProcessorId p = 0; p < m; ++p) {
+        if (!task.eligible(platform.class_of(p))) {
+          continue;
+        }
+        any_eligible = true;
+        const Time ready = data_ready(v, p);
+        if (ready > now + kEps) {
+          next = std::min(next, ready);
+        }
+      }
+      if (!any_eligible) {
+        return fail(v, "task " + task.name +
+                           " has no eligible processor on this platform");
+      }
+    }
+    if (next >= kTimeInfinity) {
+      // All ready tasks are waiting only for busy processors that never
+      // free up — impossible in a finite simulation unless the graph is
+      // cyclic, which Application::validate rejects.
+      return fail(0, "dispatch deadlocked: task graph has a cycle");
+    }
+    now = next;
+  }
+
+  result.success = !missed && result.schedule.complete();
+  return result;
+}
+
+}  // namespace dsslice

@@ -1,0 +1,60 @@
+// Time-marching, work-conserving EDF dispatcher.
+//
+// The EdfListScheduler (§5.4 baseline) *constructs* a schedule: it may
+// reserve a future start for a task even while a processor sits idle. An
+// on-line time-driven system cannot do that — at every instant, each idle
+// processor takes the ready task with the closest absolute deadline, or
+// idles only when no task is dispatchable. This myopic policy is what a
+// run-time dispatcher actually executes, and it is more fragile: a loose
+// task can seize a processor one instant before a critical task arrives
+// (non-preemptive blocking / priority inversion), which is exactly the
+// failure mode the paper's slicing windows are designed to bound (I1/I2).
+//
+// A task is *dispatchable* on processor p at time t iff all its
+// predecessors completed, every message reached p (f_u + comm delay ≤ t),
+// its slice arrival has passed (a_i ≤ t), and p is idle and of an eligible
+// class. Simulation advances over completion / arrival / data-arrival
+// events; within an instant, assignments are made in EDF order with
+// deterministic tie-breaking.
+#pragma once
+
+#include "dsslice/model/application.hpp"
+#include "dsslice/model/platform.hpp"
+#include "dsslice/model/task.hpp"
+#include "dsslice/sched/edf_list_scheduler.hpp"
+
+namespace dsslice {
+
+struct DispatchOptions {
+  /// Abort at the first deadline miss (success-ratio experiments) or run
+  /// the dispatch to completion and report lateness.
+  bool abort_on_miss = true;
+};
+
+class EdfDispatchScheduler {
+ public:
+  explicit EdfDispatchScheduler(DispatchOptions options = {});
+
+  /// Simulates the on-line dispatch of the application under the given
+  /// deadline assignment. Shares SchedulerResult with the constructive
+  /// schedulers so validators and experiments treat both uniformly.
+  SchedulerResult run(const Application& app,
+                      const DeadlineAssignment& assignment,
+                      const Platform& platform) const;
+
+  const DispatchOptions& options() const { return options_; }
+
+ private:
+  DispatchOptions options_;
+};
+
+/// Which scheduling engine an experiment uses.
+enum class SchedulerAlgorithm {
+  kListEdf,        ///< constructive list scheduler (paper §5.4 baseline)
+  kDispatchEdf,    ///< on-line time-marching dispatcher (this header)
+  kPreemptiveEdf,  ///< preemptive EDF simulator (preemptive_scheduler.hpp)
+};
+
+std::string to_string(SchedulerAlgorithm algorithm);
+
+}  // namespace dsslice

@@ -1,0 +1,213 @@
+#include "dsslice/sched/edf_list_scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "dsslice/sched/insertion_scheduler.hpp"
+#include "dsslice/util/check.hpp"
+
+namespace dsslice {
+
+std::string to_string(PlacementPolicy policy) {
+  switch (policy) {
+    case PlacementPolicy::kAppend:
+      return "append";
+    case PlacementPolicy::kInsertion:
+      return "insertion";
+  }
+  return "unknown";
+}
+
+EdfListScheduler::EdfListScheduler(SchedulerOptions options)
+    : options_(options) {}
+
+SchedulerResult EdfListScheduler::run(const Application& app,
+                                      const DeadlineAssignment& assignment,
+                                      const Platform& platform,
+                                      const ResourceModel* resources) const {
+  DSSLICE_REQUIRE(resources == nullptr ||
+                      options_.placement == PlacementPolicy::kAppend,
+                  "resource constraints require append placement");
+  DSSLICE_REQUIRE(resources == nullptr ||
+                      resources->task_count() == app.task_count(),
+                  "resource model size mismatch");
+  const TaskGraph& g = app.graph();
+  const std::size_t n = g.node_count();
+  const std::size_t m = platform.processor_count();
+  DSSLICE_REQUIRE(assignment.windows.size() == n,
+                  "assignment size mismatch");
+
+  SchedulerResult result{Schedule(n, m), false, std::nullopt, "", {}};
+  Schedule& schedule = result.schedule;
+
+  std::vector<ProcessorTimeline> timelines(
+      options_.placement == PlacementPolicy::kInsertion ? m : 0);
+
+  // Shared-resource availability (exclusive, held for the whole execution).
+  std::vector<Time> resource_available(
+      resources != nullptr ? resources->resource_count() : 0, kTimeZero);
+
+  // Bus-contention simulation state (see SchedulerOptions).
+  const SharedBus* bus_model = nullptr;
+  ProcessorTimeline bus;
+  if (options_.simulate_bus_contention) {
+    bus_model = dynamic_cast<const SharedBus*>(&platform.network());
+    DSSLICE_REQUIRE(bus_model != nullptr,
+                    "bus-contention simulation requires a SharedBus network");
+  }
+
+  // Ready bookkeeping: a task becomes ready once all predecessors are
+  // scheduled (their finish times — and thus message departure times — are
+  // known).
+  std::vector<std::size_t> unscheduled_preds(n);
+  std::vector<NodeId> ready;
+  for (NodeId v = 0; v < n; ++v) {
+    unscheduled_preds[v] = g.in_degree(v);
+    if (unscheduled_preds[v] == 0) {
+      ready.push_back(v);
+    }
+  }
+
+  const auto fail = [&](NodeId v, std::string reason) {
+    result.success = false;
+    result.failed_task = v;
+    result.failure_reason = std::move(reason);
+    return result;
+  };
+
+  bool missed = false;
+  while (!ready.empty()) {
+    // EDF selection: closest absolute deadline; ties by earlier arrival,
+    // then lower id for determinism.
+    std::size_t pick = 0;
+    for (std::size_t k = 1; k < ready.size(); ++k) {
+      const Window& a = assignment.windows[ready[k]];
+      const Window& b = assignment.windows[ready[pick]];
+      if (a.deadline < b.deadline ||
+          (a.deadline == b.deadline &&
+           (a.arrival < b.arrival ||
+            (a.arrival == b.arrival && ready[k] < ready[pick])))) {
+        pick = k;
+      }
+    }
+    const NodeId v = ready[pick];
+    ready[pick] = ready.back();
+    ready.pop_back();
+
+    const Task& task = app.task(v);
+    const Window& window = assignment.windows[v];
+
+    // Evaluate every eligible processor; keep the earliest start (ties by
+    // earliest finish, then processor id — §5.4).
+    ProcessorId best_proc = 0;
+    Time best_start = kTimeInfinity;
+    Time best_finish = kTimeInfinity;
+    std::vector<BusTransfer> best_transfers;
+    bool found = false;
+    for (ProcessorId p = 0; p < m; ++p) {
+      const ProcessorClassId e = platform.class_of(p);
+      if (!task.eligible(e)) {
+        continue;
+      }
+      const double c = task.wcet(e);
+      // Arrival constraint plus predecessor data availability. In bus-
+      // contention mode every cross-processor message reserves a serialized
+      // bus slot (tentatively, on a copy of the bus timeline).
+      Time bound = window.arrival;
+      if (resources != nullptr) {
+        for (const ResourceId r : resources->resources_of(v)) {
+          bound = std::max(bound, resource_available[r]);
+        }
+      }
+      std::vector<BusTransfer> transfers;
+      if (bus_model != nullptr) {
+        ProcessorTimeline trial = bus;
+        for (const NodeId u : g.predecessors(v)) {
+          const ScheduledTask& pe = schedule.entry(u);
+          const double items = g.message_items(u, v).value_or(0.0);
+          if (pe.processor == p || items <= 0.0) {
+            bound = std::max(bound, pe.finish);
+            continue;
+          }
+          const Time duration = items * bus_model->per_item_delay();
+          const Time slot = trial.earliest_fit(pe.finish, duration);
+          trial.occupy(slot, duration);
+          transfers.push_back(BusTransfer{u, v, slot, slot + duration});
+          bound = std::max(bound, slot + duration);
+        }
+      } else {
+        for (const NodeId u : g.predecessors(v)) {
+          const ScheduledTask& pe = schedule.entry(u);
+          const double items = g.message_items(u, v).value_or(0.0);
+          bound = std::max(bound,
+                           pe.finish + platform.comm_delay(pe.processor, p,
+                                                           items));
+        }
+      }
+      Time start;
+      if (options_.placement == PlacementPolicy::kInsertion) {
+        start = timelines[p].earliest_fit(bound, c);
+      } else {
+        start = std::max(bound, schedule.processor_available(p));
+      }
+      const Time finish = start + c;
+      if (!found || start < best_start ||
+          (start == best_start &&
+           (finish < best_finish ||
+            (finish == best_finish && p < best_proc)))) {
+        found = true;
+        best_proc = p;
+        best_start = start;
+        best_finish = finish;
+        best_transfers = std::move(transfers);
+      }
+    }
+
+    if (!found) {
+      return fail(v, "task " + task.name +
+                         " has no eligible processor on this platform");
+    }
+
+    if (best_finish > window.deadline) {
+      missed = true;
+      if (options_.abort_on_miss) {
+        return fail(v, "task " + task.name + " misses its deadline (finish " +
+                           std::to_string(best_finish) + " > D " +
+                           std::to_string(window.deadline) + ")");
+      }
+      if (!result.failed_task.has_value()) {
+        result.failed_task = v;
+        result.failure_reason = "task " + task.name + " missed its deadline";
+      }
+    }
+
+    schedule.place(v, best_proc, best_start, best_finish);
+    if (resources != nullptr) {
+      for (const ResourceId r : resources->resources_of(v)) {
+        resource_available[r] = best_finish;
+      }
+    }
+    if (options_.placement == PlacementPolicy::kInsertion) {
+      timelines[best_proc].occupy(best_start, best_finish - best_start);
+    }
+    for (const BusTransfer& t : best_transfers) {
+      bus.occupy(t.start, t.finish - t.start);
+      result.bus_transfers.push_back(t);
+    }
+    for (const NodeId s : g.successors(v)) {
+      if (--unscheduled_preds[s] == 0) {
+        ready.push_back(s);
+      }
+    }
+  }
+
+  if (!schedule.complete()) {
+    // Only possible for cyclic graphs, which Application::validate rejects.
+    return fail(0, "schedule incomplete: task graph has a cycle");
+  }
+  result.success = !missed;
+  return result;
+}
+
+}  // namespace dsslice

@@ -1,0 +1,45 @@
+#include "dsslice/sched/insertion_scheduler.hpp"
+
+#include <algorithm>
+
+#include "dsslice/util/check.hpp"
+
+namespace dsslice {
+
+Time ProcessorTimeline::earliest_fit(Time earliest_bound,
+                                     Time duration) const {
+  DSSLICE_REQUIRE(duration >= 0.0, "negative duration");
+  Time candidate = earliest_bound;
+  for (const Interval& iv : busy_) {
+    if (iv.finish <= candidate) {
+      continue;  // interval entirely before the candidate slot
+    }
+    if (iv.start >= candidate + duration) {
+      return candidate;  // the gap before iv fits
+    }
+    candidate = std::max(candidate, iv.finish);
+  }
+  return candidate;  // after the last interval
+}
+
+void ProcessorTimeline::occupy(Time start, Time duration) {
+  DSSLICE_REQUIRE(duration >= 0.0, "negative duration");
+  const Interval iv{start, start + duration};
+  const auto pos = std::lower_bound(
+      busy_.begin(), busy_.end(), iv,
+      [](const Interval& a, const Interval& b) { return a.start < b.start; });
+  if (pos != busy_.begin()) {
+    DSSLICE_CHECK(std::prev(pos)->finish <= iv.start,
+                  "overlapping busy interval");
+  }
+  if (pos != busy_.end()) {
+    DSSLICE_CHECK(iv.finish <= pos->start, "overlapping busy interval");
+  }
+  busy_.insert(pos, iv);
+}
+
+Time ProcessorTimeline::last_finish() const {
+  return busy_.empty() ? kTimeZero : busy_.back().finish;
+}
+
+}  // namespace dsslice

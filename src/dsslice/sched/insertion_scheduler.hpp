@@ -1,0 +1,40 @@
+// Per-processor busy-interval timeline supporting insertion-based placement.
+//
+// The paper's baseline list scheduler appends tasks after the processor's
+// last finish time. The insertion variant (§7.3 "other scheduling policies")
+// may also place a task into an earlier idle gap, which can only improve the
+// start time. ProcessorTimeline keeps the busy intervals sorted and answers
+// "earliest start ≥ bound that fits a duration" queries in O(intervals).
+#pragma once
+
+#include <vector>
+
+#include "dsslice/model/time.hpp"
+
+namespace dsslice {
+
+class ProcessorTimeline {
+ public:
+  /// Earliest start s ≥ earliest_bound such that [s, s + duration) does not
+  /// intersect any busy interval.
+  Time earliest_fit(Time earliest_bound, Time duration) const;
+
+  /// Marks [start, start + duration) busy. The interval must not overlap
+  /// existing ones (callers must use earliest_fit-derived starts).
+  void occupy(Time start, Time duration);
+
+  /// Latest busy finish time (kTimeZero when idle).
+  Time last_finish() const;
+
+  std::size_t interval_count() const { return busy_.size(); }
+
+ private:
+  struct Interval {
+    Time start;
+    Time finish;
+  };
+  // Sorted by start; non-overlapping.
+  std::vector<Interval> busy_;
+};
+
+}  // namespace dsslice

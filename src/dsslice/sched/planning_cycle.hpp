@@ -1,0 +1,57 @@
+// Planning-cycle analysis for periodic task sets (§3.3).
+//
+// A periodic task set repeats after its planning cycle: with identical
+// arrival times the cycle is [0, L) with L = lcm{T_i}; with arbitrary
+// arrivals it is [0, a + 2L) with a = max arrival. Scheduling the planning
+// cycle once suffices — expand_planning_cycle unrolls each periodic task
+// into its invocations within the cycle (invocation k arrives at
+// φ_i + T_i(k−1)) producing an ordinary single-shot application the slicing
+// and scheduling pipeline handles unchanged.
+//
+// Precedence between periodic tasks is invocation-wise (τ_i^k ≺ τ_j^k),
+// which requires equal periods along every arc; multi-rate chains must be
+// independent components. Aperiodic (period 0) tasks are treated as a
+// single invocation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dsslice/model/application.hpp"
+#include "dsslice/model/time.hpp"
+
+namespace dsslice {
+
+struct PlanningCycle {
+  /// Cycle length L (or a + 2L for staggered arrivals).
+  Time length = 0.0;
+  /// lcm of the periods alone (L above may add the arrival span).
+  Time hyperperiod = 0.0;
+  /// Maximum input arrival a.
+  Time max_arrival = 0.0;
+};
+
+/// Computes the planning cycle. Periods must be positive integers for the
+/// lcm to exist; an application with no periodic task yields length 0.
+PlanningCycle compute_planning_cycle(const Application& app);
+
+/// Mapping of an expanded (unrolled) task back to its source.
+struct ExpandedTask {
+  NodeId source = 0;
+  std::size_t invocation = 0;  ///< 0-based k−1
+};
+
+struct ExpandedApplication {
+  Application app;
+  std::vector<ExpandedTask> origin;  ///< indexed by expanded NodeId
+  PlanningCycle cycle;
+};
+
+/// Unrolls all invocations within one planning cycle. Requirements:
+///  * arcs connect tasks of equal period (invocation-wise precedence);
+///  * for every periodic output task, D_ete − arrival ≤ T (the model's
+///    d_i ≤ T_i constraint — otherwise invocation windows would overlap).
+/// Throws ConfigError when violated.
+ExpandedApplication expand_planning_cycle(const Application& app);
+
+}  // namespace dsslice

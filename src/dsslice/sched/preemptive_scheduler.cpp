@@ -1,0 +1,321 @@
+#include "dsslice/sched/preemptive_scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "dsslice/util/check.hpp"
+#include "dsslice/util/string_util.hpp"
+
+namespace dsslice {
+
+PreemptiveEdfScheduler::PreemptiveEdfScheduler(PreemptiveOptions options)
+    : options_(options) {}
+
+namespace {
+
+constexpr double kEps = 1e-9;
+constexpr ProcessorId kUnbound = static_cast<ProcessorId>(-1);
+
+struct TaskRun {
+  bool released = false;
+  bool completed = false;
+  Time release = kTimeZero;
+  double remaining = 0.0;
+  ProcessorId processor = kUnbound;
+  std::size_t preds_left = 0;
+};
+
+}  // namespace
+
+PreemptiveResult PreemptiveEdfScheduler::run(
+    const Application& app, const DeadlineAssignment& assignment,
+    const Platform& platform) const {
+  const TaskGraph& g = app.graph();
+  const std::size_t n = g.node_count();
+  const std::size_t m = platform.processor_count();
+  DSSLICE_REQUIRE(assignment.windows.size() == n, "assignment size mismatch");
+
+  PreemptiveResult result;
+  result.completion.assign(n, kTimeZero);
+  result.processor_of.assign(n, kUnbound);
+
+  std::vector<TaskRun> run(n);
+  // Per-processor state: currently running task (or n), its dispatch time,
+  // queue of released-but-not-running bound tasks, and total bound backlog.
+  std::vector<NodeId> running(m, static_cast<NodeId>(n));
+  std::vector<Time> dispatched_at(m, kTimeZero);
+  std::vector<std::vector<NodeId>> ready(m);
+  std::vector<double> backlog(m, 0.0);
+
+  const auto fail = [&](NodeId v, std::string reason) {
+    result.success = false;
+    result.failed_task = v;
+    result.failure_reason = std::move(reason);
+    return result;
+  };
+
+  // Binds a task whose predecessors are all complete: choose the eligible
+  // processor minimizing (data-ready time, backlog, id) and queue its
+  // release.
+  std::vector<std::pair<Time, NodeId>> release_queue;  // unsorted; scanned
+  std::size_t incomplete = n;
+  bool binding_failed = false;
+  NodeId binding_failed_task = 0;
+  const auto bind_task = [&](NodeId v) {
+    const Task& task = app.task(v);
+    Time best_release = kTimeInfinity;
+    double best_backlog = 0.0;
+    ProcessorId best = kUnbound;
+    for (ProcessorId p = 0; p < m; ++p) {
+      if (!task.eligible(platform.class_of(p))) {
+        continue;
+      }
+      Time rel = assignment.windows[v].arrival;
+      for (const NodeId u : g.predecessors(v)) {
+        const double items = g.message_items(u, v).value_or(0.0);
+        rel = std::max(rel, result.completion[u] +
+                                platform.comm_delay(run[u].processor, p,
+                                                    items));
+      }
+      if (best == kUnbound || rel < best_release - kEps ||
+          (std::abs(rel - best_release) <= kEps &&
+           (backlog[p] < best_backlog - kEps ||
+            (std::abs(backlog[p] - best_backlog) <= kEps && p < best)))) {
+        best = p;
+        best_release = rel;
+        best_backlog = backlog[p];
+      }
+    }
+    if (best == kUnbound) {
+      binding_failed = true;
+      binding_failed_task = v;
+      return;
+    }
+    run[v].processor = best;
+    run[v].release = best_release;
+    run[v].remaining = app.task(v).wcet(platform.class_of(best));
+    result.processor_of[v] = best;
+    backlog[best] += run[v].remaining;
+    release_queue.emplace_back(best_release, v);
+  };
+
+  for (NodeId v = 0; v < n; ++v) {
+    run[v].preds_left = g.in_degree(v);
+    if (run[v].preds_left == 0) {
+      bind_task(v);
+    }
+  }
+  if (binding_failed) {
+    return fail(binding_failed_task,
+                "task " + app.task(binding_failed_task).name +
+                    " has no eligible processor on this platform");
+  }
+
+  const auto dispatch = [&](ProcessorId p, Time now) {
+    // Run the earliest-deadline released task bound to p.
+    if (ready[p].empty()) {
+      running[p] = static_cast<NodeId>(n);
+      return;
+    }
+    std::size_t pick = 0;
+    for (std::size_t k = 1; k < ready[p].size(); ++k) {
+      const Time da = assignment.windows[ready[p][k]].deadline;
+      const Time db = assignment.windows[ready[p][pick]].deadline;
+      if (da < db - kEps ||
+          (std::abs(da - db) <= kEps && ready[p][k] < ready[p][pick])) {
+        pick = k;
+      }
+    }
+    running[p] = ready[p][pick];
+    ready[p][pick] = ready[p].back();
+    ready[p].pop_back();
+    dispatched_at[p] = now;
+  };
+
+  Time now = kTimeZero;
+  std::size_t guard = 0;
+  bool missed = false;
+  while (incomplete > 0) {
+    DSSLICE_CHECK(++guard <= 8 * n * (m + 2) + 64,
+                  "preemptive simulation failed to converge");
+    // Next event: earliest pending release or earliest projected finish.
+    Time next = kTimeInfinity;
+    for (const auto& [t, v] : release_queue) {
+      next = std::min(next, std::max(t, now));
+    }
+    for (ProcessorId p = 0; p < m; ++p) {
+      if (running[p] < n) {
+        next = std::min(next, dispatched_at[p] + run[running[p]].remaining);
+      }
+    }
+    DSSLICE_CHECK(next < kTimeInfinity,
+                  "incomplete tasks but no pending events");
+    now = next;
+
+    // 1. Completions at `now`.
+    for (ProcessorId p = 0; p < m; ++p) {
+      const NodeId v = running[p];
+      if (v >= n) {
+        continue;
+      }
+      const Time projected = dispatched_at[p] + run[v].remaining;
+      if (projected > now + kEps) {
+        continue;
+      }
+      result.slices.push_back(ExecutionSlice{v, p, dispatched_at[p], now});
+      run[v].completed = true;
+      run[v].remaining = 0.0;
+      result.completion[v] = now;
+      backlog[p] -= app.task(v).wcet(platform.class_of(p));
+      running[p] = static_cast<NodeId>(n);
+      --incomplete;
+      if (now > assignment.windows[v].deadline + kEps) {
+        missed = true;
+        if (options_.abort_on_miss) {
+          return fail(v, "task " + app.task(v).name +
+                             " misses its deadline under preemptive EDF");
+        }
+        if (!result.failed_task.has_value()) {
+          result.failed_task = v;
+          result.failure_reason =
+              "task " + app.task(v).name + " missed its deadline";
+        }
+      }
+      for (const NodeId s : g.successors(v)) {
+        if (--run[s].preds_left == 0) {
+          bind_task(s);
+          if (binding_failed) {
+            return fail(binding_failed_task,
+                        "task " + app.task(binding_failed_task).name +
+                            " has no eligible processor on this platform");
+          }
+        }
+      }
+    }
+
+    // 2. Releases due at `now` move to their processor's ready set,
+    //    preempting a less urgent running task.
+    for (std::size_t k = 0; k < release_queue.size();) {
+      if (release_queue[k].first > now + kEps) {
+        ++k;
+        continue;
+      }
+      const NodeId v = release_queue[k].second;
+      release_queue[k] = release_queue.back();
+      release_queue.pop_back();
+      run[v].released = true;
+      const ProcessorId p = run[v].processor;
+      const NodeId cur = running[p];
+      if (cur < n && assignment.windows[v].deadline <
+                         assignment.windows[cur].deadline - kEps) {
+        // Preempt: bank the partial slice, requeue the victim.
+        if (now > dispatched_at[p] + kEps) {
+          result.slices.push_back(
+              ExecutionSlice{cur, p, dispatched_at[p], now});
+          run[cur].remaining -= now - dispatched_at[p];
+        }
+        ++result.preemptions;
+        ready[p].push_back(cur);
+        running[p] = v;
+        dispatched_at[p] = now;
+      } else {
+        ready[p].push_back(v);
+      }
+    }
+
+    // 3. Idle processors pick up work.
+    for (ProcessorId p = 0; p < m; ++p) {
+      if (running[p] >= n) {
+        dispatch(p, now);
+      }
+    }
+  }
+
+  result.success = !missed;
+  return result;
+}
+
+std::vector<std::string> validate_preemptive_trace(
+    const Application& app, const Platform& platform,
+    const DeadlineAssignment& assignment, const PreemptiveResult& result,
+    bool check_deadlines, double epsilon) {
+  std::vector<std::string> problems;
+  const std::size_t n = app.task_count();
+
+  // Per-processor slices must not overlap.
+  for (ProcessorId p = 0; p < platform.processor_count(); ++p) {
+    std::vector<ExecutionSlice> slices;
+    for (const ExecutionSlice& s : result.slices) {
+      if (s.processor == p) {
+        slices.push_back(s);
+      }
+    }
+    std::sort(slices.begin(), slices.end(),
+              [](const ExecutionSlice& a, const ExecutionSlice& b) {
+                return a.start < b.start;
+              });
+    for (std::size_t k = 1; k < slices.size(); ++k) {
+      if (slices[k].start + epsilon < slices[k - 1].finish) {
+        problems.push_back("processor p" + std::to_string(p) +
+                           ": execution slices overlap");
+      }
+    }
+  }
+
+  for (NodeId v = 0; v < n; ++v) {
+    // Slice budget: total executed time equals the WCET on the bound class;
+    // all slices on the bound processor; none before the window arrival.
+    double executed = 0.0;
+    Time last_finish = kTimeZero;
+    for (const ExecutionSlice& s : result.slices) {
+      if (s.task != v) {
+        continue;
+      }
+      executed += s.finish - s.start;
+      last_finish = std::max(last_finish, s.finish);
+      if (s.processor != result.processor_of[v]) {
+        problems.push_back("task " + app.task(v).name +
+                           " executed off its bound processor");
+      }
+      if (s.start + epsilon < assignment.windows[v].arrival) {
+        problems.push_back("task " + app.task(v).name +
+                           " executed before its window opens");
+      }
+    }
+    const double expected = app.task(v).wcet(
+        platform.class_of(result.processor_of[v]));
+    if (std::abs(executed - expected) > epsilon) {
+      problems.push_back("task " + app.task(v).name + " executed " +
+                         format_fixed(executed, 3) + " != WCET " +
+                         format_fixed(expected, 3));
+    }
+    if (std::abs(last_finish - result.completion[v]) > epsilon) {
+      problems.push_back("task " + app.task(v).name +
+                         ": completion time inconsistent with its slices");
+    }
+    if (check_deadlines &&
+        result.completion[v] > assignment.windows[v].deadline + epsilon) {
+      problems.push_back("task " + app.task(v).name +
+                         " completes after its deadline");
+    }
+  }
+
+  // Precedence: no slice of a successor before every predecessor completes.
+  for (const Arc& arc : app.graph().arcs()) {
+    Time first_start = kTimeInfinity;
+    for (const ExecutionSlice& s : result.slices) {
+      if (s.task == arc.to) {
+        first_start = std::min(first_start, s.start);
+      }
+    }
+    if (first_start + epsilon < result.completion[arc.from]) {
+      problems.push_back("task " + app.task(arc.to).name +
+                         " starts before its predecessor completes");
+    }
+  }
+  return problems;
+}
+
+}  // namespace dsslice

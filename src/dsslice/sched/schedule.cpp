@@ -1,0 +1,110 @@
+#include "dsslice/sched/schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "dsslice/util/check.hpp"
+#include "dsslice/util/string_util.hpp"
+
+namespace dsslice {
+
+Schedule::Schedule(std::size_t task_count, std::size_t processor_count)
+    : placed_(task_count, false),
+      entries_(task_count),
+      per_processor_(processor_count),
+      available_(processor_count, kTimeZero) {
+  DSSLICE_REQUIRE(processor_count > 0, "need at least one processor");
+}
+
+void Schedule::require_task(NodeId v) const {
+  DSSLICE_REQUIRE(v < placed_.size(), "task id out of range");
+}
+
+void Schedule::place(NodeId task, ProcessorId processor, Time start,
+                     Time finish) {
+  require_task(task);
+  DSSLICE_REQUIRE(processor < per_processor_.size(),
+                  "processor id out of range");
+  DSSLICE_REQUIRE(finish >= start, "finish precedes start");
+  DSSLICE_CHECK(!placed_[task], "task placed twice");
+  placed_[task] = true;
+  entries_[task] = ScheduledTask{task, processor, start, finish};
+  per_processor_[processor].push_back(task);
+  available_[processor] = std::max(available_[processor], finish);
+  ++placed_count_;
+}
+
+bool Schedule::placed(NodeId task) const {
+  require_task(task);
+  return placed_[task];
+}
+
+const ScheduledTask& Schedule::entry(NodeId task) const {
+  require_task(task);
+  DSSLICE_REQUIRE(placed_[task], "task not yet placed");
+  return entries_[task];
+}
+
+std::span<const NodeId> Schedule::on_processor(ProcessorId p) const {
+  DSSLICE_REQUIRE(p < per_processor_.size(), "processor id out of range");
+  return per_processor_[p];
+}
+
+Time Schedule::processor_available(ProcessorId p) const {
+  DSSLICE_REQUIRE(p < per_processor_.size(), "processor id out of range");
+  return available_[p];
+}
+
+Time Schedule::makespan() const {
+  Time m = kTimeZero;
+  for (const Time a : available_) {
+    m = std::max(m, a);
+  }
+  return m;
+}
+
+double Schedule::utilization() const {
+  const Time span = makespan();
+  if (span <= kTimeZero) {
+    return 0.0;
+  }
+  Time busy = kTimeZero;
+  for (NodeId v = 0; v < placed_.size(); ++v) {
+    if (placed_[v]) {
+      busy += entries_[v].finish - entries_[v].start;
+    }
+  }
+  return busy / (span * static_cast<double>(per_processor_.size()));
+}
+
+std::string Schedule::to_gantt(std::size_t width) const {
+  const Time span = makespan();
+  std::ostringstream os;
+  if (span <= kTimeZero || width == 0) {
+    os << "(empty schedule)\n";
+    return os.str();
+  }
+  const double scale = static_cast<double>(width) / span;
+  for (ProcessorId p = 0; p < per_processor_.size(); ++p) {
+    std::string row(width, '.');
+    for (const NodeId v : per_processor_[p]) {
+      const ScheduledTask& e = entries_[v];
+      auto lo = static_cast<std::size_t>(std::floor(e.start * scale));
+      auto hi = static_cast<std::size_t>(std::ceil(e.finish * scale));
+      lo = std::min(lo, width - 1);
+      hi = std::min(std::max(hi, lo + 1), width);
+      const std::string tag = std::to_string(v);
+      for (std::size_t c = lo; c < hi; ++c) {
+        const std::size_t k = c - lo;
+        row[c] = k < tag.size() ? tag[k] : '#';
+      }
+    }
+    os << pad_right("p" + std::to_string(p), 5) << "|" << row << "|\n";
+  }
+  const std::string end_tag = "t=" + format_fixed(span, 1);
+  os << pad_right("", 5) << " 0" << pad_left(end_tag, width - 1) << "\n";
+  return os.str();
+}
+
+}  // namespace dsslice

@@ -1,0 +1,68 @@
+// Time-driven non-preemptive multiprocessor schedule (§3.3): a mapping of
+// each task to a processor and a start time; the task runs to completion in
+// [s_i, f_i] on its processor.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dsslice/graph/task_graph.hpp"
+#include "dsslice/model/processor.hpp"
+#include "dsslice/model/time.hpp"
+
+namespace dsslice {
+
+struct ScheduledTask {
+  NodeId task = 0;
+  ProcessorId processor = 0;
+  Time start = kTimeZero;
+  Time finish = kTimeZero;
+
+  bool operator==(const ScheduledTask&) const = default;
+};
+
+class Schedule {
+ public:
+  Schedule(std::size_t task_count, std::size_t processor_count);
+
+  std::size_t task_count() const { return placed_.size(); }
+  std::size_t processor_count() const { return per_processor_.size(); }
+  std::size_t placed_count() const { return placed_count_; }
+  bool complete() const { return placed_count_ == placed_.size(); }
+
+  /// Records task placement. Each task may be placed exactly once; the
+  /// entry must have finish >= start.
+  void place(NodeId task, ProcessorId processor, Time start, Time finish);
+
+  bool placed(NodeId task) const;
+  const ScheduledTask& entry(NodeId task) const;
+
+  /// Tasks on one processor, in placement order (the list scheduler places
+  /// in non-decreasing start order, so this is also start order for it).
+  std::span<const NodeId> on_processor(ProcessorId p) const;
+
+  /// Latest finish time on processor p (kTimeZero when empty).
+  Time processor_available(ProcessorId p) const;
+
+  /// Latest finish time across all processors (kTimeZero when empty).
+  Time makespan() const;
+
+  /// Sum of busy time / (makespan × processors); 0 for an empty schedule.
+  double utilization() const;
+
+  /// Multi-line ASCII Gantt rendering (one row per processor), with time
+  /// scaled to at most `width` columns.
+  std::string to_gantt(std::size_t width = 80) const;
+
+ private:
+  void require_task(NodeId v) const;
+
+  std::vector<bool> placed_;
+  std::vector<ScheduledTask> entries_;
+  std::vector<std::vector<NodeId>> per_processor_;
+  std::vector<Time> available_;
+  std::size_t placed_count_ = 0;
+};
+
+}  // namespace dsslice

@@ -1,0 +1,252 @@
+#include "dsslice/sched/validation.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "dsslice/util/check.hpp"
+#include "dsslice/util/string_util.hpp"
+
+namespace dsslice {
+
+namespace {
+
+std::string task_ref(const Application& app, NodeId v) {
+  return "task " + std::to_string(v) + " (" + app.task(v).name + ")";
+}
+
+}  // namespace
+
+std::vector<std::string> validate_schedule(
+    const Application& app, const Platform& platform,
+    const DeadlineAssignment& assignment, const Schedule& schedule,
+    const ValidationOptions& options) {
+  std::vector<std::string> problems;
+  const TaskGraph& g = app.graph();
+  const double eps = options.epsilon;
+
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (!schedule.placed(v)) {
+      problems.push_back(task_ref(app, v) + ": not scheduled");
+      continue;
+    }
+    const ScheduledTask& e = schedule.entry(v);
+    const Task& t = app.task(v);
+    const ProcessorClassId klass = platform.class_of(e.processor);
+    if (!t.eligible(klass)) {
+      problems.push_back(task_ref(app, v) + ": placed on ineligible class " +
+                         platform.processor_class(klass).name);
+      continue;
+    }
+    const double c = t.wcet(klass);
+    if (std::abs((e.finish - e.start) - c) > eps) {
+      problems.push_back(task_ref(app, v) + ": duration " +
+                         format_fixed(e.finish - e.start, 3) +
+                         " != WCET " + format_fixed(c, 3));
+    }
+    const Window& w = assignment.windows[v];
+    if (e.start + eps < w.arrival) {
+      problems.push_back(task_ref(app, v) + ": starts before its arrival " +
+                         to_string(w));
+    }
+    if (options.check_deadlines && e.finish > w.deadline + eps) {
+      problems.push_back(task_ref(app, v) + ": finishes at " +
+                         format_fixed(e.finish, 3) + " after deadline " +
+                         format_fixed(w.deadline, 3));
+    }
+  }
+
+  // Mutual exclusion per processor.
+  for (ProcessorId p = 0; p < platform.processor_count(); ++p) {
+    std::vector<ScheduledTask> entries;
+    for (const NodeId v : schedule.on_processor(p)) {
+      entries.push_back(schedule.entry(v));
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const ScheduledTask& a, const ScheduledTask& b) {
+                return a.start < b.start;
+              });
+    for (std::size_t k = 1; k < entries.size(); ++k) {
+      if (entries[k].start + eps < entries[k - 1].finish) {
+        problems.push_back("processor p" + std::to_string(p) + ": " +
+                           task_ref(app, entries[k - 1].task) + " and " +
+                           task_ref(app, entries[k].task) + " overlap");
+      }
+    }
+  }
+
+  // Precedence and communication constraints.
+  for (const Arc& a : g.arcs()) {
+    if (!schedule.placed(a.from) || !schedule.placed(a.to)) {
+      continue;  // already reported as unscheduled
+    }
+    const ScheduledTask& eu = schedule.entry(a.from);
+    const ScheduledTask& ev = schedule.entry(a.to);
+    const Time available =
+        eu.finish +
+        platform.comm_delay(eu.processor, ev.processor, a.message_items);
+    if (ev.start + eps < available) {
+      problems.push_back(task_ref(app, a.to) + ": starts at " +
+                         format_fixed(ev.start, 3) +
+                         " before data from " + task_ref(app, a.from) +
+                         " arrives at " + format_fixed(available, 3));
+    }
+  }
+
+  return problems;
+}
+
+std::vector<std::string> validate_resource_exclusivity(
+    const Application& app, const Schedule& schedule,
+    const ResourceModel& resources, double epsilon) {
+  std::vector<std::string> problems;
+  for (ResourceId r = 0; r < resources.resource_count(); ++r) {
+    std::vector<ScheduledTask> entries;
+    for (const NodeId v : resources.holders_of(r)) {
+      if (schedule.placed(v)) {
+        entries.push_back(schedule.entry(v));
+      }
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const ScheduledTask& a, const ScheduledTask& b) {
+                return a.start < b.start;
+              });
+    for (std::size_t k = 1; k < entries.size(); ++k) {
+      if (entries[k].start + epsilon < entries[k - 1].finish) {
+        problems.push_back("resource r" + std::to_string(r) + ": " +
+                           task_ref(app, entries[k - 1].task) + " and " +
+                           task_ref(app, entries[k].task) +
+                           " hold it concurrently");
+      }
+    }
+  }
+  return problems;
+}
+
+std::vector<std::string> validate_bus_transfers(
+    const Application& app, const Platform& platform,
+    const Schedule& schedule, const std::vector<BusTransfer>& transfers,
+    double epsilon) {
+  std::vector<std::string> problems;
+  const auto* bus = dynamic_cast<const SharedBus*>(&platform.network());
+  if (bus == nullptr) {
+    problems.push_back("platform interconnect is not a SharedBus");
+    return problems;
+  }
+
+  // Index transfers by arc; flag duplicates.
+  std::vector<const BusTransfer*> by_arc;
+  for (const BusTransfer& t : transfers) {
+    bool duplicate = false;
+    for (const BusTransfer& other : transfers) {
+      if (&other != &t && other.from == t.from && other.to == t.to) {
+        duplicate = true;
+      }
+    }
+    if (duplicate) {
+      problems.push_back("duplicate transfer for arc " +
+                         std::to_string(t.from) + " -> " +
+                         std::to_string(t.to));
+    }
+    by_arc.push_back(&t);
+  }
+
+  for (const Arc& a : app.graph().arcs()) {
+    if (!schedule.placed(a.from) || !schedule.placed(a.to)) {
+      continue;
+    }
+    const ScheduledTask& eu = schedule.entry(a.from);
+    const ScheduledTask& ev = schedule.entry(a.to);
+    const bool needs_transfer =
+        eu.processor != ev.processor && a.message_items > 0.0;
+    const BusTransfer* found = nullptr;
+    for (const BusTransfer& t : transfers) {
+      if (t.from == a.from && t.to == a.to) {
+        found = &t;
+        break;
+      }
+    }
+    if (needs_transfer && found == nullptr) {
+      problems.push_back("missing bus transfer for arc " +
+                         std::to_string(a.from) + " -> " +
+                         std::to_string(a.to));
+      continue;
+    }
+    if (!needs_transfer && found != nullptr) {
+      problems.push_back("spurious bus transfer for arc " +
+                         std::to_string(a.from) + " -> " +
+                         std::to_string(a.to));
+      continue;
+    }
+    if (found == nullptr) {
+      continue;
+    }
+    const Time expected = a.message_items * bus->per_item_delay();
+    if (std::abs((found->finish - found->start) - expected) > epsilon) {
+      problems.push_back("transfer duration mismatch on arc " +
+                         std::to_string(a.from) + " -> " +
+                         std::to_string(a.to));
+    }
+    if (found->start + epsilon < eu.finish) {
+      problems.push_back("transfer starts before producer " +
+                         task_ref(app, a.from) + " finishes");
+    }
+    if (ev.start + epsilon < found->finish) {
+      problems.push_back("consumer " + task_ref(app, a.to) +
+                         " starts before its transfer completes");
+    }
+  }
+
+  // Bus exclusivity.
+  std::vector<BusTransfer> sorted = transfers;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const BusTransfer& a, const BusTransfer& b) {
+              return a.start < b.start;
+            });
+  for (std::size_t k = 1; k < sorted.size(); ++k) {
+    if (sorted[k].start + epsilon < sorted[k - 1].finish) {
+      problems.push_back("bus transfers overlap: " +
+                         std::to_string(sorted[k - 1].from) + "->" +
+                         std::to_string(sorted[k - 1].to) + " and " +
+                         std::to_string(sorted[k].from) + "->" +
+                         std::to_string(sorted[k].to));
+    }
+  }
+  return problems;
+}
+
+std::vector<std::string> validate_assignment(
+    const Application& app, const DeadlineAssignment& assignment,
+    double epsilon) {
+  std::vector<std::string> problems;
+  const TaskGraph& g = app.graph();
+  DSSLICE_REQUIRE(assignment.windows.size() == g.node_count(),
+                  "assignment size mismatch");
+
+  for (const Arc& a : g.arcs()) {
+    const Window& wu = assignment.windows[a.from];
+    const Window& wv = assignment.windows[a.to];
+    if (wu.deadline > wv.arrival + epsilon) {
+      problems.push_back(task_ref(app, a.from) + " deadline " +
+                         format_fixed(wu.deadline, 3) + " exceeds successor " +
+                         task_ref(app, a.to) + " arrival " +
+                         format_fixed(wv.arrival, 3));
+    }
+  }
+  for (const NodeId in : g.input_nodes()) {
+    if (assignment.windows[in].arrival + epsilon < app.input_arrival(in)) {
+      problems.push_back(task_ref(app, in) +
+                         ": window starts before the application arrival");
+    }
+  }
+  for (const NodeId out : g.output_nodes()) {
+    if (app.has_ete_deadline(out) &&
+        assignment.windows[out].deadline >
+            app.ete_deadline(out) + epsilon) {
+      problems.push_back(task_ref(app, out) +
+                         ": window deadline exceeds the E-T-E deadline");
+    }
+  }
+  return problems;
+}
+
+}  // namespace dsslice

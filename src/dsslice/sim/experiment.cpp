@@ -1,0 +1,120 @@
+#include "dsslice/sim/experiment.hpp"
+
+#include <limits>
+#include <sstream>
+
+#include "dsslice/core/quality.hpp"
+#include "dsslice/core/slicing.hpp"
+#include "dsslice/gen/taskgraph_generator.hpp"
+#include "dsslice/util/string_util.hpp"
+
+namespace dsslice {
+
+std::string ExperimentConfig::display_label() const {
+  return label.empty() ? to_string(technique) : label;
+}
+
+void ExperimentResult::add(const GraphOutcome& outcome) {
+  success.add(outcome.scheduled);
+  min_laxity.add(outcome.min_laxity);
+  if (outcome.lateness_valid) {
+    max_lateness.add(outcome.max_lateness);
+  }
+  if (outcome.scheduled) {
+    makespan.add(outcome.makespan);
+  }
+  slicing_passes.add(static_cast<double>(outcome.slicing_passes));
+  task_count.add(static_cast<double>(outcome.task_count));
+}
+
+void ExperimentResult::merge(const ExperimentResult& other) {
+  success.merge(other.success);
+  min_laxity.merge(other.min_laxity);
+  max_lateness.merge(other.max_lateness);
+  makespan.merge(other.makespan);
+  slicing_passes.merge(other.slicing_passes);
+  task_count.merge(other.task_count);
+  wall_seconds += other.wall_seconds;
+}
+
+std::string ExperimentResult::summary(const std::string& label) const {
+  std::ostringstream os;
+  os << pad_right(label, 16) << " success "
+     << pad_left(format_percent(success_ratio(), 1), 7) << " ±"
+     << format_percent(success.ci95_halfwidth(), 1) << "  min-laxity "
+     << format_fixed(min_laxity.mean(), 2);
+  if (makespan.count() > 0) {
+    os << "  makespan " << format_fixed(makespan.mean(), 1);
+  }
+  return os.str();
+}
+
+GraphOutcome evaluate_scenario(const ExperimentConfig& config,
+                               std::uint64_t seed) {
+  const Scenario scenario = generate_scenario(config.generator, seed);
+  const Application& app = scenario.application;
+  const Platform& platform = scenario.platform;
+
+  const std::vector<double> est = estimate_wcets(app, config.wcet_strategy);
+
+  GraphOutcome outcome;
+  outcome.task_count = app.task_count();
+
+  DeadlineAssignment assignment;
+  if (is_slicing(config.technique)) {
+    SlicingStats stats;
+    const DeadlineMetric metric(metric_of(config.technique),
+                                config.metric_params);
+    assignment = run_slicing(app, est, metric, platform.processor_count(),
+                             &stats);
+    outcome.slicing_passes = stats.passes;
+  } else {
+    assignment = distribute(config.technique, app, est, platform,
+                            config.metric_params);
+  }
+  outcome.min_laxity = min_laxity(assignment, est);
+
+  if (config.algorithm == SchedulerAlgorithm::kPreemptiveEdf) {
+    // The preemptive simulator has its own trace-based result shape.
+    PreemptiveOptions options;
+    options.abort_on_miss = config.scheduler.abort_on_miss;
+    const PreemptiveResult pre =
+        PreemptiveEdfScheduler(options).run(app, assignment, platform);
+    outcome.scheduled = pre.success;
+    if (pre.success || !config.scheduler.abort_on_miss) {
+      double worst = -std::numeric_limits<double>::infinity();
+      Time makespan = kTimeZero;
+      for (NodeId v = 0; v < app.task_count(); ++v) {
+        worst = std::max(worst,
+                         pre.completion[v] - assignment.windows[v].deadline);
+        makespan = std::max(makespan, pre.completion[v]);
+      }
+      outcome.max_lateness = worst;
+      outcome.lateness_valid = true;
+      if (pre.success) {
+        outcome.makespan = makespan;
+      }
+    }
+    return outcome;
+  }
+
+  SchedulerResult sched = [&] {
+    if (config.algorithm == SchedulerAlgorithm::kDispatchEdf) {
+      DispatchOptions options;
+      options.abort_on_miss = config.scheduler.abort_on_miss;
+      return EdfDispatchScheduler(options).run(app, assignment, platform);
+    }
+    return EdfListScheduler(config.scheduler).run(app, assignment, platform);
+  }();
+  outcome.scheduled = sched.success;
+  if (sched.schedule.complete()) {
+    outcome.max_lateness = max_lateness(sched.schedule, assignment);
+    outcome.lateness_valid = true;
+  }
+  if (sched.success) {
+    outcome.makespan = sched.schedule.makespan();
+  }
+  return outcome;
+}
+
+}  // namespace dsslice

@@ -1,0 +1,77 @@
+// Experiment definitions for the evaluation framework — the reproduction's
+// stand-in for the paper's GAST environment [19].
+//
+// One experiment = one workload/platform scenario family (GeneratorConfig)
+// × one deadline-distribution technique × one WCET estimation strategy ×
+// one scheduler configuration, evaluated over `generator.graph_count`
+// independently seeded task graphs. The primary result is the success ratio
+// (§4.2); secondary quality measures and algorithm diagnostics are
+// aggregated alongside.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "dsslice/baselines/distribution_registry.hpp"
+#include "dsslice/core/metrics.hpp"
+#include "dsslice/core/wcet_estimate.hpp"
+#include "dsslice/gen/generator_config.hpp"
+#include "dsslice/sched/dispatch_scheduler.hpp"
+#include "dsslice/sched/edf_list_scheduler.hpp"
+#include "dsslice/sched/preemptive_scheduler.hpp"
+#include "dsslice/util/stats.hpp"
+
+namespace dsslice {
+
+struct ExperimentConfig {
+  GeneratorConfig generator;
+  DistributionTechnique technique = DistributionTechnique::kSlicingAdaptL;
+  MetricParams metric_params;
+  WcetEstimation wcet_strategy = WcetEstimation::kAverage;
+  SchedulerOptions scheduler;
+  /// Scheduling engine: the constructive list scheduler (paper baseline) or
+  /// the on-line time-marching dispatcher. The dispatcher honours
+  /// scheduler.abort_on_miss but ignores scheduler.placement.
+  SchedulerAlgorithm algorithm = SchedulerAlgorithm::kListEdf;
+  /// Display label; defaults to the technique name when empty.
+  std::string label;
+
+  std::string display_label() const;
+};
+
+/// Outcome of one task set (one generated graph) under one configuration.
+struct GraphOutcome {
+  bool scheduled = false;     ///< every task placed and no deadline missed
+  double min_laxity = 0.0;    ///< min_i (d_i − c̄_i) after distribution
+  double max_lateness = 0.0;  ///< only meaningful when the schedule completed
+  bool lateness_valid = false;
+  double makespan = 0.0;      ///< only for successful schedules
+  std::size_t slicing_passes = 0;  ///< 0 for non-slicing techniques
+  std::size_t task_count = 0;
+};
+
+/// Aggregate over a batch of task sets.
+struct ExperimentResult {
+  SuccessCounter success;
+  RunningStats min_laxity;
+  RunningStats max_lateness;   ///< over outcomes with lateness_valid
+  RunningStats makespan;       ///< over successful schedules
+  RunningStats slicing_passes;
+  RunningStats task_count;
+  double wall_seconds = 0.0;
+
+  void add(const GraphOutcome& outcome);
+  void merge(const ExperimentResult& other);
+
+  double success_ratio() const { return success.ratio(); }
+
+  /// One-line human-readable summary.
+  std::string summary(const std::string& label) const;
+};
+
+/// Evaluates a single already-generated scenario under the configuration
+/// (the per-graph unit of work; exposed for tests and custom drivers).
+GraphOutcome evaluate_scenario(const ExperimentConfig& config,
+                               std::uint64_t seed);
+
+}  // namespace dsslice

@@ -1,0 +1,65 @@
+#include "dsslice/sim/runner.hpp"
+
+#include <chrono>
+#include <vector>
+
+#include "dsslice/gen/rng.hpp"
+
+namespace dsslice {
+
+namespace {
+
+ExperimentResult run_batch(
+    const ExperimentConfig& config, ThreadPool* pool,
+    const std::function<void(std::size_t, const GraphOutcome&)>* sink) {
+  config.generator.validate();
+  const std::size_t count = config.generator.graph_count;
+  const auto t0 = std::chrono::steady_clock::now();
+
+  std::vector<GraphOutcome> outcomes(count);
+  const auto body = [&](std::size_t k) {
+    outcomes[k] =
+        evaluate_scenario(config, derive_seed(config.generator.base_seed, k));
+  };
+  if (pool != nullptr) {
+    parallel_for(*pool, count, body);
+  } else {
+    for (std::size_t k = 0; k < count; ++k) {
+      body(k);
+    }
+  }
+
+  ExperimentResult result;
+  for (std::size_t k = 0; k < count; ++k) {
+    result.add(outcomes[k]);
+    if (sink != nullptr) {
+      (*sink)(k, outcomes[k]);
+    }
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  result.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  return result;
+}
+
+}  // namespace
+
+ExperimentResult run_experiment(const ExperimentConfig& config,
+                                ThreadPool& pool) {
+  return run_batch(config, &pool, nullptr);
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  return run_experiment(config, global_pool());
+}
+
+ExperimentResult run_experiment_serial(const ExperimentConfig& config) {
+  return run_batch(config, nullptr, nullptr);
+}
+
+ExperimentResult run_experiment_with_outcomes(
+    const ExperimentConfig& config, ThreadPool& pool,
+    const std::function<void(std::size_t, const GraphOutcome&)>& sink) {
+  return run_batch(config, &pool, &sink);
+}
+
+}  // namespace dsslice

@@ -1,0 +1,32 @@
+// Batch experiment execution, parallelized across task sets.
+//
+// Each of the batch's graphs carries its own derived seed, so the outcome
+// of graph k is independent of execution order: parallel and serial runs
+// produce bit-identical statistics (asserted by the property tests).
+#pragma once
+
+#include <functional>
+
+#include "dsslice/sim/experiment.hpp"
+#include "dsslice/util/thread_pool.hpp"
+
+namespace dsslice {
+
+/// Runs config.generator.graph_count task sets on the given pool and
+/// aggregates their outcomes in index order (deterministic reduction).
+ExperimentResult run_experiment(const ExperimentConfig& config,
+                                ThreadPool& pool);
+
+/// Convenience overload using the process-wide pool.
+ExperimentResult run_experiment(const ExperimentConfig& config);
+
+/// Strictly serial run (reference implementation for determinism tests).
+ExperimentResult run_experiment_serial(const ExperimentConfig& config);
+
+/// Streams every per-graph outcome (index order) to `sink` after the batch
+/// completes — used by benches that need distributions, not just means.
+ExperimentResult run_experiment_with_outcomes(
+    const ExperimentConfig& config, ThreadPool& pool,
+    const std::function<void(std::size_t, const GraphOutcome&)>& sink);
+
+}  // namespace dsslice

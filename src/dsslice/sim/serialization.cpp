@@ -1,0 +1,243 @@
+#include "dsslice/sim/serialization.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "dsslice/util/check.hpp"
+#include "dsslice/util/string_util.hpp"
+
+namespace dsslice {
+
+namespace {
+
+constexpr int kFormatVersion = 1;
+
+/// %.17g round-trips doubles exactly.
+std::string num(double x) {
+  std::ostringstream os;
+  os.precision(17);
+  os << x;
+  return os.str();
+}
+
+/// Tokenized line reader with position tracking for error messages.
+class LineReader {
+ public:
+  explicit LineReader(const std::string& text) : in_(text) {}
+
+  /// Next non-empty, non-comment line split on whitespace.
+  std::vector<std::string> next() {
+    std::string line;
+    while (std::getline(in_, line)) {
+      ++line_no_;
+      const std::size_t hash = line.find('#');
+      if (hash != std::string::npos) {
+        line = line.substr(0, hash);
+      }
+      std::istringstream ls(line);
+      std::vector<std::string> tokens;
+      std::string tok;
+      while (ls >> tok) {
+        tokens.push_back(tok);
+      }
+      if (!tokens.empty()) {
+        return tokens;
+      }
+    }
+    fail("unexpected end of input");
+  }
+
+  [[noreturn]] void fail(const std::string& why) const {
+    throw ConfigError("scenario parse error at line " +
+                      std::to_string(line_no_) + ": " + why);
+  }
+
+  void expect(const std::vector<std::string>& tokens,
+              const std::string& keyword, std::size_t arity) const {
+    if (tokens.empty() || tokens[0] != keyword ||
+        tokens.size() != arity + 1) {
+      fail("expected '" + keyword + "' with " + std::to_string(arity) +
+           " argument(s)");
+    }
+  }
+
+  double to_double(const std::string& tok) const {
+    char* end = nullptr;
+    const double v = std::strtod(tok.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      fail("not a number: " + tok);
+    }
+    return v;
+  }
+
+  std::size_t to_size(const std::string& tok) const {
+    const double v = to_double(tok);
+    if (v < 0 || v != static_cast<double>(static_cast<std::size_t>(v))) {
+      fail("not a non-negative integer: " + tok);
+    }
+    return static_cast<std::size_t>(v);
+  }
+
+ private:
+  std::istringstream in_;
+  int line_no_ = 0;
+};
+
+}  // namespace
+
+std::string serialize_scenario(const Scenario& scenario) {
+  const Platform& platform = scenario.platform;
+  const Application& app = scenario.application;
+  const auto* bus = dynamic_cast<const SharedBus*>(&platform.network());
+  DSSLICE_REQUIRE(bus != nullptr,
+                  "only shared-bus platforms can be serialized");
+
+  std::ostringstream os;
+  os << "dsslice-scenario " << kFormatVersion << "\n";
+  os << "classes " << platform.class_count() << "\n";
+  for (const ProcessorClass& e : platform.classes()) {
+    os << "class " << e.name << " " << num(e.speed_factor) << "\n";
+  }
+  os << "processors " << platform.processor_count() << "\n";
+  for (const Processor& p : platform.processors()) {
+    os << "proc " << p.name << " " << p.klass << "\n";
+  }
+  os << "bus " << num(bus->per_item_delay()) << "\n";
+  os << "tasks " << app.task_count() << "\n";
+  for (NodeId v = 0; v < app.task_count(); ++v) {
+    const Task& t = app.task(v);
+    os << "task " << t.name << " " << num(t.phasing) << " " << num(t.period);
+    for (const double c : t.wcet_by_class) {
+      os << " " << (c < 0.0 ? std::string("-") : num(c));
+    }
+    os << "\n";
+  }
+  os << "arcs " << app.graph().arc_count() << "\n";
+  for (const Arc& a : app.graph().arcs()) {
+    os << "arc " << a.from << " " << a.to << " " << num(a.message_items)
+       << "\n";
+  }
+  for (const NodeId in : app.graph().input_nodes()) {
+    os << "arrival " << in << " " << num(app.input_arrival(in)) << "\n";
+  }
+  for (const NodeId out : app.graph().output_nodes()) {
+    if (app.has_ete_deadline(out)) {
+      os << "deadline " << out << " " << num(app.ete_deadline(out)) << "\n";
+    }
+  }
+  os << "end\n";
+  return os.str();
+}
+
+Scenario parse_scenario(const std::string& text) {
+  LineReader reader(text);
+
+  auto header = reader.next();
+  reader.expect(header, "dsslice-scenario", 1);
+  if (reader.to_size(header[1]) != static_cast<std::size_t>(kFormatVersion)) {
+    reader.fail("unsupported format version " + header[1]);
+  }
+
+  auto line = reader.next();
+  reader.expect(line, "classes", 1);
+  const std::size_t class_count = reader.to_size(line[1]);
+  std::vector<ProcessorClass> classes;
+  for (std::size_t k = 0; k < class_count; ++k) {
+    line = reader.next();
+    reader.expect(line, "class", 2);
+    classes.push_back(ProcessorClass{line[1], reader.to_double(line[2])});
+  }
+
+  line = reader.next();
+  reader.expect(line, "processors", 1);
+  const std::size_t proc_count = reader.to_size(line[1]);
+  std::vector<Processor> procs;
+  for (std::size_t q = 0; q < proc_count; ++q) {
+    line = reader.next();
+    reader.expect(line, "proc", 2);
+    const std::size_t klass = reader.to_size(line[2]);
+    if (klass >= class_count) {
+      reader.fail("processor class index out of range");
+    }
+    procs.push_back(Processor{line[1], static_cast<ProcessorClassId>(klass)});
+  }
+
+  line = reader.next();
+  reader.expect(line, "bus", 1);
+  const double bus_delay = reader.to_double(line[1]);
+  Platform platform(std::move(classes), std::move(procs),
+                    std::make_shared<SharedBus>(bus_delay));
+
+  line = reader.next();
+  reader.expect(line, "tasks", 1);
+  const std::size_t task_count = reader.to_size(line[1]);
+  TaskGraph graph(task_count);
+  std::vector<Task> tasks;
+  for (std::size_t i = 0; i < task_count; ++i) {
+    line = reader.next();
+    if (line.size() != 4 + class_count || line[0] != "task") {
+      reader.fail("expected 'task <name> <phasing> <period> <" +
+                  std::to_string(class_count) + " wcets>'");
+    }
+    Task t;
+    t.name = line[1];
+    t.phasing = reader.to_double(line[2]);
+    t.period = reader.to_double(line[3]);
+    for (std::size_t e = 0; e < class_count; ++e) {
+      const std::string& tok = line[4 + e];
+      t.wcet_by_class.push_back(tok == "-" ? kIneligibleWcet
+                                           : reader.to_double(tok));
+    }
+    tasks.push_back(std::move(t));
+  }
+
+  line = reader.next();
+  reader.expect(line, "arcs", 1);
+  const std::size_t arc_count = reader.to_size(line[1]);
+  for (std::size_t a = 0; a < arc_count; ++a) {
+    line = reader.next();
+    reader.expect(line, "arc", 3);
+    const std::size_t from = reader.to_size(line[1]);
+    const std::size_t to = reader.to_size(line[2]);
+    if (from >= task_count || to >= task_count) {
+      reader.fail("arc endpoint out of range");
+    }
+    graph.add_arc(static_cast<NodeId>(from), static_cast<NodeId>(to),
+                  reader.to_double(line[3]));
+  }
+
+  Application app(std::move(graph), std::move(tasks));
+  for (;;) {
+    line = reader.next();
+    if (line.size() == 1 && line[0] == "end") {
+      break;
+    }
+    if (line.size() == 3 && line[0] == "arrival") {
+      app.set_input_arrival(static_cast<NodeId>(reader.to_size(line[1])),
+                            reader.to_double(line[2]));
+    } else if (line.size() == 3 && line[0] == "deadline") {
+      app.set_ete_deadline(static_cast<NodeId>(reader.to_size(line[1])),
+                           reader.to_double(line[2]));
+    } else {
+      reader.fail("expected 'arrival', 'deadline' or 'end'");
+    }
+  }
+  return Scenario{std::move(platform), std::move(app)};
+}
+
+void save_scenario(const Scenario& scenario, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  DSSLICE_REQUIRE(static_cast<bool>(out), "cannot open " + path);
+  out << serialize_scenario(scenario);
+  DSSLICE_REQUIRE(static_cast<bool>(out), "failed to write " + path);
+}
+
+Scenario load_scenario(const std::string& path) {
+  std::ifstream in(path);
+  DSSLICE_REQUIRE(static_cast<bool>(in), "cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_scenario(buffer.str());
+}
+
+}  // namespace dsslice

@@ -1,0 +1,43 @@
+// Scenario serialization: a stable, human-readable text format for one
+// {platform, application} pair, so that interesting task sets (e.g. the one
+// graph a metric fails on) can be dumped, attached to a bug report, and
+// reloaded bit-exactly.
+//
+// Format (line-oriented, '#' comments allowed):
+//
+//   dsslice-scenario 1
+//   classes <k>
+//   class <name> <speed_factor>            (k times)
+//   processors <m>
+//   proc <name> <class_index>              (m times)
+//   bus <per_item_delay>
+//   tasks <n>
+//   task <name> <phasing> <period> <wcet...>   ('-' = ineligible)
+//   arcs <a>
+//   arc <from> <to> <message_items>        (a times)
+//   arrival <node> <time>                  (per input task)
+//   deadline <node> <time>                 (per output task with one)
+//   end
+//
+// Only shared-bus platforms are supported (the only kind the generator
+// produces); serializing another interconnect throws.
+#pragma once
+
+#include <string>
+
+#include "dsslice/gen/taskgraph_generator.hpp"
+
+namespace dsslice {
+
+/// Serializes a scenario in the format above.
+std::string serialize_scenario(const Scenario& scenario);
+
+/// Parses a scenario; throws ConfigError with a line number on malformed
+/// input.
+Scenario parse_scenario(const std::string& text);
+
+/// File helpers (throw ConfigError on I/O failure).
+void save_scenario(const Scenario& scenario, const std::string& path);
+Scenario load_scenario(const std::string& path);
+
+}  // namespace dsslice

@@ -1,0 +1,20 @@
+#include "dsslice/util/check.hpp"
+
+#include <sstream>
+
+namespace dsslice::detail {
+
+void check_failed(const char* kind, const char* expr, const char* file,
+                  int line, const std::string& message) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!message.empty()) {
+    os << " — " << message;
+  }
+  if (std::string(kind) == "precondition") {
+    throw ConfigError(os.str());
+  }
+  throw CheckError(os.str());
+}
+
+}  // namespace dsslice::detail

@@ -1,0 +1,52 @@
+// Lightweight precondition / invariant checking used throughout dsslice.
+//
+// The library is a simulation substrate: a violated invariant means the
+// simulation result would be meaningless, so checks throw rather than abort,
+// letting test harnesses assert on failures and batch runners skip a bad
+// configuration without taking the whole process down.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace dsslice {
+
+/// Thrown when a DSSLICE_CHECK / DSSLICE_REQUIRE condition fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown for invalid user-supplied configuration (bad parameter ranges,
+/// malformed graphs, etc.) as opposed to internal logic errors.
+class ConfigError : public std::invalid_argument {
+ public:
+  explicit ConfigError(const std::string& what)
+      : std::invalid_argument(what) {}
+};
+
+namespace detail {
+[[noreturn]] void check_failed(const char* kind, const char* expr,
+                               const char* file, int line,
+                               const std::string& message);
+}  // namespace detail
+
+}  // namespace dsslice
+
+/// Internal-invariant check: failure indicates a bug inside dsslice.
+#define DSSLICE_CHECK(expr, ...)                                        \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::dsslice::detail::check_failed("invariant", #expr, __FILE__,     \
+                                      __LINE__, std::string(__VA_ARGS__)); \
+    }                                                                   \
+  } while (false)
+
+/// Precondition check on user input: failure indicates caller error.
+#define DSSLICE_REQUIRE(expr, ...)                                      \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::dsslice::detail::check_failed("precondition", #expr, __FILE__,  \
+                                      __LINE__, std::string(__VA_ARGS__)); \
+    }                                                                   \
+  } while (false)

@@ -1,0 +1,118 @@
+#include "dsslice/util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsslice/util/check.hpp"
+
+namespace dsslice {
+
+void RunningStats::add(double x) {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) {
+    return;
+  }
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::mean() const { return n_ == 0 ? 0.0 : mean_; }
+
+double RunningStats::variance() const {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::ci95_halfwidth() const {
+  if (n_ < 2) {
+    return 0.0;
+  }
+  return 1.96 * stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+double mean_of(const std::vector<double>& xs) {
+  RunningStats s;
+  for (double x : xs) {
+    s.add(x);
+  }
+  return s.mean();
+}
+
+double stddev_of(const std::vector<double>& xs) {
+  RunningStats s;
+  for (double x : xs) {
+    s.add(x);
+  }
+  return s.stddev();
+}
+
+double percentile_of(std::vector<double> xs, double p) {
+  DSSLICE_REQUIRE(!xs.empty(), "percentile of empty sample");
+  DSSLICE_REQUIRE(p >= 0.0 && p <= 100.0, "percentile out of range");
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) {
+    return xs.front();
+  }
+  const double rank = (p / 100.0) * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] + frac * (xs[hi] - xs[lo]);
+}
+
+void SuccessCounter::add(bool success) {
+  ++trials_;
+  if (success) {
+    ++successes_;
+  }
+}
+
+void SuccessCounter::add_many(std::uint64_t successes, std::uint64_t trials) {
+  DSSLICE_REQUIRE(successes <= trials, "more successes than trials");
+  successes_ += successes;
+  trials_ += trials;
+}
+
+void SuccessCounter::merge(const SuccessCounter& other) {
+  successes_ += other.successes_;
+  trials_ += other.trials_;
+}
+
+double SuccessCounter::ratio() const {
+  return trials_ == 0
+             ? 0.0
+             : static_cast<double>(successes_) / static_cast<double>(trials_);
+}
+
+double SuccessCounter::ci95_halfwidth() const {
+  if (trials_ == 0) {
+    return 0.0;
+  }
+  const double p = ratio();
+  const double n = static_cast<double>(trials_);
+  return 1.96 * std::sqrt(std::max(p * (1.0 - p), 0.0) / n);
+}
+
+}  // namespace dsslice

@@ -1,0 +1,65 @@
+// Small statistics helpers used by the evaluation framework and benches.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace dsslice {
+
+/// Streaming univariate accumulator (Welford's algorithm) — O(1) memory,
+/// numerically stable mean/variance, suitable for millions of samples.
+class RunningStats {
+ public:
+  void add(double x);
+  /// Merge another accumulator into this one (parallel reduction support).
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+  /// Half-width of the ~95% normal-approximation confidence interval.
+  double ci95_halfwidth() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Batch helpers over a sample vector.
+double mean_of(const std::vector<double>& xs);
+double stddev_of(const std::vector<double>& xs);
+/// Linear-interpolated percentile, p in [0, 100]. Sorts a copy.
+double percentile_of(std::vector<double> xs, double p);
+
+/// Success-ratio counter: successes over trials with a binomial CI.
+class SuccessCounter {
+ public:
+  void add(bool success);
+  void add_many(std::uint64_t successes, std::uint64_t trials);
+  void merge(const SuccessCounter& other);
+
+  std::uint64_t successes() const { return successes_; }
+  std::uint64_t trials() const { return trials_; }
+  /// Successes / trials; 0 when no trials were recorded.
+  double ratio() const;
+  /// Half-width of the Wald 95% binomial confidence interval.
+  double ci95_halfwidth() const;
+
+ private:
+  std::uint64_t successes_ = 0;
+  std::uint64_t trials_ = 0;
+};
+
+}  // namespace dsslice

@@ -1,0 +1,68 @@
+#include "dsslice/util/string_util.hpp"
+
+#include <cctype>
+#include <sstream>
+
+namespace dsslice {
+
+std::string format_fixed(double value, int digits) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(digits);
+  os << value;
+  return os.str();
+}
+
+std::string format_percent(double ratio, int digits) {
+  return format_fixed(ratio * 100.0, digits) + "%";
+}
+
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) {
+      out += sep;
+    }
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string pad_left(const std::string& s, std::size_t width) {
+  return s.size() >= width ? s : std::string(width - s.size(), ' ') + s;
+}
+
+std::string pad_right(const std::string& s, std::size_t width) {
+  return s.size() >= width ? s : s + std::string(width - s.size(), ' ');
+}
+
+std::vector<std::string> split(const std::string& s, char delim) {
+  std::vector<std::string> out;
+  std::string field;
+  std::istringstream is(s);
+  while (std::getline(is, field, delim)) {
+    out.push_back(field);
+  }
+  if (!s.empty() && s.back() == delim) {
+    out.emplace_back();
+  }
+  if (s.empty()) {
+    out.emplace_back();
+  }
+  return out;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t begin = 0;
+  std::size_t end = s.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+}  // namespace dsslice

@@ -1,0 +1,130 @@
+#include "dsslice/util/thread_pool.hpp"
+
+#include <atomic>
+#include <exception>
+
+#include "dsslice/util/check.hpp"
+
+namespace dsslice {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  cv_task_.notify_all();
+  // jthread joins on destruction.
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  DSSLICE_REQUIRE(task != nullptr, "null task submitted to ThreadPool");
+  {
+    std::lock_guard lock(mutex_);
+    DSSLICE_CHECK(!stopping_, "submit after shutdown");
+    queue_.push(std::move(task));
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  cv_idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_task_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_ && queue_.empty()) {
+        return;
+      }
+      task = std::move(queue_.front());
+      queue_.pop();
+      ++in_flight_;
+    }
+    task();
+    {
+      std::lock_guard lock(mutex_);
+      --in_flight_;
+    }
+    cv_idle_.notify_all();
+  }
+}
+
+void parallel_for(ThreadPool& pool, std::size_t count,
+                  const std::function<void(std::size_t)>& body) {
+  if (count == 0) {
+    return;
+  }
+  // For tiny batches, skip the pool entirely: determinism is unaffected and
+  // the dispatch overhead would dominate.
+  if (count == 1 || pool.size() == 1) {
+    for (std::size_t i = 0; i < count; ++i) {
+      body(i);
+    }
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  const std::size_t lanes = std::min(pool.size(), count);
+  std::atomic<std::size_t> done_lanes{0};
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    pool.submit([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count || failed.load(std::memory_order_relaxed)) {
+          break;
+        }
+        try {
+          body(i);
+        } catch (...) {
+          std::lock_guard lock(error_mutex);
+          if (!failed.exchange(true)) {
+            first_error = std::current_exception();
+          }
+        }
+      }
+      if (done_lanes.fetch_add(1) + 1 == lanes) {
+        std::lock_guard lock(done_mutex);
+        done_cv.notify_all();
+      }
+    });
+  }
+
+  std::unique_lock lock(done_mutex);
+  done_cv.wait(lock, [&] { return done_lanes.load() == lanes; });
+  if (first_error) {
+    std::rethrow_exception(first_error);
+  }
+}
+
+void parallel_for(std::size_t count,
+                  const std::function<void(std::size_t)>& body) {
+  parallel_for(global_pool(), count, body);
+}
+
+ThreadPool& global_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace dsslice

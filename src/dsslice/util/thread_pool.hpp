@@ -1,0 +1,61 @@
+// A small fixed-size thread pool used to run simulation batches in parallel.
+//
+// The evaluation framework partitions 1024-graph batches across worker
+// threads; per-graph results are deterministic (each graph carries its own
+// seed), so parallel and serial runs produce identical statistics.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace dsslice {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means std::thread::hardware_concurrency()
+  /// (with a floor of one worker).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task; it runs on some worker at an unspecified time.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has completed. The pool stays usable.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::jthread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+/// Runs body(i) for i in [0, count) across the pool, blocking until done.
+/// Work is distributed by an atomic index so uneven item costs balance.
+/// Exceptions thrown by `body` propagate to the caller (first one wins).
+void parallel_for(ThreadPool& pool, std::size_t count,
+                  const std::function<void(std::size_t)>& body);
+
+/// Convenience overload using a process-wide shared pool.
+void parallel_for(std::size_t count,
+                  const std::function<void(std::size_t)>& body);
+
+/// Lazily-constructed process-wide pool sized to hardware concurrency.
+ThreadPool& global_pool();
+
+}  // namespace dsslice

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "dsslice/core/anchors.hpp"
+#include "dsslice/util/check.hpp"
+#include "test_util.hpp"
+
+namespace dsslice {
+namespace {
+
+TEST(Anchors, InitializationFromApplication) {
+  const Application app = testing::make_diamond(5.0, 5.0, 5.0, 5.0, 100.0);
+  const AnchorState anchors(app);
+  EXPECT_EQ(anchors.task_count(), 4u);
+  EXPECT_EQ(anchors.remaining_count(), 4u);
+  EXPECT_FALSE(anchors.all_assigned());
+  // Input has an arrival anchor, output a deadline anchor.
+  EXPECT_TRUE(anchors.has_arrival_anchor(0));
+  EXPECT_DOUBLE_EQ(anchors.arrival_anchor(0), 0.0);
+  EXPECT_TRUE(anchors.has_deadline_anchor(3));
+  EXPECT_DOUBLE_EQ(anchors.deadline_anchor(3), 100.0);
+  // Middle tasks start unanchored.
+  EXPECT_FALSE(anchors.has_arrival_anchor(1));
+  EXPECT_FALSE(anchors.has_deadline_anchor(1));
+}
+
+TEST(Anchors, TightenMovesMonotonically) {
+  const Application app = testing::make_diamond(5.0, 5.0, 5.0, 5.0, 100.0);
+  AnchorState anchors(app);
+  anchors.tighten_arrival(1, 10.0);
+  EXPECT_DOUBLE_EQ(anchors.arrival_anchor(1), 10.0);
+  anchors.tighten_arrival(1, 5.0);  // weaker constraint ignored
+  EXPECT_DOUBLE_EQ(anchors.arrival_anchor(1), 10.0);
+  anchors.tighten_arrival(1, 20.0);
+  EXPECT_DOUBLE_EQ(anchors.arrival_anchor(1), 20.0);
+
+  anchors.tighten_deadline(1, 80.0);
+  EXPECT_DOUBLE_EQ(anchors.deadline_anchor(1), 80.0);
+  anchors.tighten_deadline(1, 90.0);  // weaker constraint ignored
+  EXPECT_DOUBLE_EQ(anchors.deadline_anchor(1), 80.0);
+}
+
+TEST(Anchors, AssignmentLifecycle) {
+  const Application app = testing::make_chain(3, 5.0, 100.0);
+  AnchorState anchors(app);
+  anchors.mark_assigned(0, Window{0.0, 30.0});
+  EXPECT_TRUE(anchors.assigned(0));
+  EXPECT_EQ(anchors.remaining_count(), 2u);
+  EXPECT_EQ(anchors.window(0), (Window{0.0, 30.0}));
+  // Assigned tasks cannot be re-assigned or tightened.
+  EXPECT_THROW(anchors.mark_assigned(0, Window{}), CheckError);
+  EXPECT_THROW(anchors.tighten_arrival(0, 1.0), CheckError);
+  EXPECT_THROW(anchors.window(1), ConfigError);
+}
+
+TEST(Anchors, PiSourceAndSinkTracking) {
+  const Application app = testing::make_chain(3, 5.0, 100.0);
+  AnchorState anchors(app);
+  const TaskGraph& g = app.graph();
+  EXPECT_TRUE(anchors.is_pi_source(g, 0));
+  EXPECT_FALSE(anchors.is_pi_source(g, 1));
+  EXPECT_TRUE(anchors.is_pi_sink(g, 2));
+  EXPECT_FALSE(anchors.is_pi_sink(g, 1));
+
+  anchors.mark_assigned(0, Window{0.0, 30.0});
+  EXPECT_TRUE(anchors.is_pi_source(g, 1));  // predecessor now assigned
+  EXPECT_FALSE(anchors.is_pi_source(g, 0));  // assigned tasks excluded
+
+  anchors.mark_assigned(2, Window{60.0, 100.0});
+  EXPECT_TRUE(anchors.is_pi_sink(g, 1));
+}
+
+TEST(Anchors, AllAssigned) {
+  const Application app = testing::make_chain(2, 5.0, 100.0);
+  AnchorState anchors(app);
+  anchors.mark_assigned(0, Window{0.0, 50.0});
+  anchors.mark_assigned(1, Window{50.0, 100.0});
+  EXPECT_TRUE(anchors.all_assigned());
+  EXPECT_EQ(anchors.remaining_count(), 0u);
+}
+
+}  // namespace
+}  // namespace dsslice

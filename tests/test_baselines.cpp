@@ -1,0 +1,147 @@
+// Closed-form checks for the related-work baselines on a chain, where the
+// Kao & Garcia-Molina formulas reduce to their original definitions.
+#include <gtest/gtest.h>
+
+#include "dsslice/baselines/bettati_liu.hpp"
+#include "dsslice/baselines/distribution_registry.hpp"
+#include "dsslice/baselines/kao_garcia_molina.hpp"
+#include "dsslice/util/check.hpp"
+#include "test_util.hpp"
+
+namespace dsslice {
+namespace {
+
+// Chain of 3 tasks, c = (10, 20, 30), D = 120.
+struct ChainFixture {
+  Application app;
+  std::vector<double> est{10.0, 20.0, 30.0};
+  ChainFixture() : app(make()) {}
+
+  static Application make() {
+    ApplicationBuilder b;
+    const NodeId t0 = b.add_uniform_task("t0", 10.0);
+    const NodeId t1 = b.add_uniform_task("t1", 20.0);
+    const NodeId t2 = b.add_uniform_task("t2", 30.0);
+    b.add_chain({t0, t1, t2});
+    b.set_input_arrival(t0, 0.0);
+    b.set_ete_deadline(t2, 120.0);
+    return b.build();
+  }
+};
+
+TEST(KaoBaselines, UltimateDeadline) {
+  ChainFixture f;
+  const auto a = distribute_kao(f.app, f.est, KaoStrategy::kUltimateDeadline);
+  for (NodeId v = 0; v < 3; ++v) {
+    EXPECT_DOUBLE_EQ(a.windows[v].deadline, 120.0);
+  }
+  // Arrivals are communication-free earliest starts.
+  EXPECT_DOUBLE_EQ(a.windows[0].arrival, 0.0);
+  EXPECT_DOUBLE_EQ(a.windows[1].arrival, 10.0);
+  EXPECT_DOUBLE_EQ(a.windows[2].arrival, 30.0);
+}
+
+TEST(KaoBaselines, EffectiveDeadline) {
+  ChainFixture f;
+  const auto a = distribute_kao(f.app, f.est, KaoStrategy::kEffectiveDeadline);
+  // ED_i = D − (downstream work excluding i): t0: 120−50=70,
+  // t1: 120−30=90, t2: 120.
+  EXPECT_DOUBLE_EQ(a.windows[0].deadline, 70.0);
+  EXPECT_DOUBLE_EQ(a.windows[1].deadline, 90.0);
+  EXPECT_DOUBLE_EQ(a.windows[2].deadline, 120.0);
+}
+
+TEST(KaoBaselines, EqualSlack) {
+  ChainFixture f;
+  const auto a = distribute_kao(f.app, f.est, KaoStrategy::kEqualSlack);
+  // Slack at t0 = 120 − 0 − 60 = 60 over 3 remaining tasks → D0 = 0+10+20.
+  EXPECT_DOUBLE_EQ(a.windows[0].deadline, 30.0);
+  // At t1: slack = 120 − 10 − 50 = 60 over 2 → D1 = 10+20+30 = 60.
+  EXPECT_DOUBLE_EQ(a.windows[1].deadline, 60.0);
+  // At t2: slack = 120 − 30 − 30 = 60 over 1 → D2 = 30+30+60 = 120.
+  EXPECT_DOUBLE_EQ(a.windows[2].deadline, 120.0);
+}
+
+TEST(KaoBaselines, EqualFlexibility) {
+  ChainFixture f;
+  const auto a = distribute_kao(f.app, f.est, KaoStrategy::kEqualFlexibility);
+  // At t0: slack 60, share c/SL = 10/60 → D0 = 0+10+10 = 20.
+  EXPECT_DOUBLE_EQ(a.windows[0].deadline, 20.0);
+  // At t1: slack = 120−10−50 = 60, share 20/50 → D1 = 10+20+24 = 54.
+  EXPECT_DOUBLE_EQ(a.windows[1].deadline, 54.0);
+  // At t2: slack = 60, share 30/30 = 1 → D2 = 30+30+60 = 120.
+  EXPECT_DOUBLE_EQ(a.windows[2].deadline, 120.0);
+}
+
+TEST(KaoBaselines, GoverningDeadlineIsMinOverOutputs) {
+  ApplicationBuilder b;
+  const NodeId src = b.add_uniform_task("src", 10.0);
+  const NodeId out_a = b.add_uniform_task("out_a", 10.0);
+  const NodeId out_b = b.add_uniform_task("out_b", 10.0);
+  b.add_precedence(src, out_a);
+  b.add_precedence(src, out_b);
+  b.set_input_arrival(src, 0.0);
+  b.set_ete_deadline(out_a, 40.0);
+  b.set_ete_deadline(out_b, 200.0);
+  const Application app = b.build();
+  const std::vector<double> est{10.0, 10.0, 10.0};
+  const auto a = distribute_kao(app, est, KaoStrategy::kUltimateDeadline);
+  EXPECT_DOUBLE_EQ(a.windows[src].deadline, 40.0);   // min(40, 200)
+  EXPECT_DOUBLE_EQ(a.windows[out_b].deadline, 200.0);
+}
+
+TEST(BettatiLiu, EvenPerLevelDivision) {
+  ChainFixture f;
+  const auto a = distribute_bettati_liu(f.app, f.est);
+  // Depth 3, budget 120: windows [0,40], [40,80], [80,120].
+  for (NodeId v = 0; v < 3; ++v) {
+    EXPECT_DOUBLE_EQ(a.windows[v].arrival, 40.0 * v);
+    EXPECT_DOUBLE_EQ(a.windows[v].deadline, 40.0 * (v + 1));
+  }
+}
+
+TEST(BettatiLiu, IgnoresExecutionTimes) {
+  ChainFixture f;
+  const std::vector<double> other{1.0, 1.0, 1.0};
+  const auto a1 = distribute_bettati_liu(f.app, f.est);
+  const auto a2 = distribute_bettati_liu(f.app, other);
+  for (NodeId v = 0; v < 3; ++v) {
+    EXPECT_EQ(a1.windows[v], a2.windows[v]);
+  }
+}
+
+TEST(Registry, NamesAndClassification) {
+  EXPECT_EQ(all_distribution_techniques().size(), 10u);
+  EXPECT_TRUE(is_slicing(DistributionTechnique::kSlicingAdaptL));
+  EXPECT_FALSE(is_slicing(DistributionTechnique::kKaoUD));
+  EXPECT_EQ(metric_of(DistributionTechnique::kSlicingNorm),
+            MetricKind::kNorm);
+  EXPECT_THROW(metric_of(DistributionTechnique::kBettatiLiu), ConfigError);
+  EXPECT_EQ(to_string(DistributionTechnique::kSlicingAdaptL),
+            "SLICE/ADAPT-L");
+  EXPECT_EQ(to_string(DistributionTechnique::kKaoEQS), "KAO/EQS");
+}
+
+TEST(Registry, DispatchesToAllTechniques) {
+  ChainFixture f;
+  const Platform platform = Platform::identical(2);
+  for (const DistributionTechnique t : all_distribution_techniques()) {
+    const auto a = distribute(t, f.app, f.est, platform);
+    ASSERT_EQ(a.windows.size(), 3u) << to_string(t);
+    // Output deadline never exceeds the E-T-E deadline.
+    EXPECT_LE(a.windows[2].deadline, 120.0 + 1e-9) << to_string(t);
+  }
+  // The processor-count overload cannot run the iterative baseline.
+  EXPECT_THROW(distribute(DistributionTechnique::kIterative, f.app, f.est, 2),
+               ConfigError);
+}
+
+TEST(KaoBaselines, StrategyNames) {
+  EXPECT_EQ(to_string(KaoStrategy::kUltimateDeadline), "UD");
+  EXPECT_EQ(to_string(KaoStrategy::kEffectiveDeadline), "ED");
+  EXPECT_EQ(to_string(KaoStrategy::kEqualSlack), "EQS");
+  EXPECT_EQ(to_string(KaoStrategy::kEqualFlexibility), "EQF");
+}
+
+}  // namespace
+}  // namespace dsslice

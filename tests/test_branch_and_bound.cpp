@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "dsslice/sched/branch_and_bound.hpp"
+#include "dsslice/sched/edf_list_scheduler.hpp"
+#include "dsslice/sched/validation.hpp"
+#include "test_util.hpp"
+
+namespace dsslice {
+namespace {
+
+DeadlineAssignment windows(std::vector<Window> ws) {
+  DeadlineAssignment a;
+  a.windows = std::move(ws);
+  return a;
+}
+
+TEST(BranchAndBound, FindsTrivialChainSchedule) {
+  const Application app = testing::make_chain(3, 10.0, 100.0);
+  const auto a = windows({{0.0, 33.0}, {33.0, 66.0}, {66.0, 100.0}});
+  const auto r = branch_and_bound_schedule(app, a, Platform::identical(2));
+  ASSERT_EQ(r.status, BnbStatus::kFeasible);
+  EXPECT_TRUE(r.schedule.complete());
+  EXPECT_TRUE(validate_schedule(app, Platform::identical(2), a, r.schedule)
+                  .empty());
+}
+
+TEST(BranchAndBound, ProvesInfeasibility) {
+  // Two 10-unit tasks sharing a [0, 15] window on one processor: no
+  // non-preemptive schedule can fit both.
+  ApplicationBuilder b;
+  const NodeId x = b.add_uniform_task("x", 10.0);
+  const NodeId y = b.add_uniform_task("y", 10.0);
+  b.set_ete_deadline(x, 15.0);
+  b.set_ete_deadline(y, 15.0);
+  const Application app = b.build();
+  const auto a = windows({{0.0, 15.0}, {0.0, 15.0}});
+  const auto r = branch_and_bound_schedule(app, a, Platform::identical(1));
+  EXPECT_EQ(r.status, BnbStatus::kInfeasible);
+  // With two processors it becomes feasible.
+  const auto r2 = branch_and_bound_schedule(app, a, Platform::identical(2));
+  EXPECT_EQ(r2.status, BnbStatus::kFeasible);
+}
+
+TEST(BranchAndBound, BeatsGreedyEdfOnCraftedInstance) {
+  // One processor, three tasks:
+  //   a: window [0, 30], c = 10
+  //   b: window [0, 22], c = 10   (earliest deadline)
+  //   c: window [10, 21], c = 1
+  // EDF places b at 0, a at 10 (finish 20 ≤ 30), then c at 20... c's
+  // deadline is 21 < 20+1 = 21 OK. Tighten: c window [10, 20.5]: EDF
+  // finishes c at 21 > 20.5 — fails. A feasible order exists: b [0,10],
+  // c [10,11], a [11,21].
+  ApplicationBuilder builder;
+  const NodeId ta = builder.add_uniform_task("a", 10.0);
+  const NodeId tb = builder.add_uniform_task("b", 10.0);
+  const NodeId tc = builder.add_uniform_task("c", 1.0);
+  builder.set_ete_deadline(ta, 30.0);
+  builder.set_ete_deadline(tb, 22.0);
+  builder.set_ete_deadline(tc, 20.5);
+  const Application app = builder.build();
+  const auto a = windows({{0.0, 30.0}, {0.0, 22.0}, {10.0, 20.5}});
+
+  const auto greedy = EdfListScheduler().run(app, a, Platform::identical(1));
+  EXPECT_FALSE(greedy.success);
+
+  const auto exact =
+      branch_and_bound_schedule(app, a, Platform::identical(1));
+  ASSERT_EQ(exact.status, BnbStatus::kFeasible);
+  EXPECT_TRUE(validate_schedule(app, Platform::identical(1), a,
+                                exact.schedule)
+                  .empty());
+}
+
+TEST(BranchAndBound, RespectsNodeBudget) {
+  // A wide independent task set with tight shared windows forces real
+  // search; a budget of 1 node must bail out with kNodeLimit (the first
+  // node is spent before any placement).
+  ApplicationBuilder b;
+  for (int i = 0; i < 8; ++i) {
+    const NodeId v = b.add_uniform_task("t" + std::to_string(i), 10.0);
+    b.set_ete_deadline(v, 45.0);
+  }
+  const Application app = b.build();
+  DeadlineAssignment a;
+  a.windows.assign(8, Window{0.0, 45.0});
+  BnbOptions options;
+  options.max_nodes = 1;
+  const auto r =
+      branch_and_bound_schedule(app, a, Platform::identical(2), options);
+  EXPECT_EQ(r.status, BnbStatus::kNodeLimit);
+  EXPECT_THROW(branch_and_bound_schedule(app, a, Platform::identical(2),
+                                         BnbOptions{0}),
+               ConfigError);
+}
+
+TEST(BranchAndBound, HonoursEligibilityAndHeterogeneity) {
+  ApplicationBuilder b;
+  const NodeId x = b.add_task("x", {10.0, kIneligibleWcet});
+  const NodeId y = b.add_task("y", {kIneligibleWcet, 20.0});
+  b.set_ete_deadline(x, 50.0);
+  b.set_ete_deadline(y, 50.0);
+  const Application app = b.build(2);
+  const Platform plat = Platform::shared_bus(
+      {ProcessorClass{"e0", 1.0}, ProcessorClass{"e1", 1.0}}, {0, 1});
+  const auto a = windows({{0.0, 50.0}, {0.0, 50.0}});
+  const auto r = branch_and_bound_schedule(app, a, plat);
+  ASSERT_EQ(r.status, BnbStatus::kFeasible);
+  EXPECT_EQ(r.schedule.entry(x).processor, 0u);
+  EXPECT_EQ(r.schedule.entry(y).processor, 1u);
+}
+
+TEST(BranchAndBound, AccountsForCommunication) {
+  // Cross-processor chain where co-location is impossible; the message
+  // delay must appear in the feasible schedule.
+  ApplicationBuilder b;
+  const NodeId u = b.add_task("u", {10.0, kIneligibleWcet});
+  const NodeId v = b.add_task("v", {kIneligibleWcet, 10.0});
+  b.add_precedence(u, v, 5.0);
+  b.set_input_arrival(u, 0.0);
+  b.set_ete_deadline(v, 26.0);
+  const Application app = b.build(2);
+  const Platform plat = Platform::shared_bus(
+      {ProcessorClass{"e0", 1.0}, ProcessorClass{"e1", 1.0}}, {0, 1});
+  // Feasible: u [0,10], message [10,15], v [15,25] ≤ 26.
+  const auto feasible = windows({{0.0, 10.0}, {10.0, 26.0}});
+  EXPECT_EQ(branch_and_bound_schedule(app, feasible, plat).status,
+            BnbStatus::kFeasible);
+  // v's window too tight for the message: provably infeasible.
+  const auto infeasible = windows({{0.0, 10.0}, {10.0, 24.0}});
+  EXPECT_EQ(branch_and_bound_schedule(app, infeasible, plat).status,
+            BnbStatus::kInfeasible);
+}
+
+// Property: whenever greedy EDF succeeds, branch-and-bound must also report
+// feasible (it subsumes the greedy schedule), and its schedule validates.
+TEST(BranchAndBound, SubsumesGreedySuccessOnSmallRandomInstances) {
+  GeneratorConfig gen = testing::small_generator(60);
+  gen.workload.min_tasks = 8;
+  gen.workload.max_tasks = 12;
+  gen.workload.min_depth = 3;
+  gen.workload.max_depth = 4;
+  for (std::size_t k = 0; k < 12; ++k) {
+    const Scenario sc = generate_scenario_at(gen, k);
+    const auto est = estimate_wcets(sc.application, WcetEstimation::kAverage);
+    const auto a = run_slicing(sc.application, est,
+                               DeadlineMetric(MetricKind::kNorm),
+                               sc.platform.processor_count());
+    const bool greedy_ok =
+        EdfListScheduler().run(sc.application, a, sc.platform).success;
+    const auto exact = branch_and_bound_schedule(sc.application, a,
+                                                 sc.platform);
+    if (greedy_ok) {
+      EXPECT_EQ(exact.status, BnbStatus::kFeasible) << "scenario " << k;
+    }
+    if (exact.status == BnbStatus::kFeasible) {
+      EXPECT_TRUE(validate_schedule(sc.application, sc.platform, a,
+                                    exact.schedule)
+                      .empty())
+          << "scenario " << k;
+    }
+  }
+}
+
+TEST(BranchAndBound, StatusNames) {
+  EXPECT_EQ(to_string(BnbStatus::kFeasible), "feasible");
+  EXPECT_EQ(to_string(BnbStatus::kInfeasible), "infeasible");
+  EXPECT_EQ(to_string(BnbStatus::kNodeLimit), "node-limit");
+}
+
+}  // namespace
+}  // namespace dsslice

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "dsslice/core/diagnosis.hpp"
+#include "dsslice/core/slicing.hpp"
+#include "test_util.hpp"
+
+namespace dsslice {
+namespace {
+
+DeadlineAssignment windows(std::vector<Window> ws) {
+  DeadlineAssignment a;
+  a.windows = std::move(ws);
+  return a;
+}
+
+TEST(Diagnosis, WindowTooSmall) {
+  const Application app = testing::make_chain(2, 10.0, 100.0);
+  const auto a = windows({{0.0, 5.0}, {5.0, 100.0}});
+  const auto r = EdfListScheduler().run(app, a, Platform::identical(1));
+  ASSERT_FALSE(r.success);
+  const MissDiagnosis d =
+      diagnose_failure(app, Platform::identical(1), a, r);
+  EXPECT_EQ(d.task, 0u);
+  EXPECT_EQ(d.cause, MissCause::kWindowTooSmall);
+  EXPECT_NE(d.summary.find("deadline-distribution failure"),
+            std::string::npos);
+}
+
+TEST(Diagnosis, CommunicationBound) {
+  // Cross-processor message arrives after the latest feasible start.
+  ApplicationBuilder b;
+  const NodeId u = b.add_task("u", {10.0, kIneligibleWcet});
+  const NodeId v = b.add_task("v", {kIneligibleWcet, 10.0});
+  b.add_precedence(u, v, 20.0);
+  b.set_input_arrival(u, 0.0);
+  b.set_ete_deadline(v, 100.0);
+  const Application app = b.build(2);
+  const Platform plat = Platform::shared_bus(
+      {ProcessorClass{"e0", 1.0}, ProcessorClass{"e1", 1.0}}, {0, 1});
+  // v's window [10, 25]: data arrives at 10 + 20 = 30 > 25 − 10 = 15.
+  const auto a = windows({{0.0, 10.0}, {10.0, 25.0}});
+  const auto r = EdfListScheduler().run(app, a, plat);
+  ASSERT_FALSE(r.success);
+  const MissDiagnosis d = diagnose_failure(app, plat, a, r);
+  EXPECT_EQ(d.task, v);
+  EXPECT_EQ(d.cause, MissCause::kCommunication);
+  EXPECT_DOUBLE_EQ(d.earliest_possible_start, 30.0);
+  EXPECT_DOUBLE_EQ(d.latest_feasible_start, 15.0);
+}
+
+TEST(Diagnosis, ContentionNamesRivals) {
+  // Window and data fine; the single processor is occupied by rivals.
+  ApplicationBuilder b;
+  const NodeId r0 = b.add_uniform_task("rival0", 20.0);
+  const NodeId r1 = b.add_uniform_task("rival1", 20.0);
+  const NodeId victim = b.add_uniform_task("victim", 10.0);
+  b.set_ete_deadline(r0, 20.0);
+  b.set_ete_deadline(r1, 40.0);
+  b.set_ete_deadline(victim, 45.0);
+  const Application app = b.build();
+  const auto a = windows({{0.0, 20.0}, {0.0, 40.0}, {0.0, 45.0}});
+  const auto r = EdfListScheduler().run(app, a, Platform::identical(1));
+  ASSERT_FALSE(r.success);
+  ASSERT_EQ(*r.failed_task, victim);
+  const MissDiagnosis d =
+      diagnose_failure(app, Platform::identical(1), a, r);
+  EXPECT_EQ(d.cause, MissCause::kContention);
+  EXPECT_EQ(d.rivals, (std::vector<NodeId>{r0, r1}));
+  EXPECT_NE(d.summary.find("contention failure"), std::string::npos);
+}
+
+TEST(Diagnosis, EligibilityFailure) {
+  ApplicationBuilder b;
+  const NodeId x = b.add_task("x", {kIneligibleWcet, 10.0});
+  b.set_ete_deadline(x, 50.0);
+  const Application app = b.build(2);
+  const Platform plat = Platform::shared_bus(
+      {ProcessorClass{"e0", 1.0}, ProcessorClass{"e1", 1.0}}, {0, 0});
+  const auto a = windows({{0.0, 50.0}});
+  const auto r = EdfListScheduler().run(app, a, plat);
+  ASSERT_FALSE(r.success);
+  const MissDiagnosis d = diagnose_failure(app, plat, a, r);
+  EXPECT_EQ(d.cause, MissCause::kEligibility);
+}
+
+TEST(Diagnosis, RequiresAFailedTask) {
+  const Application app = testing::make_chain(2, 10.0, 100.0);
+  const auto a = windows({{0.0, 50.0}, {50.0, 100.0}});
+  const auto r = EdfListScheduler().run(app, a, Platform::identical(1));
+  ASSERT_TRUE(r.success);
+  EXPECT_THROW(diagnose_failure(app, Platform::identical(1), a, r),
+               ConfigError);
+}
+
+TEST(Diagnosis, CauseNames) {
+  EXPECT_EQ(to_string(MissCause::kWindowTooSmall), "window-too-small");
+  EXPECT_EQ(to_string(MissCause::kCommunication), "communication");
+  EXPECT_EQ(to_string(MissCause::kContention), "contention");
+  EXPECT_EQ(to_string(MissCause::kEligibility), "eligibility");
+}
+
+// Census over random failures: every diagnosed cause is one of the four,
+// and contention dominates at the paper's operating point (the paper's own
+// narrative for why adaptive laxity helps).
+TEST(Diagnosis, ContentionDominatesAtTightOlr) {
+  GeneratorConfig gen = testing::paper_generator(33);
+  gen.workload.olr = 0.6;
+  std::size_t contention = 0;
+  std::size_t window = 0;
+  std::size_t other = 0;
+  for (std::size_t k = 0; k < 64; ++k) {
+    const Scenario sc = generate_scenario_at(gen, k);
+    const auto est = estimate_wcets(sc.application, WcetEstimation::kAverage);
+    const auto a = run_slicing(sc.application, est,
+                               DeadlineMetric(MetricKind::kPure),
+                               sc.platform.processor_count());
+    const auto r = EdfListScheduler().run(sc.application, a, sc.platform);
+    if (r.success) {
+      continue;
+    }
+    const MissDiagnosis d =
+        diagnose_failure(sc.application, sc.platform, a, r);
+    switch (d.cause) {
+      case MissCause::kContention:
+        ++contention;
+        break;
+      case MissCause::kWindowTooSmall:
+        ++window;
+        break;
+      default:
+        ++other;
+    }
+  }
+  EXPECT_GT(contention + window + other, 0u);
+  EXPECT_GE(contention, window)
+      << "PURE's failures at OLR 0.6 should be contention-dominated";
+}
+
+TEST(MergeApplications, ComposesIndependentComponents) {
+  const Application a = testing::make_chain(2, 10.0, 60.0);
+  const Application b = testing::make_diamond(5.0, 5.0, 5.0, 5.0, 80.0);
+  const Application merged = merge_applications(a, b);
+  EXPECT_EQ(merged.task_count(), 6u);
+  EXPECT_EQ(merged.graph().arc_count(),
+            a.graph().arc_count() + b.graph().arc_count());
+  EXPECT_DOUBLE_EQ(merged.ete_deadline(1), 60.0);
+  EXPECT_DOUBLE_EQ(merged.ete_deadline(2 + 3), 80.0);  // offset diamond sink
+  EXPECT_FALSE(reachable(merged.graph(), 0, 2));       // still disjoint
+  EXPECT_TRUE(merged.validate(Platform::identical(2)).empty());
+}
+
+}  // namespace
+}  // namespace dsslice

@@ -1,0 +1,37 @@
+#include <gtest/gtest.h>
+
+#include "dsslice/graph/dot.hpp"
+
+namespace dsslice {
+namespace {
+
+TEST(Dot, ContainsNodesAndArcs) {
+  TaskGraph g(3);
+  g.add_arc(0, 1, 2.0);
+  g.add_arc(1, 2);
+  const std::string dot = to_dot(g);
+  EXPECT_NE(dot.find("digraph taskgraph"), std::string::npos);
+  EXPECT_NE(dot.find("n0 [label=\"t0\"]"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"2\""), std::string::npos);
+  // Zero-size messages carry no label.
+  EXPECT_NE(dot.find("n1 -> n2;"), std::string::npos);
+}
+
+TEST(Dot, CustomLabelsAndOptions) {
+  TaskGraph g(2);
+  g.add_arc(0, 1, 3.0);
+  DotOptions options;
+  options.graph_name = "app";
+  options.show_message_sizes = false;
+  options.node_label = [](NodeId v) {
+    return std::string("task_") + std::to_string(v);
+  };
+  const std::string dot = to_dot(g, options);
+  EXPECT_NE(dot.find("digraph app"), std::string::npos);
+  EXPECT_NE(dot.find("task_1"), std::string::npos);
+  EXPECT_EQ(dot.find("label=\"3\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dsslice

@@ -1,0 +1,212 @@
+// Hand-verifiable scheduler scenarios (§5.4 semantics).
+#include <gtest/gtest.h>
+
+#include "dsslice/sched/edf_list_scheduler.hpp"
+#include "dsslice/sched/validation.hpp"
+#include "test_util.hpp"
+
+namespace dsslice {
+namespace {
+
+DeadlineAssignment windows(std::vector<Window> ws) {
+  DeadlineAssignment a;
+  a.windows = std::move(ws);
+  return a;
+}
+
+TEST(EdfScheduler, ChainOnOneProcessor) {
+  const Application app = testing::make_chain(3, 10.0, 100.0);
+  const auto a = windows({{0.0, 33.0}, {33.0, 66.0}, {66.0, 100.0}});
+  const auto r = EdfListScheduler().run(app, a, Platform::identical(1));
+  ASSERT_TRUE(r.success) << r.failure_reason;
+  EXPECT_DOUBLE_EQ(r.schedule.entry(0).start, 0.0);
+  // Each successor waits for its window start (non-overlap property).
+  EXPECT_DOUBLE_EQ(r.schedule.entry(1).start, 33.0);
+  EXPECT_DOUBLE_EQ(r.schedule.entry(2).start, 66.0);
+  EXPECT_TRUE(validate_schedule(app, Platform::identical(1), a, r.schedule)
+                  .empty());
+}
+
+TEST(EdfScheduler, ParallelBranchesUseBothProcessors) {
+  const Application app = testing::make_diamond(10.0, 20.0, 20.0, 10.0, 100.0);
+  const auto a = windows(
+      {{0.0, 25.0}, {25.0, 70.0}, {25.0, 70.0}, {70.0, 100.0}});
+  const auto r = EdfListScheduler().run(app, a, Platform::identical(2));
+  ASSERT_TRUE(r.success) << r.failure_reason;
+  // Both mid tasks run in parallel within their shared window.
+  EXPECT_NE(r.schedule.entry(1).processor, r.schedule.entry(2).processor);
+  EXPECT_DOUBLE_EQ(r.schedule.entry(1).start, 25.0);
+  EXPECT_DOUBLE_EQ(r.schedule.entry(2).start, 25.0);
+}
+
+TEST(EdfScheduler, CommunicationDelaysSuccessorCrossProcessor) {
+  // Chain with a 5-item message; two processors force a cross transfer only
+  // if the scheduler separates producer and consumer — it won't, because
+  // co-locating yields the earlier start. Then force separation via
+  // eligibility and observe the bus delay.
+  ApplicationBuilder b;
+  const NodeId t0 = b.add_task("t0", {10.0, kIneligibleWcet});
+  const NodeId t1 = b.add_task("t1", {kIneligibleWcet, 10.0});
+  b.add_precedence(t0, t1, 5.0);
+  b.set_input_arrival(t0, 0.0);
+  b.set_ete_deadline(t1, 100.0);
+  const Application app = b.build(2);
+  const Platform plat = Platform::shared_bus(
+      {ProcessorClass{"e0", 1.0}, ProcessorClass{"e1", 1.0}}, {0, 1}, 1.0);
+  const auto a = windows({{0.0, 50.0}, {50.0, 100.0}});
+  const auto r = EdfListScheduler().run(app, a, plat);
+  ASSERT_TRUE(r.success) << r.failure_reason;
+  EXPECT_EQ(r.schedule.entry(t0).processor, 0u);
+  EXPECT_EQ(r.schedule.entry(t1).processor, 1u);
+  // t1 could start at its window (50) — data arrives at 10+5=15 < 50.
+  EXPECT_DOUBLE_EQ(r.schedule.entry(t1).start, 50.0);
+
+  // Tighten the windows so the message delay becomes binding.
+  const auto tight = windows({{0.0, 10.0}, {10.0, 100.0}});
+  const auto r2 = EdfListScheduler().run(app, tight, plat);
+  ASSERT_TRUE(r2.success) << r2.failure_reason;
+  EXPECT_DOUBLE_EQ(r2.schedule.entry(t1).start, 15.0);  // 10 + 5 items × 1
+}
+
+TEST(EdfScheduler, PrefersCoLocationWhenItYieldsEarlierStart) {
+  ApplicationBuilder b;
+  const NodeId t0 = b.add_uniform_task("t0", 10.0);
+  const NodeId t1 = b.add_uniform_task("t1", 10.0);
+  b.add_precedence(t0, t1, 50.0);  // expensive message
+  b.set_input_arrival(t0, 0.0);
+  b.set_ete_deadline(t1, 100.0);
+  const Application app = b.build();
+  const auto a = windows({{0.0, 40.0}, {10.0, 100.0}});
+  const auto r = EdfListScheduler().run(app, a, Platform::identical(2));
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.schedule.entry(t0).processor, r.schedule.entry(t1).processor);
+  EXPECT_DOUBLE_EQ(r.schedule.entry(t1).start, 10.0);
+}
+
+TEST(EdfScheduler, EdfOrderBreaksContention) {
+  // Two independent tasks, one processor, overlapping windows: the tighter
+  // deadline must run first.
+  ApplicationBuilder b;
+  const NodeId loose = b.add_uniform_task("loose", 10.0);
+  const NodeId tight = b.add_uniform_task("tight", 10.0);
+  b.set_input_arrival(loose, 0.0);
+  b.set_input_arrival(tight, 0.0);
+  b.set_ete_deadline(loose, 100.0);
+  b.set_ete_deadline(tight, 25.0);
+  const Application app = b.build();
+  const auto a = windows({{0.0, 100.0}, {0.0, 25.0}});
+  const auto r = EdfListScheduler().run(app, a, Platform::identical(1));
+  ASSERT_TRUE(r.success) << r.failure_reason;
+  EXPECT_DOUBLE_EQ(r.schedule.entry(tight).start, 0.0);
+  EXPECT_DOUBLE_EQ(r.schedule.entry(loose).start, 10.0);
+}
+
+TEST(EdfScheduler, DeadlineMissAbortsByDefault) {
+  const Application app = testing::make_chain(2, 10.0, 100.0);
+  // First window cannot hold the task.
+  const auto a = windows({{0.0, 5.0}, {5.0, 100.0}});
+  const auto r = EdfListScheduler().run(app, a, Platform::identical(1));
+  EXPECT_FALSE(r.success);
+  ASSERT_TRUE(r.failed_task.has_value());
+  EXPECT_EQ(*r.failed_task, 0u);
+  EXPECT_NE(r.failure_reason.find("miss"), std::string::npos);
+  EXPECT_FALSE(r.schedule.complete());
+}
+
+TEST(EdfScheduler, LatenessModeContinuesPastMisses) {
+  const Application app = testing::make_chain(2, 10.0, 100.0);
+  const auto a = windows({{0.0, 5.0}, {5.0, 100.0}});
+  SchedulerOptions options;
+  options.abort_on_miss = false;
+  const auto r = EdfListScheduler(options).run(app, a, Platform::identical(1));
+  EXPECT_FALSE(r.success);
+  EXPECT_TRUE(r.schedule.complete());
+  EXPECT_DOUBLE_EQ(r.schedule.entry(0).finish, 10.0);  // late by 5
+}
+
+TEST(EdfScheduler, IneligibleEverywhereFails) {
+  ApplicationBuilder b;
+  const NodeId x = b.add_task("x", {kIneligibleWcet, 10.0});
+  b.set_ete_deadline(x, 50.0);
+  const Application app = b.build(2);
+  // Platform has only class-0 processors.
+  const Platform plat = Platform::shared_bus(
+      {ProcessorClass{"e0", 1.0}, ProcessorClass{"e1", 1.0}}, {0, 0});
+  const auto a = windows({{0.0, 50.0}});
+  const auto r = EdfListScheduler().run(app, a, plat);
+  EXPECT_FALSE(r.success);
+  EXPECT_NE(r.failure_reason.find("no eligible processor"),
+            std::string::npos);
+}
+
+TEST(EdfScheduler, HeterogeneousWcetPerClassIsUsed) {
+  ApplicationBuilder b;
+  const NodeId x = b.add_task("x", {10.0, 20.0});
+  b.set_ete_deadline(x, 50.0);
+  const Application app = b.build(2);
+  // Only a slow (class-1) processor available.
+  const Platform plat = Platform::shared_bus(
+      {ProcessorClass{"fast", 1.0}, ProcessorClass{"slow", 2.0}}, {1});
+  const auto a = windows({{0.0, 50.0}});
+  const auto r = EdfListScheduler().run(app, a, plat);
+  ASSERT_TRUE(r.success);
+  EXPECT_DOUBLE_EQ(r.schedule.entry(x).finish, 20.0);
+}
+
+TEST(EdfScheduler, InsertionFillsGapAppendCannot) {
+  // One processor. A loose task occupies [0,30] under append; a tight task
+  // arriving at 40 with window [40,50] then a second tight task [0,10]
+  // demonstrates insertion filling the idle prefix.
+  ApplicationBuilder b;
+  const NodeId big = b.add_uniform_task("big", 30.0);
+  const NodeId tiny = b.add_uniform_task("tiny", 8.0);
+  b.set_input_arrival(big, 0.0);
+  b.set_input_arrival(tiny, 0.0);
+  b.set_ete_deadline(big, 100.0);
+  b.set_ete_deadline(tiny, 10.0);
+  const Application app = b.build();
+  // Window of big starts at 2: EDF picks tiny first (deadline 10), so both
+  // policies succeed here; instead give big the tighter EDF deadline so it
+  // is placed first, then tiny must fit before it.
+  const auto a = windows({{2.0, 40.0}, {0.0, 10.0}});
+  // EDF order: tiny (deadline 10) still first. Force order via deadlines:
+  const auto a2 = windows({{2.0, 9.0}, {0.0, 45.0}});
+  // big first (deadline 9, runs [2,32]... misses). Simpler direct check of
+  // placement machinery: schedule big first via EDF, then tiny.
+  SchedulerOptions append;
+  SchedulerOptions insertion;
+  insertion.placement = PlacementPolicy::kInsertion;
+  // With windows a2: big deadline 9 < tiny 45 → big scheduled [2,32],
+  // misses 9 → both fail. Use feasible variant: big window [2,35].
+  const auto a3 = windows({{2.0, 35.0}, {0.0, 45.0}});
+  const auto r_app = EdfListScheduler(append).run(app, a3,
+                                                  Platform::identical(1));
+  const auto r_ins = EdfListScheduler(insertion).run(app, a3,
+                                                     Platform::identical(1));
+  ASSERT_TRUE(r_app.success);
+  ASSERT_TRUE(r_ins.success);
+  // Append: tiny runs after big (start 32). Insertion: tiny fits in [0,2)?
+  // No (needs 8) → also after. Check a real gap: big arrival 10.
+  const auto a4 = windows({{10.0, 43.0}, {0.0, 45.0}});
+  const auto r_app2 = EdfListScheduler(append).run(app, a4,
+                                                   Platform::identical(1));
+  const auto r_ins2 = EdfListScheduler(insertion).run(app, a4,
+                                                      Platform::identical(1));
+  // Append: big runs [10,40] (EDF picks it first), tiny can only start at
+  // 40 and misses its deadline 45. Insertion fills the idle prefix [0,10).
+  EXPECT_FALSE(r_app2.success);
+  ASSERT_TRUE(r_app2.failed_task.has_value());
+  EXPECT_EQ(*r_app2.failed_task, tiny);
+  ASSERT_TRUE(r_ins2.success);
+  EXPECT_DOUBLE_EQ(r_ins2.schedule.entry(tiny).start, 0.0);  // in the gap
+  (void)a;
+  (void)a2;
+}
+
+TEST(EdfScheduler, PolicyNames) {
+  EXPECT_EQ(to_string(PlacementPolicy::kAppend), "append");
+  EXPECT_EQ(to_string(PlacementPolicy::kInsertion), "insertion");
+}
+
+}  // namespace
+}  // namespace dsslice

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "dsslice/core/feasibility.hpp"
+#include "dsslice/core/slicing.hpp"
+#include "dsslice/sched/branch_and_bound.hpp"
+#include "test_util.hpp"
+
+namespace dsslice {
+namespace {
+
+DeadlineAssignment windows(std::vector<Window> ws) {
+  DeadlineAssignment a;
+  a.windows = std::move(ws);
+  return a;
+}
+
+TEST(Feasibility, AcceptsComfortableAssignment) {
+  const Application app = testing::make_chain(3, 10.0, 120.0);
+  const auto a = windows({{0.0, 40.0}, {40.0, 80.0}, {80.0, 120.0}});
+  const auto report =
+      check_necessary_conditions(app, a, Platform::identical(2));
+  EXPECT_TRUE(report.maybe_feasible())
+      << (report.violations.empty() ? "" : report.violations.front());
+}
+
+TEST(Feasibility, DetectsWindowTooSmall) {
+  const Application app = testing::make_chain(2, 10.0, 100.0);
+  const auto a = windows({{0.0, 5.0}, {5.0, 100.0}});
+  const auto report =
+      check_necessary_conditions(app, a, Platform::identical(1));
+  ASSERT_FALSE(report.maybe_feasible());
+  EXPECT_NE(report.violations.front().find("cannot hold its fastest WCET"),
+            std::string::npos);
+}
+
+TEST(Feasibility, DetectsChainSpanViolation) {
+  // Each window individually fits (overlapping windows), but the combined
+  // span across the arc cannot hold both executions serially.
+  ApplicationBuilder b;
+  const NodeId u = b.add_uniform_task("u", 10.0);
+  const NodeId v = b.add_uniform_task("v", 10.0);
+  b.add_precedence(u, v);
+  b.set_input_arrival(u, 0.0);
+  b.set_ete_deadline(v, 100.0);
+  const Application app = b.build();
+  const auto a = windows({{0.0, 15.0}, {0.0, 15.0}});
+  const auto report =
+      check_necessary_conditions(app, a, Platform::identical(2));
+  ASSERT_FALSE(report.maybe_feasible());
+  EXPECT_NE(report.violations.front().find("combined span"),
+            std::string::npos);
+}
+
+TEST(Feasibility, DetectsIntervalOverload) {
+  // Three independent 10-unit tasks sharing one [0, 25] window on one
+  // processor: each window fits, but the interval demand 30 > 25.
+  ApplicationBuilder b;
+  for (int i = 0; i < 3; ++i) {
+    const NodeId v = b.add_uniform_task("t" + std::to_string(i), 10.0);
+    b.set_ete_deadline(v, 25.0);
+  }
+  const Application app = b.build();
+  DeadlineAssignment a;
+  a.windows.assign(3, Window{0.0, 25.0});
+  EXPECT_GT(worst_interval_load(app, a, Platform::identical(1)), 1.0);
+  const auto report =
+      check_necessary_conditions(app, a, Platform::identical(1));
+  ASSERT_FALSE(report.maybe_feasible());
+  EXPECT_NE(report.violations.front().find("demand exceeds capacity"),
+            std::string::npos);
+  // Two processors restore the capacity condition.
+  EXPECT_LE(worst_interval_load(app, a, Platform::identical(2)), 1.0);
+}
+
+TEST(Feasibility, DetectsCriticalPathBeyondBudget) {
+  const Application app = testing::make_chain(5, 10.0, 40.0);  // CP = 50
+  const auto est = estimate_wcets(app, WcetEstimation::kAverage);
+  const auto a = run_slicing(app, est, DeadlineMetric(MetricKind::kPure), 2);
+  const auto report =
+      check_necessary_conditions(app, a, Platform::identical(2));
+  ASSERT_FALSE(report.maybe_feasible());
+}
+
+// Soundness: on random scenarios, whenever the necessary conditions fail,
+// the exact oracle must agree the assignment is infeasible.
+TEST(Feasibility, NeverContradictsTheExactOracle) {
+  GeneratorConfig gen = testing::small_generator(95);
+  gen.workload.min_tasks = 8;
+  gen.workload.max_tasks = 10;
+  gen.workload.min_depth = 3;
+  gen.workload.max_depth = 3;
+  gen.workload.olr = 0.55;
+  std::size_t checked = 0;
+  for (std::size_t k = 0; k < 40; ++k) {
+    const Scenario sc = generate_scenario_at(gen, k);
+    const auto est = estimate_wcets(sc.application, WcetEstimation::kAverage);
+    const auto a = run_slicing(sc.application, est,
+                               DeadlineMetric(MetricKind::kPure),
+                               sc.platform.processor_count());
+    const auto report =
+        check_necessary_conditions(sc.application, a, sc.platform);
+    if (report.maybe_feasible()) {
+      continue;
+    }
+    ++checked;
+    const auto exact = branch_and_bound_schedule(sc.application, a,
+                                                 sc.platform);
+    EXPECT_NE(exact.status, BnbStatus::kFeasible)
+        << "necessary condition contradicted on scenario " << k << ": "
+        << report.violations.front();
+  }
+  EXPECT_GT(checked, 0u) << "test exercised no infeasible assignment";
+}
+
+}  // namespace
+}  // namespace dsslice

@@ -1,0 +1,221 @@
+// Workload-generator compliance tests: every knob in §5.1/§5.2 of the paper
+// must be honoured by the generated scenarios.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsslice/dsslice.hpp"
+#include "test_util.hpp"
+
+namespace dsslice {
+namespace {
+
+class GeneratorCompliance : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeneratorCompliance, StructureRespectsConfiguredRanges) {
+  const GeneratorConfig cfg = testing::paper_generator(GetParam());
+  const Scenario sc = generate_scenario_at(cfg, 0);
+  const Application& app = sc.application;
+  const TaskGraph& g = app.graph();
+
+  EXPECT_GE(app.task_count(), cfg.workload.min_tasks);
+  EXPECT_LE(app.task_count(), cfg.workload.max_tasks);
+  EXPECT_GE(graph_depth(g), cfg.workload.min_depth);
+  EXPECT_LE(graph_depth(g), cfg.workload.max_depth);
+  EXPECT_TRUE(is_dag(g));
+
+  // Every non-input task has >= min_degree predecessors; only last-level
+  // tasks may lack successors.
+  const auto levels = node_levels(g);
+  const std::size_t depth = graph_depth(g);
+  for (NodeId v = 0; v < app.task_count(); ++v) {
+    if (!g.is_input(v)) {
+      EXPECT_GE(g.in_degree(v), cfg.workload.min_degree);
+    }
+    if (g.is_output(v)) {
+      EXPECT_EQ(levels[v], depth - 1) << "output above the last level";
+    }
+  }
+}
+
+TEST_P(GeneratorCompliance, PlatformRespectsConfiguredRanges) {
+  const GeneratorConfig cfg = testing::paper_generator(GetParam());
+  const Scenario sc = generate_scenario_at(cfg, 1);
+  EXPECT_EQ(sc.platform.processor_count(), cfg.platform.processor_count);
+  EXPECT_GE(sc.platform.class_count(), cfg.platform.min_class_count);
+  EXPECT_LE(sc.platform.class_count(), cfg.platform.max_class_count);
+  for (const ProcessorClass& e : sc.platform.classes()) {
+    if (sc.platform.class_count() > 1) {
+      EXPECT_GE(e.speed_factor, 1.0 - cfg.platform.class_deviation);
+      EXPECT_LE(e.speed_factor, 1.0 + cfg.platform.class_deviation);
+    }
+  }
+}
+
+TEST_P(GeneratorCompliance, WcetsWithinEtdAndClassDeviation) {
+  GeneratorConfig cfg = testing::paper_generator(GetParam());
+  cfg.workload.etd = 0.25;
+  const Scenario sc = generate_scenario_at(cfg, 2);
+  const double c_mean = cfg.workload.mean_execution_time;
+  const double lo =
+      c_mean * (1.0 - cfg.workload.etd) * (1.0 - cfg.platform.class_deviation);
+  const double hi =
+      c_mean * (1.0 + cfg.workload.etd) * (1.0 + cfg.platform.class_deviation);
+  for (NodeId v = 0; v < sc.application.task_count(); ++v) {
+    const Task& t = sc.application.task(v);
+    EXPECT_EQ(t.wcet_by_class.size(), sc.platform.class_count());
+    for (ProcessorClassId e = 0; e < sc.platform.class_count(); ++e) {
+      if (!t.eligible(e)) {
+        continue;
+      }
+      const double c = t.wcet(e);
+      EXPECT_GE(c, std::floor(lo));
+      EXPECT_LE(c, std::ceil(hi));
+      EXPECT_DOUBLE_EQ(c, std::round(c)) << "WCETs are integral time units";
+    }
+  }
+}
+
+TEST_P(GeneratorCompliance, EveryTaskRunnableOnAPopulatedClass) {
+  const GeneratorConfig cfg = testing::paper_generator(GetParam());
+  const Scenario sc = generate_scenario_at(cfg, 3);
+  EXPECT_TRUE(sc.application.validate(sc.platform).empty());
+}
+
+TEST_P(GeneratorCompliance, EteDeadlineMatchesOlrDefinition) {
+  const GeneratorConfig cfg = testing::paper_generator(GetParam());
+  const Scenario sc = generate_scenario_at(cfg, 4);
+  const Application& app = sc.application;
+  double avg_workload = 0.0;
+  for (NodeId v = 0; v < app.task_count(); ++v) {
+    avg_workload += estimate_wcet(app.task(v), WcetEstimation::kAverage);
+  }
+  const Time expected = std::round(cfg.workload.olr * avg_workload);
+  for (const NodeId out : app.graph().output_nodes()) {
+    EXPECT_DOUBLE_EQ(app.ete_deadline(out), expected);
+  }
+  for (const NodeId in : app.graph().input_nodes()) {
+    EXPECT_DOUBLE_EQ(app.input_arrival(in), 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorCompliance,
+                         ::testing::Values(10u, 20u, 30u, 40u, 50u));
+
+TEST(Generator, DeterministicPerSeed) {
+  const GeneratorConfig cfg = testing::paper_generator(77);
+  const Scenario a = generate_scenario_at(cfg, 5);
+  const Scenario b = generate_scenario_at(cfg, 5);
+  ASSERT_EQ(a.application.task_count(), b.application.task_count());
+  ASSERT_EQ(a.application.graph().arc_count(),
+            b.application.graph().arc_count());
+  for (NodeId v = 0; v < a.application.task_count(); ++v) {
+    EXPECT_EQ(a.application.task(v).wcet_by_class,
+              b.application.task(v).wcet_by_class);
+  }
+  const Scenario c = generate_scenario_at(cfg, 6);
+  // Different index ⇒ different scenario (overwhelmingly likely).
+  const bool same_size =
+      a.application.task_count() == c.application.task_count() &&
+      a.application.graph().arc_count() == c.application.graph().arc_count();
+  bool identical = same_size;
+  if (same_size) {
+    for (NodeId v = 0; v < a.application.task_count() && identical; ++v) {
+      identical = a.application.task(v).wcet_by_class ==
+                  c.application.task(v).wcet_by_class;
+    }
+  }
+  EXPECT_FALSE(identical);
+}
+
+TEST(Generator, EtdZeroGivesIdenticalEstimatesModuloEligibility) {
+  GeneratorConfig cfg = testing::paper_generator(3);
+  cfg.workload.etd = 0.0;
+  cfg.workload.ineligible_probability = 0.0;  // isolate the ETD effect
+  const Scenario sc = generate_scenario_at(cfg, 0);
+  const auto est =
+      estimate_wcets(sc.application, WcetEstimation::kAverage);
+  for (const double c : est) {
+    EXPECT_DOUBLE_EQ(c, est.front())
+        << "ETD=0 must give identical estimated WCETs (§6.3)";
+  }
+}
+
+TEST(Generator, MessageSizesMatchCcr) {
+  GeneratorConfig cfg = testing::paper_generator(9);
+  cfg.graph_count = 16;
+  RunningStats sizes;
+  for (std::size_t k = 0; k < cfg.graph_count; ++k) {
+    const Scenario sc = generate_scenario_at(cfg, k);
+    for (const Arc& a : sc.application.graph().arcs()) {
+      sizes.add(a.message_items);
+      EXPECT_GE(a.message_items, 1.0);
+      EXPECT_LE(a.message_items, 3.0);  // mean 2 ⇒ sizes in {1,2,3}
+      EXPECT_DOUBLE_EQ(a.message_items, std::round(a.message_items));
+    }
+  }
+  // Mean message cost / mean execution time ≈ CCR = 0.1 (±20% tolerance).
+  const double ccr_measured =
+      sizes.mean() * 1.0 / cfg.workload.mean_execution_time;
+  EXPECT_NEAR(ccr_measured, cfg.workload.ccr, 0.02);
+}
+
+TEST(Generator, ZeroCcrMeansNoMessages) {
+  GeneratorConfig cfg = testing::paper_generator(4);
+  cfg.workload.ccr = 0.0;
+  const Scenario sc = generate_scenario_at(cfg, 0);
+  for (const Arc& a : sc.application.graph().arcs()) {
+    EXPECT_DOUBLE_EQ(a.message_items, 0.0);
+  }
+}
+
+TEST(Generator, UnrelatedClassModelProducesPerTaskVariation) {
+  GeneratorConfig cfg = testing::paper_generator(8);
+  cfg.platform.class_model = ClassModel::kUnrelated;
+  cfg.platform.min_class_count = 3;
+  cfg.platform.max_class_count = 3;
+  cfg.workload.etd = 0.0;
+  cfg.workload.ineligible_probability = 0.0;
+  const Scenario sc = generate_scenario_at(cfg, 0);
+  // Under the unrelated model the ratio c[e0]/c[e1] varies per task.
+  bool ratio_varies = false;
+  double first_ratio = 0.0;
+  for (NodeId v = 0; v < sc.application.task_count(); ++v) {
+    const Task& t = sc.application.task(v);
+    const double r = t.wcet(0) / t.wcet(1);
+    if (v == 0) {
+      first_ratio = r;
+    } else if (std::abs(r - first_ratio) > 1e-9) {
+      ratio_varies = true;
+    }
+  }
+  EXPECT_TRUE(ratio_varies);
+}
+
+TEST(Generator, ValidateRejectsBadConfigs) {
+  GeneratorConfig cfg;
+  cfg.workload.min_tasks = 10;
+  cfg.workload.max_tasks = 5;
+  EXPECT_THROW(cfg.validate(), ConfigError);
+  cfg = GeneratorConfig{};
+  cfg.workload.etd = 1.5;
+  EXPECT_THROW(cfg.validate(), ConfigError);
+  cfg = GeneratorConfig{};
+  cfg.workload.min_depth = 50;
+  cfg.workload.max_depth = 80;
+  EXPECT_THROW(cfg.validate(), ConfigError);  // depth > min task count
+  cfg = GeneratorConfig{};
+  cfg.platform.processor_count = 0;
+  EXPECT_THROW(cfg.validate(), ConfigError);
+  EXPECT_NO_THROW(GeneratorConfig{}.validate());
+}
+
+TEST(Generator, EnumNames) {
+  EXPECT_EQ(to_string(ClassModel::kUniformFactors), "uniform-factors");
+  EXPECT_EQ(to_string(ClassModel::kUnrelated), "unrelated");
+  EXPECT_EQ(to_string(EdgeLocality::kAdjacentLevel), "adjacent-level");
+  EXPECT_EQ(to_string(EdgeLocality::kAnyEarlierLevel), "any-earlier-level");
+}
+
+}  // namespace
+}  // namespace dsslice

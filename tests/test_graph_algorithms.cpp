@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "dsslice/graph/algorithms.hpp"
+#include "dsslice/util/check.hpp"
+
+namespace dsslice {
+namespace {
+
+TaskGraph diamond() {
+  TaskGraph g(4);
+  g.add_arc(0, 1);
+  g.add_arc(0, 2);
+  g.add_arc(1, 3);
+  g.add_arc(2, 3);
+  return g;
+}
+
+TEST(TopologicalOrder, RespectsArcs) {
+  const TaskGraph g = diamond();
+  const auto order = topological_order(g);
+  ASSERT_TRUE(order.has_value());
+  ASSERT_EQ(order->size(), 4u);
+  std::vector<std::size_t> pos(4);
+  for (std::size_t i = 0; i < order->size(); ++i) {
+    pos[(*order)[i]] = i;
+  }
+  for (const Arc& a : g.arcs()) {
+    EXPECT_LT(pos[a.from], pos[a.to]);
+  }
+}
+
+TEST(TopologicalOrder, DetectsCycle) {
+  TaskGraph g(3);
+  g.add_arc(0, 1);
+  g.add_arc(1, 2);
+  g.add_arc(2, 0);
+  EXPECT_FALSE(topological_order(g).has_value());
+  EXPECT_FALSE(is_dag(g));
+  EXPECT_TRUE(is_dag(diamond()));
+}
+
+TEST(StaticLevels, DiamondWithWeights) {
+  const TaskGraph g = diamond();
+  const std::vector<double> w{10.0, 5.0, 7.0, 3.0};
+  const auto sl = static_levels(g, w);
+  // SL(3)=3, SL(1)=5+3=8, SL(2)=7+3=10, SL(0)=10+max(8,10)=20.
+  EXPECT_DOUBLE_EQ(sl[3], 3.0);
+  EXPECT_DOUBLE_EQ(sl[1], 8.0);
+  EXPECT_DOUBLE_EQ(sl[2], 10.0);
+  EXPECT_DOUBLE_EQ(sl[0], 20.0);
+  EXPECT_DOUBLE_EQ(critical_path_length(g, w), 20.0);
+}
+
+TEST(EntryPathLengths, MirrorsStaticLevels) {
+  const TaskGraph g = diamond();
+  const std::vector<double> w{10.0, 5.0, 7.0, 3.0};
+  const auto epl = entry_path_lengths(g, w);
+  EXPECT_DOUBLE_EQ(epl[0], 10.0);
+  EXPECT_DOUBLE_EQ(epl[1], 15.0);
+  EXPECT_DOUBLE_EQ(epl[2], 17.0);
+  EXPECT_DOUBLE_EQ(epl[3], 20.0);
+}
+
+TEST(AverageParallelism, MatchesDefinition) {
+  const TaskGraph g = diamond();
+  const std::vector<double> w{10.0, 5.0, 7.0, 3.0};
+  // ξ = Σw / max SL = 25 / 20.
+  EXPECT_DOUBLE_EQ(average_parallelism(g, w), 25.0 / 20.0);
+}
+
+TEST(AverageParallelism, EmptyAndZeroWeight) {
+  const TaskGraph empty;
+  EXPECT_DOUBLE_EQ(average_parallelism(empty, {}), 0.0);
+  TaskGraph g(2);
+  g.add_arc(0, 1);
+  const std::vector<double> zero{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(average_parallelism(g, zero), 0.0);
+}
+
+TEST(NodeLevels, LongestHopDistance) {
+  TaskGraph g(5);
+  g.add_arc(0, 1);
+  g.add_arc(1, 2);
+  g.add_arc(0, 3);
+  g.add_arc(3, 2);
+  g.add_arc(2, 4);
+  const auto levels = node_levels(g);
+  EXPECT_EQ(levels[0], 0u);
+  EXPECT_EQ(levels[1], 1u);
+  EXPECT_EQ(levels[3], 1u);
+  EXPECT_EQ(levels[2], 2u);
+  EXPECT_EQ(levels[4], 3u);
+  EXPECT_EQ(graph_depth(g), 4u);
+  EXPECT_EQ(graph_depth(TaskGraph{}), 0u);
+}
+
+TEST(EnumeratePaths, FindsAllDiamondPaths) {
+  const auto paths = enumerate_paths(diamond(), 100);
+  ASSERT_EQ(paths.size(), 2u);
+  for (const auto& p : paths) {
+    EXPECT_EQ(p.front(), 0u);
+    EXPECT_EQ(p.back(), 3u);
+    EXPECT_EQ(p.size(), 3u);
+  }
+}
+
+TEST(EnumeratePaths, RespectsCap) {
+  const auto paths = enumerate_paths(diamond(), 1);
+  EXPECT_EQ(paths.size(), 1u);
+}
+
+TEST(EnumeratePaths, IsolatedNodeIsItsOwnPath) {
+  const auto paths = enumerate_paths(TaskGraph(1), 10);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0], (std::vector<NodeId>{0}));
+}
+
+TEST(Reachable, TransitiveAndReflexive) {
+  const TaskGraph g = diamond();
+  EXPECT_TRUE(reachable(g, 0, 3));
+  EXPECT_TRUE(reachable(g, 0, 0));
+  EXPECT_FALSE(reachable(g, 1, 2));
+  EXPECT_FALSE(reachable(g, 3, 0));
+}
+
+TEST(StaticLevels, SizeMismatchThrows) {
+  const TaskGraph g = diamond();
+  EXPECT_THROW(static_levels(g, std::vector<double>{1.0}), ConfigError);
+}
+
+}  // namespace
+}  // namespace dsslice

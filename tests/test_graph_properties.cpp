@@ -1,0 +1,108 @@
+// Cross-checks of the graph algorithms against brute-force oracles built on
+// exhaustive path enumeration, over randomly generated DAGs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "dsslice/dsslice.hpp"
+#include "test_util.hpp"
+
+namespace dsslice {
+namespace {
+
+class GraphProperty : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  Scenario scenario() const {
+    return generate_scenario_at(testing::small_generator(GetParam()), 0);
+  }
+};
+
+TEST_P(GraphProperty, CriticalPathMatchesExhaustiveEnumeration) {
+  const Scenario sc = scenario();
+  const TaskGraph& g = sc.application.graph();
+  const auto est = estimate_wcets(sc.application, WcetEstimation::kAverage);
+  const auto paths = enumerate_paths(g, 100000);
+  ASSERT_FALSE(paths.empty());
+  double heaviest = 0.0;
+  for (const auto& path : paths) {
+    double weight = 0.0;
+    for (const NodeId v : path) {
+      weight += est[v];
+    }
+    heaviest = std::max(heaviest, weight);
+  }
+  EXPECT_NEAR(critical_path_length(g, est), heaviest, 1e-9);
+}
+
+TEST_P(GraphProperty, StaticLevelIsHeaviestSuffixOverEnumeratedPaths) {
+  const Scenario sc = scenario();
+  const TaskGraph& g = sc.application.graph();
+  const auto est = estimate_wcets(sc.application, WcetEstimation::kAverage);
+  const auto sl = static_levels(g, est);
+  const auto paths = enumerate_paths(g, 100000);
+  // Brute-force SL: max over paths of the suffix weight from each node.
+  std::vector<double> brute(g.node_count(), 0.0);
+  for (const auto& path : paths) {
+    double suffix = 0.0;
+    for (auto it = path.rbegin(); it != path.rend(); ++it) {
+      suffix += est[*it];
+      brute[*it] = std::max(brute[*it], suffix);
+    }
+  }
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    EXPECT_NEAR(sl[v], brute[v], 1e-9) << "node " << v;
+  }
+}
+
+TEST_P(GraphProperty, EntryPathsMirrorStaticLevelsOnReversedReasoning) {
+  const Scenario sc = scenario();
+  const TaskGraph& g = sc.application.graph();
+  const auto est = estimate_wcets(sc.application, WcetEstimation::kAverage);
+  const auto epl = entry_path_lengths(g, est);
+  const auto sl = static_levels(g, est);
+  // For every node: epl + sl − weight = weight of the heaviest full path
+  // through the node ≤ global critical path, with equality on at least one
+  // node of the critical path.
+  const double cp = critical_path_length(g, est);
+  bool any_tight = false;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const double through = epl[v] + sl[v] - est[v];
+    EXPECT_LE(through, cp + 1e-9);
+    any_tight |= std::abs(through - cp) < 1e-9;
+  }
+  EXPECT_TRUE(any_tight);
+}
+
+TEST_P(GraphProperty, NodeLevelsAreConsistentWithArcs) {
+  const Scenario sc = scenario();
+  const TaskGraph& g = sc.application.graph();
+  const auto levels = node_levels(g);
+  for (const Arc& a : g.arcs()) {
+    EXPECT_LT(levels[a.from], levels[a.to]);
+  }
+  const std::size_t depth = graph_depth(g);
+  EXPECT_EQ(depth, 1 + *std::max_element(levels.begin(), levels.end()));
+}
+
+TEST_P(GraphProperty, EveryTaskLiesOnSomeInputOutputPath) {
+  const Scenario sc = scenario();
+  const TaskGraph& g = sc.application.graph();
+  const auto paths = enumerate_paths(g, 100000);
+  std::vector<bool> covered(g.node_count(), false);
+  for (const auto& path : paths) {
+    for (const NodeId v : path) {
+      covered[v] = true;
+    }
+  }
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    EXPECT_TRUE(covered[v]) << "node " << v
+                            << " unreachable from any input-output path";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphProperty,
+                         ::testing::Values(201u, 202u, 203u, 204u, 205u,
+                                           206u));
+
+}  // namespace
+}  // namespace dsslice

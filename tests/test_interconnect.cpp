@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include "dsslice/model/interconnect.hpp"
+#include "dsslice/util/check.hpp"
+
+namespace dsslice {
+namespace {
+
+TEST(SharedBus, CostIsItemsTimesDelay) {
+  const SharedBus bus(2.0);
+  EXPECT_DOUBLE_EQ(bus.delay(0, 1, 3.0), 6.0);
+  EXPECT_DOUBLE_EQ(bus.delay(1, 0, 3.0), 6.0);
+  EXPECT_DOUBLE_EQ(bus.per_item_delay(), 2.0);
+  EXPECT_EQ(bus.name(), "shared-bus");
+}
+
+TEST(SharedBus, CoLocatedCommunicationIsFree) {
+  const SharedBus bus(5.0);
+  EXPECT_DOUBLE_EQ(bus.delay(3, 3, 100.0), 0.0);
+}
+
+TEST(SharedBus, RejectsNegativeParameters) {
+  EXPECT_THROW(SharedBus(-1.0), ConfigError);
+  const SharedBus bus(1.0);
+  EXPECT_THROW(bus.delay(0, 1, -2.0), ConfigError);
+}
+
+TEST(LinkNetwork, DefaultUniformDelays) {
+  const LinkNetwork net(3, 1.5);
+  EXPECT_EQ(net.processor_count(), 3u);
+  EXPECT_DOUBLE_EQ(net.delay(0, 1, 2.0), 3.0);
+  EXPECT_DOUBLE_EQ(net.delay(2, 2, 9.0), 0.0);
+}
+
+TEST(LinkNetwork, PerLinkOverrides) {
+  LinkNetwork net(3, 1.0);
+  net.set_link(0, 1, 0.25);
+  EXPECT_DOUBLE_EQ(net.delay(0, 1, 4.0), 1.0);
+  EXPECT_DOUBLE_EQ(net.delay(1, 0, 4.0), 4.0);  // asymmetric until set
+  net.set_bidirectional(1, 2, 0.5);
+  EXPECT_DOUBLE_EQ(net.delay(1, 2, 2.0), 1.0);
+  EXPECT_DOUBLE_EQ(net.delay(2, 1, 2.0), 1.0);
+}
+
+TEST(LinkNetwork, DiagonalStaysZero) {
+  LinkNetwork net(2, 1.0);
+  net.set_link(0, 0, 7.0);  // silently ignored: intra-processor is free
+  EXPECT_DOUBLE_EQ(net.delay(0, 0, 10.0), 0.0);
+}
+
+TEST(LinkNetwork, BoundsChecked) {
+  LinkNetwork net(2, 1.0);
+  EXPECT_THROW(net.delay(0, 2, 1.0), ConfigError);
+  EXPECT_THROW(net.set_link(2, 0, 1.0), ConfigError);
+  EXPECT_THROW(LinkNetwork(0, 1.0), ConfigError);
+}
+
+}  // namespace
+}  // namespace dsslice

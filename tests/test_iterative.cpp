@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "dsslice/baselines/iterative_refinement.hpp"
+#include "dsslice/baselines/kao_garcia_molina.hpp"
+#include "dsslice/sched/edf_list_scheduler.hpp"
+#include "test_util.hpp"
+
+namespace dsslice {
+namespace {
+
+TEST(IterativeRefinement, ConvergesImmediatelyOnEasyChain) {
+  const Application app = testing::make_chain(3, 10.0, 200.0);
+  const std::vector<double> est{10.0, 10.0, 10.0};
+  const Platform platform = Platform::identical(1);
+  IterativeInfo info;
+  const auto a = distribute_iterative(app, est, platform, {}, &info);
+  EXPECT_TRUE(info.converged);
+  EXPECT_EQ(info.iterations_used, 1u);
+  // The schedule under the returned assignment is feasible.
+  EXPECT_TRUE(EdfListScheduler().run(app, a, platform).success);
+}
+
+TEST(IterativeRefinement, DeadlinesNeverExceedGoverningEte) {
+  const Scenario sc = generate_scenario_at(testing::paper_generator(41), 0);
+  const auto est = estimate_wcets(sc.application, WcetEstimation::kAverage);
+  const auto a = distribute_iterative(sc.application, est, sc.platform);
+  for (const NodeId out : sc.application.graph().output_nodes()) {
+    EXPECT_LE(a.windows[out].deadline,
+              sc.application.ete_deadline(out) + 1e-9);
+  }
+}
+
+TEST(IterativeRefinement, ImprovesOnItsSeedAssignment) {
+  // Count over random scenarios: the refined assignment should schedule at
+  // least as many task sets as the initial EQF assignment.
+  GeneratorConfig gen = testing::paper_generator(43);
+  gen.workload.olr = 0.6;  // tight enough for EQF to fail sometimes
+  std::size_t eqf_ok = 0;
+  std::size_t iter_ok = 0;
+  for (std::size_t k = 0; k < 32; ++k) {
+    const Scenario sc = generate_scenario_at(gen, k);
+    const auto est = estimate_wcets(sc.application, WcetEstimation::kAverage);
+    const auto eqf =
+        distribute_kao(sc.application, est, KaoStrategy::kEqualFlexibility);
+    const auto refined = distribute_iterative(sc.application, est,
+                                              sc.platform);
+    eqf_ok += EdfListScheduler().run(sc.application, eqf, sc.platform).success
+                  ? 1
+                  : 0;
+    iter_ok +=
+        EdfListScheduler().run(sc.application, refined, sc.platform).success
+            ? 1
+            : 0;
+  }
+  EXPECT_GE(iter_ok, eqf_ok);
+}
+
+TEST(IterativeRefinement, RespectsIterationBudget) {
+  GeneratorConfig gen = testing::paper_generator(44);
+  gen.workload.olr = 0.3;  // hopeless: every iteration must run
+  const Scenario sc = generate_scenario_at(gen, 0);
+  const auto est = estimate_wcets(sc.application, WcetEstimation::kAverage);
+  IterativeOptions options;
+  options.max_iterations = 3;
+  IterativeInfo info;
+  (void)distribute_iterative(sc.application, est, sc.platform, options,
+                             &info);
+  EXPECT_FALSE(info.converged);
+  EXPECT_EQ(info.iterations_used, 3u);
+}
+
+TEST(IterativeRefinement, RejectsBadOptions) {
+  const Application app = testing::make_chain(2, 10.0, 100.0);
+  const std::vector<double> est{10.0, 10.0};
+  const Platform platform = Platform::identical(1);
+  IterativeOptions bad;
+  bad.max_iterations = 0;
+  EXPECT_THROW(distribute_iterative(app, est, platform, bad), ConfigError);
+  bad = IterativeOptions{};
+  bad.relax_gain = 0.0;
+  EXPECT_THROW(distribute_iterative(app, est, platform, bad), ConfigError);
+  bad = IterativeOptions{};
+  bad.tighten_keep = 1.5;
+  EXPECT_THROW(distribute_iterative(app, est, platform, bad), ConfigError);
+}
+
+TEST(IterativeRefinement, DeterministicAcrossRuns) {
+  const Scenario sc = generate_scenario_at(testing::paper_generator(45), 0);
+  const auto est = estimate_wcets(sc.application, WcetEstimation::kAverage);
+  const auto a = distribute_iterative(sc.application, est, sc.platform);
+  const auto b = distribute_iterative(sc.application, est, sc.platform);
+  for (NodeId v = 0; v < sc.application.task_count(); ++v) {
+    EXPECT_EQ(a.windows[v], b.windows[v]);
+  }
+}
+
+}  // namespace
+}  // namespace dsslice

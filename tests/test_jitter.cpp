@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "dsslice/core/jitter.hpp"
+#include "dsslice/core/slicing.hpp"
+#include "test_util.hpp"
+
+namespace dsslice {
+namespace {
+
+TEST(Jitter, InputTasksHaveNoJitter) {
+  const Application app = testing::make_chain(3, 10.0, 100.0);
+  const auto bounds =
+      precedence_release_jitter(app, Platform::identical(2));
+  EXPECT_DOUBLE_EQ(bounds[0].jitter(), 0.0);
+  EXPECT_DOUBLE_EQ(bounds[0].earliest_release, 0.0);
+}
+
+TEST(Jitter, HomogeneousNoCommChainHasNoJitter) {
+  // One class, no messages: min and max estimates coincide.
+  const Application app = testing::make_chain(4, 10.0, 200.0);
+  const auto bounds =
+      precedence_release_jitter(app, Platform::identical(3));
+  for (const JitterBound& b : bounds) {
+    EXPECT_DOUBLE_EQ(b.jitter(), 0.0);
+  }
+}
+
+TEST(Jitter, HeterogeneityAndMessagesCreateJitter) {
+  // Chain with two classes (10 vs 20 units) and a 5-item message.
+  ApplicationBuilder b;
+  const NodeId u = b.add_task("u", {10.0, 20.0});
+  const NodeId v = b.add_task("v", {10.0, 20.0});
+  b.add_precedence(u, v, 5.0);
+  b.set_input_arrival(u, 0.0);
+  b.set_ete_deadline(v, 200.0);
+  const Application app = b.build(2);
+  const Platform plat = Platform::shared_bus(
+      {ProcessorClass{"fast", 1.0}, ProcessorClass{"slow", 2.0}}, {0, 1});
+  const auto bounds = precedence_release_jitter(app, plat);
+  // v: earliest release = 10 (fast class, co-located), latest = 20 + 5.
+  EXPECT_DOUBLE_EQ(bounds[v].earliest_release, 10.0);
+  EXPECT_DOUBLE_EQ(bounds[v].latest_release, 25.0);
+  EXPECT_DOUBLE_EQ(bounds[v].jitter(), 15.0);
+}
+
+TEST(Jitter, AccumulatesAlongChains) {
+  // Jitter grows with depth: each hop adds (max − min) + message delay.
+  ApplicationBuilder b;
+  std::vector<NodeId> chain;
+  for (int i = 0; i < 4; ++i) {
+    chain.push_back(b.add_task("t" + std::to_string(i), {10.0, 14.0}));
+  }
+  b.add_chain(chain, 2.0);
+  b.set_input_arrival(chain.front(), 0.0);
+  b.set_ete_deadline(chain.back(), 500.0);
+  const Application app = b.build(2);
+  const Platform plat = Platform::shared_bus(
+      {ProcessorClass{"a", 1.0}, ProcessorClass{"b", 1.4}}, {0, 1});
+  const auto bounds = precedence_release_jitter(app, plat);
+  // Per hop: min 10, max 14 + 2 ⇒ jitter 6, 12, 18 down the chain.
+  EXPECT_DOUBLE_EQ(bounds[chain[1]].jitter(), 6.0);
+  EXPECT_DOUBLE_EQ(bounds[chain[2]].jitter(), 12.0);
+  EXPECT_DOUBLE_EQ(bounds[chain[3]].jitter(), 18.0);
+}
+
+TEST(Jitter, SlicingEliminatesReleaseJitter) {
+  // Claim I2: under any deadline assignment, releases are constants.
+  const Scenario sc = generate_scenario_at(testing::paper_generator(50), 0);
+  const auto est = estimate_wcets(sc.application, WcetEstimation::kAverage);
+  const auto assignment =
+      run_slicing(sc.application, est, DeadlineMetric(MetricKind::kAdaptL),
+                  sc.platform.processor_count());
+  const auto sliced = sliced_release_jitter(sc.application, assignment);
+  for (const JitterBound& b : sliced) {
+    EXPECT_DOUBLE_EQ(b.jitter(), 0.0);
+  }
+  // While precedence-driven release on the same scenario does jitter.
+  const auto precedence =
+      precedence_release_jitter(sc.application, sc.platform);
+  const JitterSummary summary = summarize_jitter(precedence);
+  EXPECT_GT(summary.max_jitter, 0.0);
+  EXPECT_GT(summary.mean_jitter, 0.0);
+  EXPECT_GE(summary.max_jitter, summary.mean_jitter);
+}
+
+TEST(Jitter, SummaryOfEmptyInput) {
+  const JitterSummary s = summarize_jitter({});
+  EXPECT_DOUBLE_EQ(s.max_jitter, 0.0);
+  EXPECT_DOUBLE_EQ(s.mean_jitter, 0.0);
+}
+
+}  // namespace
+}  // namespace dsslice

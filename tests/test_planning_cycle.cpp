@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "dsslice/sched/planning_cycle.hpp"
+#include "dsslice/util/check.hpp"
+#include "test_util.hpp"
+
+namespace dsslice {
+namespace {
+
+Application two_rate_app() {
+  ApplicationBuilder b;
+  // Chain at period 20, independent chain at period 30.
+  const NodeId a0 = b.add_uniform_task("a0", 3.0, 0.0, 20.0);
+  const NodeId a1 = b.add_uniform_task("a1", 3.0, 0.0, 20.0);
+  const NodeId c0 = b.add_uniform_task("c0", 5.0, 0.0, 30.0);
+  b.add_precedence(a0, a1, 1.0);
+  b.set_input_arrival(a0, 0.0);
+  b.set_input_arrival(c0, 0.0);
+  b.set_ete_deadline(a1, 18.0);
+  b.set_ete_deadline(c0, 25.0);
+  return b.build();
+}
+
+TEST(PlanningCycle, LcmOfPeriods) {
+  const Application app = two_rate_app();
+  const PlanningCycle cycle = compute_planning_cycle(app);
+  EXPECT_DOUBLE_EQ(cycle.hyperperiod, 60.0);
+  EXPECT_DOUBLE_EQ(cycle.length, 60.0);  // identical arrivals
+  EXPECT_DOUBLE_EQ(cycle.max_arrival, 0.0);
+}
+
+TEST(PlanningCycle, StaggeredArrivalsExtendTheCycle) {
+  ApplicationBuilder b;
+  const NodeId t = b.add_uniform_task("t", 2.0, 7.0, 10.0);
+  b.set_input_arrival(t, 7.0);
+  b.set_ete_deadline(t, 9.0);
+  const Application app = b.build();
+  const PlanningCycle cycle = compute_planning_cycle(app);
+  EXPECT_DOUBLE_EQ(cycle.hyperperiod, 10.0);
+  EXPECT_DOUBLE_EQ(cycle.max_arrival, 7.0);
+  EXPECT_DOUBLE_EQ(cycle.length, 7.0 + 2.0 * 10.0);  // a + 2L (§3.3)
+}
+
+TEST(PlanningCycle, AperiodicOnlyYieldsZeroLength) {
+  const Application app = testing::make_chain(2, 5.0, 50.0);
+  const PlanningCycle cycle = compute_planning_cycle(app);
+  EXPECT_DOUBLE_EQ(cycle.hyperperiod, 0.0);
+  EXPECT_DOUBLE_EQ(cycle.length, 0.0);
+}
+
+TEST(PlanningCycle, ExpansionUnrollsInvocations) {
+  const Application app = two_rate_app();
+  const ExpandedApplication ex = expand_planning_cycle(app);
+  // a-chain: 60/20 = 3 invocations each; c: 60/30 = 2.
+  EXPECT_EQ(ex.app.task_count(), 3u + 3u + 2u);
+  EXPECT_EQ(ex.app.graph().arc_count(), 3u);  // a0→a1 per invocation
+  // Arrival/deadline shift by k·T.
+  // a0 invocations are nodes 0..2, a1 are 3..5, c0 are 6..7.
+  EXPECT_EQ(ex.origin[0].source, 0u);
+  EXPECT_EQ(ex.origin[1].invocation, 1u);
+  EXPECT_DOUBLE_EQ(ex.app.task(1).phasing, 20.0);
+  EXPECT_DOUBLE_EQ(ex.app.task(2).phasing, 40.0);
+  EXPECT_DOUBLE_EQ(ex.app.ete_deadline(4), 18.0 + 20.0);
+  EXPECT_DOUBLE_EQ(ex.app.ete_deadline(7), 25.0 + 30.0);
+  // Expanded tasks are single-shot.
+  for (NodeId v = 0; v < ex.app.task_count(); ++v) {
+    EXPECT_FALSE(ex.app.task(v).is_periodic());
+  }
+  // Expanded app is a valid application (schedulable pipeline input).
+  EXPECT_TRUE(ex.app.validate(Platform::identical(2)).empty());
+}
+
+TEST(PlanningCycle, ExpandedAppSlicesAndSchedules) {
+  const Application app = two_rate_app();
+  const ExpandedApplication ex = expand_planning_cycle(app);
+  const auto est = estimate_wcets(ex.app, WcetEstimation::kAverage);
+  const auto assignment =
+      run_slicing(ex.app, est, DeadlineMetric(MetricKind::kAdaptL), 2);
+  const auto r =
+      EdfListScheduler().run(ex.app, assignment, Platform::identical(2));
+  EXPECT_TRUE(r.success) << r.failure_reason;
+}
+
+TEST(PlanningCycle, RejectsMixedPeriodArcs) {
+  ApplicationBuilder b;
+  const NodeId u = b.add_uniform_task("u", 1.0, 0.0, 10.0);
+  const NodeId v = b.add_uniform_task("v", 1.0, 0.0, 20.0);
+  b.add_precedence(u, v);
+  b.set_input_arrival(u, 0.0);
+  b.set_ete_deadline(v, 15.0);
+  const Application app = b.build();
+  EXPECT_THROW(expand_planning_cycle(app), ConfigError);
+}
+
+TEST(PlanningCycle, RejectsNonIntegralPeriods) {
+  ApplicationBuilder b;
+  const NodeId t = b.add_uniform_task("t", 1.0, 0.0, 10.5);
+  b.set_ete_deadline(t, 5.0);
+  const Application app = b.build();
+  EXPECT_THROW(compute_planning_cycle(app), ConfigError);
+}
+
+TEST(PlanningCycle, RejectsAperiodicExpansion) {
+  const Application app = testing::make_chain(2, 5.0, 50.0);
+  EXPECT_THROW(expand_planning_cycle(app), ConfigError);
+}
+
+TEST(PlanningCycle, RejectsDeadlineBeyondPeriod) {
+  ApplicationBuilder b;
+  const NodeId t = b.add_uniform_task("t", 2.0, 0.0, 10.0);
+  b.set_ete_deadline(t, 14.0);  // d > T violates the model (§3.3)
+  const Application app = b.build();
+  EXPECT_THROW(expand_planning_cycle(app), ConfigError);
+}
+
+}  // namespace
+}  // namespace dsslice

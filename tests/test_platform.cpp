@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include "dsslice/model/platform.hpp"
+#include "dsslice/util/check.hpp"
+
+namespace dsslice {
+namespace {
+
+TEST(Platform, IdenticalFactory) {
+  const Platform p = Platform::identical(4);
+  EXPECT_EQ(p.processor_count(), 4u);
+  EXPECT_EQ(p.class_count(), 1u);
+  for (ProcessorId q = 0; q < 4; ++q) {
+    EXPECT_EQ(p.class_of(q), 0u);
+  }
+  EXPECT_EQ(p.processors_in_class(0), 4u);
+  EXPECT_EQ(p.network().name(), "shared-bus");
+}
+
+TEST(Platform, SharedBusFactoryAssignsClasses) {
+  const Platform p = Platform::shared_bus(
+      {ProcessorClass{"fast", 0.8}, ProcessorClass{"slow", 1.2}},
+      {0, 1, 1}, 2.0);
+  EXPECT_EQ(p.processor_count(), 3u);
+  EXPECT_EQ(p.class_count(), 2u);
+  EXPECT_EQ(p.class_of(0), 0u);
+  EXPECT_EQ(p.class_of(1), 1u);
+  EXPECT_EQ(p.processors_in_class(0), 1u);
+  EXPECT_EQ(p.processors_in_class(1), 2u);
+  EXPECT_EQ(p.processor_class(1).name, "slow");
+  EXPECT_DOUBLE_EQ(p.comm_delay(0, 1, 3.0), 6.0);
+  EXPECT_DOUBLE_EQ(p.comm_delay(2, 2, 3.0), 0.0);
+}
+
+TEST(Platform, RejectsInvalidConstruction) {
+  EXPECT_THROW(Platform::identical(0), ConfigError);
+  EXPECT_THROW(Platform::shared_bus({}, {0}), ConfigError);
+  EXPECT_THROW(Platform::shared_bus({ProcessorClass{"e0", 1.0}}, {}),
+               ConfigError);
+  // Class index out of range.
+  EXPECT_THROW(Platform::shared_bus({ProcessorClass{"e0", 1.0}}, {0, 1}),
+               ConfigError);
+}
+
+TEST(Platform, AccessorBoundsChecked) {
+  const Platform p = Platform::identical(2);
+  EXPECT_THROW(p.processor(2), ConfigError);
+  EXPECT_THROW(p.processor_class(1), ConfigError);
+  EXPECT_THROW(p.comm_delay(0, 2, 1.0), ConfigError);
+  EXPECT_THROW(p.processors_in_class(3), ConfigError);
+}
+
+TEST(MachineKind, Names) {
+  EXPECT_EQ(to_string(MachineKind::kIdentical), "identical");
+  EXPECT_EQ(to_string(MachineKind::kUniform), "uniform");
+  EXPECT_EQ(to_string(MachineKind::kUnrelated), "unrelated");
+}
+
+}  // namespace
+}  // namespace dsslice

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "dsslice/core/slicing.hpp"
+#include "dsslice/sched/preemptive_scheduler.hpp"
+#include "test_util.hpp"
+
+namespace dsslice {
+namespace {
+
+DeadlineAssignment windows(std::vector<Window> ws) {
+  DeadlineAssignment a;
+  a.windows = std::move(ws);
+  return a;
+}
+
+TEST(Preemptive, ChainRunsBackToBack) {
+  const Application app = testing::make_chain(3, 10.0, 100.0);
+  const auto a = windows({{0.0, 33.0}, {33.0, 66.0}, {66.0, 100.0}});
+  const auto r =
+      PreemptiveEdfScheduler().run(app, a, Platform::identical(1));
+  ASSERT_TRUE(r.success) << r.failure_reason;
+  EXPECT_DOUBLE_EQ(r.completion[0], 10.0);
+  EXPECT_DOUBLE_EQ(r.completion[1], 43.0);  // released at window start 33
+  EXPECT_DOUBLE_EQ(r.completion[2], 76.0);
+  EXPECT_EQ(r.preemptions, 0u);
+  EXPECT_TRUE(validate_preemptive_trace(app, Platform::identical(1), a, r)
+                  .empty());
+}
+
+TEST(Preemptive, UrgentReleasePreemptsRunningTask) {
+  // A long loose task starts at 0; a tight task arrives at 5 and must
+  // preempt it — exactly the scenario the non-preemptive dispatcher loses.
+  ApplicationBuilder b;
+  const NodeId loose = b.add_uniform_task("loose", 30.0);
+  const NodeId tight = b.add_uniform_task("tight", 10.0);
+  b.set_input_arrival(loose, 0.0);
+  b.set_input_arrival(tight, 0.0);
+  b.set_ete_deadline(loose, 100.0);
+  b.set_ete_deadline(tight, 17.0);
+  const Application app = b.build();
+  const auto a = windows({{0.0, 100.0}, {5.0, 17.0}});
+  const auto r =
+      PreemptiveEdfScheduler().run(app, a, Platform::identical(1));
+  ASSERT_TRUE(r.success) << r.failure_reason;
+  EXPECT_EQ(r.preemptions, 1u);
+  EXPECT_DOUBLE_EQ(r.completion[tight], 15.0);
+  EXPECT_DOUBLE_EQ(r.completion[loose], 40.0);  // 5 + 10 + 25 remaining
+  // Trace: loose [0,5], tight [5,15], loose [15,40].
+  ASSERT_EQ(r.slices.size(), 3u);
+  EXPECT_EQ(r.slices[0].task, loose);
+  EXPECT_DOUBLE_EQ(r.slices[0].finish, 5.0);
+  EXPECT_EQ(r.slices[1].task, tight);
+  EXPECT_TRUE(validate_preemptive_trace(app, Platform::identical(1), a, r)
+                  .empty());
+
+  // The non-preemptive dispatcher misses on the same input.
+  const auto dispatch =
+      EdfDispatchScheduler().run(app, a, Platform::identical(1));
+  EXPECT_FALSE(dispatch.success);
+}
+
+TEST(Preemptive, EqualDeadlineDoesNotPreempt) {
+  ApplicationBuilder b;
+  const NodeId x = b.add_uniform_task("x", 10.0);
+  const NodeId y = b.add_uniform_task("y", 10.0);
+  b.set_input_arrival(x, 0.0);
+  b.set_input_arrival(y, 0.0);
+  b.set_ete_deadline(x, 50.0);
+  b.set_ete_deadline(y, 50.0);
+  const Application app = b.build();
+  const auto a = windows({{0.0, 50.0}, {5.0, 50.0}});
+  const auto r =
+      PreemptiveEdfScheduler().run(app, a, Platform::identical(1));
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.preemptions, 0u);
+}
+
+TEST(Preemptive, StaticBindingHonoursEligibility) {
+  ApplicationBuilder b;
+  const NodeId x = b.add_task("x", {10.0, kIneligibleWcet});
+  const NodeId y = b.add_task("y", {kIneligibleWcet, 20.0});
+  b.set_ete_deadline(x, 50.0);
+  b.set_ete_deadline(y, 50.0);
+  const Application app = b.build(2);
+  const Platform plat = Platform::shared_bus(
+      {ProcessorClass{"e0", 1.0}, ProcessorClass{"e1", 1.0}}, {0, 1});
+  const auto a = windows({{0.0, 50.0}, {0.0, 50.0}});
+  const auto r = PreemptiveEdfScheduler().run(app, a, plat);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.processor_of[x], 0u);
+  EXPECT_EQ(r.processor_of[y], 1u);
+  EXPECT_DOUBLE_EQ(r.completion[y], 20.0);
+}
+
+TEST(Preemptive, CommunicationDelaysRelease) {
+  ApplicationBuilder b;
+  const NodeId u = b.add_task("u", {10.0, kIneligibleWcet});
+  const NodeId v = b.add_task("v", {kIneligibleWcet, 10.0});
+  b.add_precedence(u, v, 5.0);
+  b.set_input_arrival(u, 0.0);
+  b.set_ete_deadline(v, 100.0);
+  const Application app = b.build(2);
+  const Platform plat = Platform::shared_bus(
+      {ProcessorClass{"e0", 1.0}, ProcessorClass{"e1", 1.0}}, {0, 1});
+  const auto a = windows({{0.0, 40.0}, {0.0, 100.0}});
+  const auto r = PreemptiveEdfScheduler().run(app, a, plat);
+  ASSERT_TRUE(r.success);
+  EXPECT_DOUBLE_EQ(r.completion[v], 25.0);  // release 15 + 10
+}
+
+TEST(Preemptive, MissDetectionAndLatenessMode) {
+  const Application app = testing::make_chain(2, 10.0, 100.0);
+  const auto a = windows({{0.0, 5.0}, {5.0, 100.0}});
+  const auto strict =
+      PreemptiveEdfScheduler().run(app, a, Platform::identical(1));
+  EXPECT_FALSE(strict.success);
+  ASSERT_TRUE(strict.failed_task.has_value());
+  EXPECT_EQ(*strict.failed_task, 0u);
+
+  PreemptiveOptions lax;
+  lax.abort_on_miss = false;
+  const auto soft =
+      PreemptiveEdfScheduler(lax).run(app, a, Platform::identical(1));
+  EXPECT_FALSE(soft.success);
+  EXPECT_DOUBLE_EQ(soft.completion[1], 20.0);  // simulation continued
+}
+
+TEST(Preemptive, NoEligibleProcessorFails) {
+  ApplicationBuilder b;
+  const NodeId x = b.add_task("x", {kIneligibleWcet, 10.0});
+  b.set_ete_deadline(x, 50.0);
+  const Application app = b.build(2);
+  const Platform plat = Platform::shared_bus(
+      {ProcessorClass{"e0", 1.0}, ProcessorClass{"e1", 1.0}}, {0, 0});
+  const auto a = windows({{0.0, 50.0}});
+  const auto r = PreemptiveEdfScheduler().run(app, a, plat);
+  EXPECT_FALSE(r.success);
+  EXPECT_NE(r.failure_reason.find("no eligible processor"),
+            std::string::npos);
+}
+
+// Property: on random sliced scenarios the preemptive trace always
+// validates, and preemptive EDF succeeds at least as often as the myopic
+// non-preemptive dispatcher over a batch.
+TEST(Preemptive, RandomScenariosValidateAndDominateDispatcherOnAverage) {
+  GeneratorConfig gen = testing::paper_generator(98);
+  gen.workload.olr = 0.7;
+  std::size_t preemptive_ok = 0;
+  std::size_t dispatch_ok = 0;
+  for (std::size_t k = 0; k < 24; ++k) {
+    const Scenario sc = generate_scenario_at(gen, k);
+    const auto est = estimate_wcets(sc.application, WcetEstimation::kAverage);
+    const auto a = run_slicing(sc.application, est,
+                               DeadlineMetric(MetricKind::kAdaptL),
+                               sc.platform.processor_count());
+    PreemptiveOptions lax;
+    lax.abort_on_miss = false;
+    const auto pre =
+        PreemptiveEdfScheduler(lax).run(sc.application, a, sc.platform);
+    EXPECT_TRUE(validate_preemptive_trace(sc.application, sc.platform, a,
+                                          pre, /*check_deadlines=*/false)
+                    .empty())
+        << "scenario " << k;
+    preemptive_ok += pre.success ? 1 : 0;
+    dispatch_ok += EdfDispatchScheduler()
+                       .run(sc.application, a, sc.platform)
+                       .success
+                       ? 1
+                       : 0;
+  }
+  EXPECT_GE(preemptive_ok + 2, dispatch_ok);
+}
+
+}  // namespace
+}  // namespace dsslice

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "dsslice/report/csv.hpp"
+#include "dsslice/report/series.hpp"
+#include "dsslice/report/table.hpp"
+#include "dsslice/util/check.hpp"
+
+namespace dsslice {
+namespace {
+
+TEST(Table, AlignsColumns) {
+  Table t({"metric", "success"});
+  t.add_row({"PURE", "35.0%"});
+  t.add_row({"ADAPT-L", "95.5%"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("metric"), std::string::npos);
+  EXPECT_NE(s.find("ADAPT-L"), std::string::npos);
+  EXPECT_NE(s.find("-------"), std::string::npos);
+  // Two header lines + separator + two rows.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);
+}
+
+TEST(Table, RejectsMismatchedRows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), ConfigError);
+  EXPECT_THROW(Table({}), ConfigError);
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, SerializesTable) {
+  Table t({"x", "y"});
+  t.add_row({"1", "a,b"});
+  const std::string csv = to_csv(t);
+  EXPECT_EQ(csv, "x,y\n1,\"a,b\"\n");
+}
+
+TEST(Csv, SerializesSweep) {
+  SweepResult sweep;
+  sweep.x_label = "m";
+  sweep.x = {2.0, 3.0};
+  Series s;
+  s.name = "ADAPT-L";
+  s.success_ratio = {0.5, 1.0};
+  s.ci95 = {0.1, 0.0};
+  s.mean_min_laxity = {0.0, 0.0};
+  sweep.series.push_back(s);
+  const std::string csv = to_csv(sweep);
+  EXPECT_NE(csv.find("m,ADAPT-L"), std::string::npos);
+  EXPECT_NE(csv.find("2.0000,0.500000"), std::string::npos);
+}
+
+TEST(Csv, WritesTextFile) {
+  const std::string path = ::testing::TempDir() + "/dsslice_csv_test.csv";
+  ASSERT_TRUE(write_text_file(path, "a,b\n1,2\n"));
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::remove(path.c_str());
+  EXPECT_FALSE(write_text_file("/nonexistent-dir/x.csv", "x"));
+}
+
+SweepResult sample_sweep() {
+  SweepResult sweep;
+  sweep.x_label = "OLR";
+  sweep.x = {0.5, 1.0, 1.5};
+  for (const char* name : {"PURE", "ADAPT-L"}) {
+    Series s;
+    s.name = name;
+    s.success_ratio = {0.1, 0.6, 1.0};
+    s.ci95 = {0.02, 0.03, 0.0};
+    s.mean_min_laxity = {0.0, 1.0, 2.0};
+    sweep.series.push_back(s);
+  }
+  return sweep;
+}
+
+TEST(SeriesFormat, TableContainsPercentagesAndCi) {
+  const std::string s = format_sweep_table(sample_sweep());
+  EXPECT_NE(s.find("OLR"), std::string::npos);
+  EXPECT_NE(s.find("ADAPT-L"), std::string::npos);
+  EXPECT_NE(s.find("60.0%"), std::string::npos);
+  EXPECT_NE(s.find("±"), std::string::npos);
+  const std::string no_ci = format_sweep_table(sample_sweep(), false);
+  EXPECT_EQ(no_ci.find("±"), std::string::npos);
+}
+
+TEST(SeriesFormat, ChartHasLegendAndAxis) {
+  const std::string s = format_sweep_chart(sample_sweep(), 10, 40);
+  EXPECT_NE(s.find("legend: A=PURE B=ADAPT-L"), std::string::npos);
+  EXPECT_NE(s.find("(OLR)"), std::string::npos);
+  EXPECT_NE(s.find("1.00 |"), std::string::npos);
+  EXPECT_NE(s.find("0.00 |"), std::string::npos);
+}
+
+TEST(SeriesFormat, ChartHandlesDegenerateInput) {
+  SweepResult empty;
+  EXPECT_EQ(format_sweep_chart(empty), "(no data)\n");
+}
+
+}  // namespace
+}  // namespace dsslice

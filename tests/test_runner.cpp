@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "dsslice/sim/runner.hpp"
+#include "test_util.hpp"
+
+namespace dsslice {
+namespace {
+
+ExperimentConfig small_config(std::uint64_t seed, std::size_t graphs = 32) {
+  ExperimentConfig c;
+  c.generator = testing::small_generator(seed);
+  c.generator.graph_count = graphs;
+  c.technique = DistributionTechnique::kSlicingAdaptL;
+  return c;
+}
+
+TEST(Runner, ParallelMatchesSerialExactly) {
+  const ExperimentConfig c = small_config(42);
+  ThreadPool pool(4);
+  const ExperimentResult parallel = run_experiment(c, pool);
+  const ExperimentResult serial = run_experiment_serial(c);
+  EXPECT_EQ(parallel.success.successes(), serial.success.successes());
+  EXPECT_EQ(parallel.success.trials(), serial.success.trials());
+  EXPECT_DOUBLE_EQ(parallel.min_laxity.mean(), serial.min_laxity.mean());
+  EXPECT_DOUBLE_EQ(parallel.min_laxity.variance(),
+                   serial.min_laxity.variance());
+  EXPECT_DOUBLE_EQ(parallel.makespan.sum(), serial.makespan.sum());
+}
+
+TEST(Runner, TrialCountMatchesGraphCount) {
+  const ExperimentConfig c = small_config(1, 17);
+  const ExperimentResult r = run_experiment(c);
+  EXPECT_EQ(r.success.trials(), 17u);
+  EXPECT_EQ(r.task_count.count(), 17u);
+  EXPECT_GE(r.wall_seconds, 0.0);
+}
+
+TEST(Runner, OutcomeSinkSeesEveryIndexInOrder) {
+  const ExperimentConfig c = small_config(3, 16);
+  ThreadPool pool(4);
+  std::vector<std::size_t> indices;
+  const ExperimentResult r = run_experiment_with_outcomes(
+      c, pool, [&indices](std::size_t k, const GraphOutcome& o) {
+        indices.push_back(k);
+        EXPECT_GT(o.task_count, 0u);
+      });
+  ASSERT_EQ(indices.size(), 16u);
+  for (std::size_t k = 0; k < indices.size(); ++k) {
+    EXPECT_EQ(indices[k], k);  // deterministic, in index order
+  }
+  EXPECT_EQ(r.success.trials(), 16u);
+}
+
+TEST(Runner, RepeatedRunsAreIdentical) {
+  const ExperimentConfig c = small_config(9, 24);
+  ThreadPool pool(8);
+  const ExperimentResult r1 = run_experiment(c, pool);
+  const ExperimentResult r2 = run_experiment(c, pool);
+  EXPECT_EQ(r1.success.successes(), r2.success.successes());
+  EXPECT_DOUBLE_EQ(r1.min_laxity.mean(), r2.min_laxity.mean());
+}
+
+TEST(Runner, InvalidConfigThrows) {
+  ExperimentConfig c = small_config(1);
+  c.generator.workload.olr = -1.0;
+  EXPECT_THROW(run_experiment(c), ConfigError);
+}
+
+}  // namespace
+}  // namespace dsslice

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "dsslice/sched/insertion_scheduler.hpp"
+#include "dsslice/sched/schedule.hpp"
+#include "dsslice/util/check.hpp"
+
+namespace dsslice {
+namespace {
+
+TEST(Schedule, PlaceAndQuery) {
+  Schedule s(3, 2);
+  EXPECT_EQ(s.task_count(), 3u);
+  EXPECT_EQ(s.processor_count(), 2u);
+  EXPECT_FALSE(s.placed(0));
+  s.place(0, 1, 5.0, 15.0);
+  EXPECT_TRUE(s.placed(0));
+  const ScheduledTask& e = s.entry(0);
+  EXPECT_EQ(e.processor, 1u);
+  EXPECT_DOUBLE_EQ(e.start, 5.0);
+  EXPECT_DOUBLE_EQ(e.finish, 15.0);
+  EXPECT_EQ(s.placed_count(), 1u);
+  EXPECT_FALSE(s.complete());
+}
+
+TEST(Schedule, PerProcessorBookkeeping) {
+  Schedule s(3, 2);
+  s.place(0, 0, 0.0, 10.0);
+  s.place(1, 0, 10.0, 25.0);
+  s.place(2, 1, 0.0, 5.0);
+  EXPECT_EQ(s.on_processor(0).size(), 2u);
+  EXPECT_EQ(s.on_processor(1).size(), 1u);
+  EXPECT_DOUBLE_EQ(s.processor_available(0), 25.0);
+  EXPECT_DOUBLE_EQ(s.processor_available(1), 5.0);
+  EXPECT_DOUBLE_EQ(s.makespan(), 25.0);
+  EXPECT_TRUE(s.complete());
+  // Busy 10+15+5 = 30 over 2×25 capacity.
+  EXPECT_NEAR(s.utilization(), 30.0 / 50.0, 1e-12);
+}
+
+TEST(Schedule, RejectsDoublePlacementAndBadArgs) {
+  Schedule s(2, 1);
+  s.place(0, 0, 0.0, 1.0);
+  EXPECT_THROW(s.place(0, 0, 2.0, 3.0), CheckError);
+  EXPECT_THROW(s.place(1, 1, 0.0, 1.0), ConfigError);  // bad processor
+  EXPECT_THROW(s.place(1, 0, 2.0, 1.0), ConfigError);  // finish < start
+  EXPECT_THROW(s.entry(1), ConfigError);               // not placed
+  EXPECT_THROW(Schedule(1, 0), ConfigError);
+}
+
+TEST(Schedule, GanttRendering) {
+  Schedule s(2, 2);
+  s.place(0, 0, 0.0, 10.0);
+  s.place(1, 1, 10.0, 20.0);
+  const std::string gantt = s.to_gantt(40);
+  EXPECT_NE(gantt.find("p0"), std::string::npos);
+  EXPECT_NE(gantt.find("p1"), std::string::npos);
+  EXPECT_NE(gantt.find("t=20.0"), std::string::npos);
+  EXPECT_EQ(Schedule(1, 1).to_gantt(40), "(empty schedule)\n");
+}
+
+TEST(ProcessorTimeline, AppendsWhenNoGap) {
+  ProcessorTimeline tl;
+  EXPECT_DOUBLE_EQ(tl.earliest_fit(0.0, 10.0), 0.0);
+  tl.occupy(0.0, 10.0);
+  EXPECT_DOUBLE_EQ(tl.earliest_fit(0.0, 5.0), 10.0);
+  EXPECT_DOUBLE_EQ(tl.last_finish(), 10.0);
+}
+
+TEST(ProcessorTimeline, FillsInteriorGap) {
+  ProcessorTimeline tl;
+  tl.occupy(0.0, 10.0);
+  tl.occupy(30.0, 10.0);
+  EXPECT_DOUBLE_EQ(tl.earliest_fit(0.0, 15.0), 10.0);  // gap [10,30)
+  EXPECT_DOUBLE_EQ(tl.earliest_fit(0.0, 25.0), 40.0);  // too big for the gap
+  EXPECT_DOUBLE_EQ(tl.earliest_fit(12.0, 10.0), 12.0);
+  EXPECT_DOUBLE_EQ(tl.earliest_fit(25.0, 10.0), 40.0);
+  tl.occupy(10.0, 15.0);
+  EXPECT_EQ(tl.interval_count(), 3u);
+}
+
+TEST(ProcessorTimeline, RejectsOverlap) {
+  ProcessorTimeline tl;
+  tl.occupy(10.0, 10.0);
+  EXPECT_THROW(tl.occupy(15.0, 2.0), CheckError);
+  EXPECT_THROW(tl.occupy(5.0, 6.0), CheckError);
+  EXPECT_NO_THROW(tl.occupy(20.0, 1.0));  // back-to-back is fine
+  EXPECT_NO_THROW(tl.occupy(9.0, 1.0));
+}
+
+}  // namespace
+}  // namespace dsslice

@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "dsslice/report/schedule_export.hpp"
+#include "test_util.hpp"
+
+namespace dsslice {
+namespace {
+
+struct Fixture {
+  Application app = testing::make_chain(2, 10.0, 100.0);
+  DeadlineAssignment assignment;
+  Schedule schedule{2, 2};
+
+  Fixture() {
+    assignment.windows = {Window{0.0, 50.0}, Window{50.0, 100.0}};
+    schedule.place(0, 0, 0.0, 10.0);
+    schedule.place(1, 1, 50.0, 60.0);
+  }
+};
+
+TEST(ScheduleExport, CsvHasHeaderAndRows) {
+  Fixture f;
+  const std::string csv =
+      schedule_to_csv(f.app, f.assignment, f.schedule);
+  EXPECT_NE(csv.find("task,name,processor,start,finish,arrival,deadline,"
+                     "laxity_used"),
+            std::string::npos);
+  EXPECT_NE(csv.find("0,t0,0,0,10,0,50,40"), std::string::npos);
+  EXPECT_NE(csv.find("1,t1,1,50,60,50,100,40"), std::string::npos);
+}
+
+TEST(ScheduleExport, CsvOmitsUnplacedTasks) {
+  Fixture f;
+  Schedule partial(2, 2);
+  partial.place(0, 0, 0.0, 10.0);
+  const std::string csv = schedule_to_csv(f.app, f.assignment, partial);
+  EXPECT_NE(csv.find("0,t0"), std::string::npos);
+  EXPECT_EQ(csv.find("1,t1"), std::string::npos);
+}
+
+TEST(ScheduleExport, JsonStructure) {
+  Fixture f;
+  const std::string json =
+      schedule_to_json(f.app, f.assignment, f.schedule);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"makespan\":60"), std::string::npos);
+  EXPECT_NE(json.find("\"processors\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"id\":0,\"name\":\"t0\",\"proc\":0,\"start\":0,"
+                      "\"finish\":10"),
+            std::string::npos);
+  // Exactly two task objects, comma-separated.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'), 3);
+}
+
+TEST(ScheduleExport, JsonEscaping) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+TEST(ScheduleExport, SizeMismatchThrows) {
+  Fixture f;
+  DeadlineAssignment wrong;
+  wrong.windows = {Window{0.0, 1.0}};
+  EXPECT_THROW(schedule_to_csv(f.app, wrong, f.schedule), ConfigError);
+  EXPECT_THROW(schedule_to_json(f.app, wrong, f.schedule), ConfigError);
+}
+
+}  // namespace
+}  // namespace dsslice

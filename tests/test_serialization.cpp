@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "dsslice/sim/serialization.hpp"
+#include "test_util.hpp"
+
+namespace dsslice {
+namespace {
+
+void expect_equal_scenarios(const Scenario& a, const Scenario& b) {
+  ASSERT_EQ(a.platform.processor_count(), b.platform.processor_count());
+  ASSERT_EQ(a.platform.class_count(), b.platform.class_count());
+  for (ProcessorClassId e = 0; e < a.platform.class_count(); ++e) {
+    EXPECT_EQ(a.platform.processor_class(e).name,
+              b.platform.processor_class(e).name);
+    EXPECT_DOUBLE_EQ(a.platform.processor_class(e).speed_factor,
+                     b.platform.processor_class(e).speed_factor);
+  }
+  for (ProcessorId p = 0; p < a.platform.processor_count(); ++p) {
+    EXPECT_EQ(a.platform.class_of(p), b.platform.class_of(p));
+  }
+  ASSERT_EQ(a.application.task_count(), b.application.task_count());
+  for (NodeId v = 0; v < a.application.task_count(); ++v) {
+    const Task& ta = a.application.task(v);
+    const Task& tb = b.application.task(v);
+    EXPECT_EQ(ta.name, tb.name);
+    EXPECT_EQ(ta.wcet_by_class, tb.wcet_by_class);
+    EXPECT_DOUBLE_EQ(ta.phasing, tb.phasing);
+    EXPECT_DOUBLE_EQ(ta.period, tb.period);
+  }
+  ASSERT_EQ(a.application.graph().arcs(), b.application.graph().arcs());
+  for (const NodeId out : a.application.graph().output_nodes()) {
+    EXPECT_EQ(a.application.has_ete_deadline(out),
+              b.application.has_ete_deadline(out));
+    if (a.application.has_ete_deadline(out)) {
+      EXPECT_DOUBLE_EQ(a.application.ete_deadline(out),
+                       b.application.ete_deadline(out));
+    }
+  }
+}
+
+TEST(Serialization, RoundTripsGeneratedScenarios) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    const Scenario original =
+        generate_scenario_at(testing::paper_generator(seed), 0);
+    const std::string text = serialize_scenario(original);
+    const Scenario parsed = parse_scenario(text);
+    expect_equal_scenarios(original, parsed);
+    // Serialization is a fixed point.
+    EXPECT_EQ(serialize_scenario(parsed), text);
+  }
+}
+
+TEST(Serialization, RoundTripsIneligibilityAndPeriods) {
+  ApplicationBuilder b;
+  const NodeId u = b.add_task("u", {10.0, kIneligibleWcet}, 2.0, 40.0);
+  const NodeId v = b.add_task("v", {kIneligibleWcet, 12.0}, 0.0, 40.0);
+  b.add_precedence(u, v, 3.5);
+  b.set_input_arrival(u, 2.0);
+  b.set_ete_deadline(v, 38.0);
+  Scenario sc{Platform::shared_bus({ProcessorClass{"a", 1.0},
+                                    ProcessorClass{"b", 1.25}},
+                                   {0, 1}, 2.0),
+              b.build(2)};
+  const Scenario parsed = parse_scenario(serialize_scenario(sc));
+  expect_equal_scenarios(sc, parsed);
+  const auto* bus =
+      dynamic_cast<const SharedBus*>(&parsed.platform.network());
+  ASSERT_NE(bus, nullptr);
+  EXPECT_DOUBLE_EQ(bus->per_item_delay(), 2.0);
+}
+
+TEST(Serialization, CommentsAndBlankLinesIgnored) {
+  const Scenario sc =
+      generate_scenario_at(testing::small_generator(7), 0);
+  std::string text = serialize_scenario(sc);
+  text = "# a comment\n\n" + text;
+  EXPECT_NO_THROW(parse_scenario(text));
+}
+
+TEST(Serialization, RejectsMalformedInput) {
+  EXPECT_THROW(parse_scenario(""), ConfigError);
+  EXPECT_THROW(parse_scenario("dsslice-scenario 99\n"), ConfigError);
+  EXPECT_THROW(parse_scenario("dsslice-scenario 1\nclasses x\n"),
+               ConfigError);
+  // Arc endpoint out of range.
+  const std::string bad =
+      "dsslice-scenario 1\nclasses 1\nclass e0 1\nprocessors 1\n"
+      "proc p0 0\nbus 1\ntasks 1\ntask t0 0 0 5\narcs 1\narc 0 7 1\nend\n";
+  EXPECT_THROW(parse_scenario(bad), ConfigError);
+  // Truncated before 'end'.
+  const std::string truncated =
+      "dsslice-scenario 1\nclasses 1\nclass e0 1\nprocessors 1\n"
+      "proc p0 0\nbus 1\ntasks 1\ntask t0 0 0 5\narcs 0\n";
+  EXPECT_THROW(parse_scenario(truncated), ConfigError);
+}
+
+TEST(Serialization, FileRoundTrip) {
+  const Scenario sc =
+      generate_scenario_at(testing::small_generator(9), 0);
+  const std::string path =
+      ::testing::TempDir() + "/dsslice_scenario_test.txt";
+  save_scenario(sc, path);
+  const Scenario loaded = load_scenario(path);
+  expect_equal_scenarios(sc, loaded);
+  std::remove(path.c_str());
+  EXPECT_THROW(load_scenario("/nonexistent/path.txt"), ConfigError);
+  EXPECT_THROW(save_scenario(sc, "/nonexistent-dir/x.txt"), ConfigError);
+}
+
+TEST(Serialization, ParsedScenarioRunsThroughPipeline) {
+  const Scenario sc =
+      generate_scenario_at(testing::paper_generator(11), 0);
+  const Scenario parsed = parse_scenario(serialize_scenario(sc));
+  const auto est = estimate_wcets(parsed.application,
+                                  WcetEstimation::kAverage);
+  const auto a = run_slicing(parsed.application, est,
+                             DeadlineMetric(MetricKind::kAdaptL),
+                             parsed.platform.processor_count());
+  const auto est0 = estimate_wcets(sc.application, WcetEstimation::kAverage);
+  const auto a0 = run_slicing(sc.application, est0,
+                              DeadlineMetric(MetricKind::kAdaptL),
+                              sc.platform.processor_count());
+  for (NodeId v = 0; v < sc.application.task_count(); ++v) {
+    EXPECT_EQ(a.windows[v], a0.windows[v]);
+  }
+}
+
+}  // namespace
+}  // namespace dsslice

@@ -1,0 +1,162 @@
+// Hand-verifiable slicing scenarios (the property tests cover random ones).
+#include <gtest/gtest.h>
+
+#include "dsslice/core/slicing.hpp"
+#include "dsslice/sched/validation.hpp"
+#include "dsslice/util/check.hpp"
+#include "test_util.hpp"
+
+namespace dsslice {
+namespace {
+
+TEST(Slicing, ChainWithPureMetricGivesEqualLaxityShares) {
+  const Application app = testing::make_chain(4, 10.0, 100.0);
+  const std::vector<double> est{10.0, 10.0, 10.0, 10.0};
+  SlicingStats stats;
+  const auto assignment = run_slicing(
+      app, est, DeadlineMetric(MetricKind::kPure), 2, &stats);
+  // One path, R = 15, so windows are [0,25], [25,50], [50,75], [75,100].
+  EXPECT_EQ(stats.passes, 1u);
+  for (NodeId v = 0; v < 4; ++v) {
+    EXPECT_DOUBLE_EQ(assignment.windows[v].arrival, 25.0 * v);
+    EXPECT_DOUBLE_EQ(assignment.windows[v].deadline, 25.0 * (v + 1));
+    EXPECT_EQ(assignment.pass_of[v], 0);
+  }
+  EXPECT_DOUBLE_EQ(stats.min_laxity, 15.0);
+  EXPECT_TRUE(stats.windows_feasible);
+  EXPECT_DOUBLE_EQ(stats.first_path_metric, 15.0);
+  EXPECT_EQ(stats.first_path_length, 4u);
+}
+
+TEST(Slicing, ChainWithNormMetricGivesProportionalShares) {
+  ApplicationBuilder b;
+  const NodeId t0 = b.add_uniform_task("t0", 10.0);
+  const NodeId t1 = b.add_uniform_task("t1", 30.0);
+  b.add_precedence(t0, t1);
+  b.set_input_arrival(t0, 0.0);
+  b.set_ete_deadline(t1, 80.0);
+  const Application app = b.build();
+  const std::vector<double> est{10.0, 30.0};
+  const auto assignment =
+      run_slicing(app, est, DeadlineMetric(MetricKind::kNorm), 2);
+  // R = (80-40)/40 = 1 → d = 2c: windows [0,20], [20,80].
+  EXPECT_DOUBLE_EQ(assignment.windows[t0].deadline, 20.0);
+  EXPECT_DOUBLE_EQ(assignment.windows[t1].arrival, 20.0);
+  EXPECT_DOUBLE_EQ(assignment.windows[t1].deadline, 80.0);
+}
+
+TEST(Slicing, DiamondProducesTwoPassesAndParallelWindows) {
+  const Application app = testing::make_diamond(10.0, 20.0, 20.0, 10.0, 100.0);
+  const std::vector<double> est{10.0, 20.0, 20.0, 10.0};
+  SlicingStats stats;
+  const auto assignment = run_slicing(
+      app, est, DeadlineMetric(MetricKind::kPure), 2, &stats);
+  EXPECT_EQ(stats.passes, 2u);
+  // The spine goes through one mid task; the other mid task is sliced in
+  // pass 2 within the same boundaries, so both mid windows coincide.
+  EXPECT_EQ(assignment.windows[1], assignment.windows[2]);
+  EXPECT_EQ(assignment.pass_of[0], 0);
+  EXPECT_EQ(assignment.pass_of[3], 0);
+  // Windows tile: src.deadline == mid.arrival == ..., etc.
+  EXPECT_DOUBLE_EQ(assignment.windows[0].deadline,
+                   assignment.windows[1].arrival);
+  EXPECT_DOUBLE_EQ(assignment.windows[1].deadline,
+                   assignment.windows[3].arrival);
+  EXPECT_TRUE(validate_assignment(app, assignment).empty());
+}
+
+TEST(Slicing, InfeasiblyTightDeadlineYieldsInfeasibleWindows) {
+  const Application app = testing::make_chain(3, 10.0, 15.0);  // needs 30
+  const std::vector<double> est{10.0, 10.0, 10.0};
+  SlicingStats stats;
+  const auto assignment = run_slicing(
+      app, est, DeadlineMetric(MetricKind::kPure), 2, &stats);
+  EXPECT_FALSE(stats.windows_feasible);
+  EXPECT_LT(stats.min_laxity, 0.0);
+  // The path constraint still holds (windows tile the tight budget).
+  EXPECT_TRUE(validate_assignment(app, assignment).empty());
+}
+
+TEST(Slicing, MultipleEteDeadlinesAreRespected) {
+  ApplicationBuilder b;
+  const NodeId src = b.add_uniform_task("src", 10.0);
+  const NodeId out_a = b.add_uniform_task("out_a", 10.0);
+  const NodeId out_b = b.add_uniform_task("out_b", 10.0);
+  b.add_precedence(src, out_a);
+  b.add_precedence(src, out_b);
+  b.set_input_arrival(src, 0.0);
+  b.set_ete_deadline(out_a, 40.0);
+  b.set_ete_deadline(out_b, 120.0);
+  const Application app = b.build();
+  const std::vector<double> est{10.0, 10.0, 10.0};
+  const auto assignment =
+      run_slicing(app, est, DeadlineMetric(MetricKind::kPure), 2);
+  EXPECT_LE(assignment.windows[out_a].deadline, 40.0 + 1e-9);
+  EXPECT_LE(assignment.windows[out_b].deadline, 120.0 + 1e-9);
+  // The tight branch governs the spine; the loose output is sliced later
+  // from src's deadline to its own E-T-E deadline.
+  EXPECT_GE(assignment.windows[out_b].arrival,
+            assignment.windows[src].deadline - 1e-9);
+}
+
+TEST(Slicing, SingleTaskApplication) {
+  ApplicationBuilder b;
+  const NodeId only = b.add_uniform_task("only", 10.0);
+  b.set_input_arrival(only, 5.0);
+  b.set_ete_deadline(only, 42.0);
+  const Application app = b.build();
+  const std::vector<double> est{10.0};
+  const auto assignment =
+      run_slicing(app, est, DeadlineMetric(MetricKind::kAdaptL), 3);
+  EXPECT_DOUBLE_EQ(assignment.windows[only].arrival, 5.0);
+  EXPECT_DOUBLE_EQ(assignment.windows[only].deadline, 42.0);
+}
+
+TEST(Slicing, NonZeroInputArrival) {
+  ApplicationBuilder b;
+  const NodeId t0 = b.add_uniform_task("t0", 10.0);
+  const NodeId t1 = b.add_uniform_task("t1", 10.0);
+  b.add_precedence(t0, t1);
+  b.set_input_arrival(t0, 30.0);
+  b.set_ete_deadline(t1, 90.0);
+  const Application app = b.build();
+  const std::vector<double> est{10.0, 10.0};
+  const auto assignment =
+      run_slicing(app, est, DeadlineMetric(MetricKind::kPure), 1);
+  // Window [30, 90]: R = (60-20)/2 = 20 → [30,60], [60,90].
+  EXPECT_DOUBLE_EQ(assignment.windows[t0].arrival, 30.0);
+  EXPECT_DOUBLE_EQ(assignment.windows[t0].deadline, 60.0);
+  EXPECT_DOUBLE_EQ(assignment.windows[t1].deadline, 90.0);
+}
+
+TEST(Slicing, RejectsBadInput) {
+  const Application app = testing::make_chain(2, 10.0, 50.0);
+  const DeadlineMetric metric(MetricKind::kPure);
+  EXPECT_THROW(run_slicing(app, std::vector<double>{1.0}, metric, 2),
+               ConfigError);
+  EXPECT_THROW(
+      run_slicing(app, std::vector<double>{1.0, 1.0}, metric, 0),
+      ConfigError);
+  // Missing E-T-E deadline.
+  ApplicationBuilder b;
+  const NodeId x = b.add_uniform_task("x", 1.0);
+  (void)x;
+  const Application no_deadline = b.build();
+  EXPECT_THROW(
+      run_slicing(no_deadline, std::vector<double>{1.0}, metric, 1),
+      ConfigError);
+}
+
+TEST(Slicing, ConvenienceOverloadMatchesExplicitCall) {
+  const Application app = testing::make_chain(3, 10.0, 90.0);
+  const auto est = estimate_wcets(app, WcetEstimation::kAverage);
+  const auto a =
+      run_slicing(app, est, DeadlineMetric(MetricKind::kNorm), 2);
+  const auto b = run_slicing(app, MetricKind::kNorm, 2);
+  for (NodeId v = 0; v < app.task_count(); ++v) {
+    EXPECT_EQ(a.windows[v], b.windows[v]);
+  }
+}
+
+}  // namespace
+}  // namespace dsslice

@@ -1,0 +1,184 @@
+// Property tests for the SLICING algorithm over randomly generated
+// scenarios: the invariants the paper proves or relies on must hold for
+// every metric, every WCET strategy, and every seed.
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "dsslice/dsslice.hpp"
+#include "test_util.hpp"
+
+namespace dsslice {
+namespace {
+
+using testing::paper_generator;
+using testing::small_generator;
+
+using SlicingParam = std::tuple<MetricKind, WcetEstimation, std::uint64_t>;
+
+class SlicingProperty : public ::testing::TestWithParam<SlicingParam> {
+ protected:
+  MetricKind metric_kind() const { return std::get<0>(GetParam()); }
+  WcetEstimation wcet_strategy() const { return std::get<1>(GetParam()); }
+  std::uint64_t seed() const { return std::get<2>(GetParam()); }
+};
+
+TEST_P(SlicingProperty, WindowsAreNonOverlappingAlongEveryArc) {
+  const Scenario sc = generate_scenario_at(paper_generator(seed()), 0);
+  const auto est = estimate_wcets(sc.application, wcet_strategy());
+  const DeadlineMetric metric(metric_kind());
+  const auto assignment = run_slicing(sc.application, est, metric,
+                                      sc.platform.processor_count());
+  // validate_assignment checks D_u <= a_v on every arc plus the boundary
+  // conditions (input arrivals, E-T-E deadlines) — i.e. invariants I1/I2
+  // and Eq. 1 of the paper.
+  const auto problems = validate_assignment(sc.application, assignment);
+  EXPECT_TRUE(problems.empty())
+      << "first violation: " << (problems.empty() ? "" : problems.front());
+}
+
+TEST_P(SlicingProperty, PathConstraintHoldsOnEveryEnumeratedPath) {
+  const Scenario sc =
+      generate_scenario_at(small_generator(seed() ^ 0xABCD), 0);
+  const Application& app = sc.application;
+  const auto est = estimate_wcets(app, wcet_strategy());
+  const DeadlineMetric metric(metric_kind());
+  const auto assignment =
+      run_slicing(app, est, metric, sc.platform.processor_count());
+
+  for (const auto& path : enumerate_paths(app.graph(), 20000)) {
+    double sum_d = 0.0;
+    for (const NodeId v : path) {
+      sum_d += assignment.windows[v].length();
+    }
+    const Time budget = app.ete_deadline(path.back()) -
+                        app.input_arrival(path.front());
+    EXPECT_LE(sum_d, budget + 1e-6) << "path ending at " << path.back();
+  }
+}
+
+TEST_P(SlicingProperty, EveryTaskIsAssignedExactlyOnce) {
+  const Scenario sc = generate_scenario_at(paper_generator(seed() ^ 77), 0);
+  const auto est = estimate_wcets(sc.application, wcet_strategy());
+  SlicingStats stats;
+  const DeadlineMetric metric(metric_kind());
+  const auto assignment = run_slicing(sc.application, est, metric,
+                                      sc.platform.processor_count(), &stats);
+  ASSERT_EQ(assignment.windows.size(), sc.application.task_count());
+  ASSERT_EQ(assignment.pass_of.size(), sc.application.task_count());
+  for (NodeId v = 0; v < sc.application.task_count(); ++v) {
+    EXPECT_GE(assignment.pass_of[v], 0) << "task " << v << " never assigned";
+    EXPECT_LT(static_cast<std::size_t>(assignment.pass_of[v]), stats.passes);
+  }
+  EXPECT_GE(stats.passes, 1u);
+  EXPECT_LE(stats.passes, sc.application.task_count());
+}
+
+TEST_P(SlicingProperty, DeterministicAcrossRuns) {
+  const Scenario sc = generate_scenario_at(paper_generator(seed() ^ 31), 0);
+  const auto est = estimate_wcets(sc.application, wcet_strategy());
+  const DeadlineMetric metric(metric_kind());
+  const auto a1 = run_slicing(sc.application, est, metric,
+                              sc.platform.processor_count());
+  const auto a2 = run_slicing(sc.application, est, metric,
+                              sc.platform.processor_count());
+  ASSERT_EQ(a1.windows.size(), a2.windows.size());
+  for (NodeId v = 0; v < a1.windows.size(); ++v) {
+    EXPECT_EQ(a1.windows[v], a2.windows[v]);
+  }
+}
+
+TEST_P(SlicingProperty, MinLaxityStatMatchesQualityModule) {
+  const Scenario sc = generate_scenario_at(paper_generator(seed() ^ 99), 0);
+  const auto est = estimate_wcets(sc.application, wcet_strategy());
+  SlicingStats stats;
+  const DeadlineMetric metric(metric_kind());
+  const auto assignment = run_slicing(sc.application, est, metric,
+                                      sc.platform.processor_count(), &stats);
+  EXPECT_NEAR(stats.min_laxity, min_laxity(assignment, est), 1e-9);
+  EXPECT_EQ(stats.windows_feasible, stats.min_laxity >= 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMetricsStrategiesSeeds, SlicingProperty,
+    ::testing::Combine(
+        ::testing::Values(MetricKind::kPure, MetricKind::kNorm,
+                          MetricKind::kAdaptG, MetricKind::kAdaptL),
+        ::testing::Values(WcetEstimation::kAverage, WcetEstimation::kMax,
+                          WcetEstimation::kMin),
+        ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u)),
+    [](const ::testing::TestParamInfo<SlicingParam>& info) {
+      std::string name = to_string(std::get<0>(info.param)) + "_" +
+                         to_string(std::get<1>(info.param)) + "_seed" +
+                         std::to_string(std::get<2>(info.param));
+      for (char& c : name) {
+        if (c == '-') {
+          c = '_';
+        }
+      }
+      return name;
+    });
+
+// Baseline techniques must also produce windows whose deadlines respect the
+// application's end-to-end requirements (they do not promise non-overlap).
+class BaselinePathProperty
+    : public ::testing::TestWithParam<std::tuple<DistributionTechnique,
+                                                 std::uint64_t>> {};
+
+TEST_P(BaselinePathProperty, OutputDeadlinesNeverExceedEteDeadline) {
+  const auto [technique, seed] = GetParam();
+  const Scenario sc = generate_scenario_at(paper_generator(seed), 0);
+  const Application& app = sc.application;
+  const auto est = estimate_wcets(app, WcetEstimation::kAverage);
+  const auto assignment =
+      distribute(technique, app, est, sc.platform.processor_count());
+  for (const NodeId out : app.graph().output_nodes()) {
+    EXPECT_LE(assignment.windows[out].deadline,
+              app.ete_deadline(out) + 1e-6);
+  }
+  // Arrivals never precede data availability in the estimate-based sense:
+  // each task's arrival is at least the maximum over predecessors of
+  // nothing in general, but it must be finite and non-negative here.
+  for (NodeId v = 0; v < app.task_count(); ++v) {
+    EXPECT_GE(assignment.windows[v].arrival, 0.0);
+    EXPECT_TRUE(std::isfinite(assignment.windows[v].arrival));
+    EXPECT_TRUE(std::isfinite(assignment.windows[v].deadline));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBaselines, BaselinePathProperty,
+    ::testing::Combine(
+        ::testing::Values(DistributionTechnique::kKaoUD,
+                          DistributionTechnique::kKaoED,
+                          DistributionTechnique::kKaoEQS,
+                          DistributionTechnique::kKaoEQF,
+                          DistributionTechnique::kBettatiLiu),
+        ::testing::Values(11u, 22u, 33u)),
+    [](const auto& info) {
+      std::string name = to_string(std::get<0>(info.param)) + "_seed" +
+                         std::to_string(std::get<1>(info.param));
+      for (char& c : name) {
+        if (c == '-' || c == '/') {
+          c = '_';
+        }
+      }
+      return name;
+    });
+
+// Bettati-Liu additionally guarantees non-overlap (like slicing).
+TEST(BettatiLiuProperty, WindowsNonOverlappingAlongArcs) {
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    const Scenario sc = generate_scenario_at(paper_generator(seed), 0);
+    const auto est = estimate_wcets(sc.application, WcetEstimation::kAverage);
+    const auto assignment = distribute_bettati_liu(sc.application, est);
+    const auto problems = validate_assignment(sc.application, assignment);
+    EXPECT_TRUE(problems.empty())
+        << "seed " << seed << ": "
+        << (problems.empty() ? "" : problems.front());
+  }
+}
+
+}  // namespace
+}  // namespace dsslice

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "dsslice/core/slicing.hpp"
+#include "test_util.hpp"
+
+namespace dsslice {
+namespace {
+
+TEST(SlicingTrace, RecordsOnePassPerIteration) {
+  const Application app = testing::make_diamond(10.0, 20.0, 20.0, 10.0,
+                                                100.0);
+  const std::vector<double> est{10.0, 20.0, 20.0, 10.0};
+  SlicingTrace trace;
+  SlicingOptions options;
+  options.trace = &trace;
+  SlicingStats stats;
+  const auto assignment =
+      run_slicing(app, est, DeadlineMetric(MetricKind::kPure), 2, &stats,
+                  options);
+  ASSERT_EQ(trace.passes.size(), stats.passes);
+  // Pass 0 covers the spine (3 tasks), pass 1 the remaining mid task.
+  EXPECT_EQ(trace.passes[0].path.size(), 3u);
+  EXPECT_EQ(trace.passes[1].path.size(), 1u);
+  EXPECT_DOUBLE_EQ(trace.passes[0].window_start, 0.0);
+  EXPECT_DOUBLE_EQ(trace.passes[0].window_end, 100.0);
+  // Slices per pass tile the pass window.
+  for (const SlicingPass& pass : trace.passes) {
+    double sum = 0.0;
+    for (const double d : pass.slices) {
+      sum += d;
+    }
+    EXPECT_NEAR(sum, pass.window_end - pass.window_start, 1e-9);
+    EXPECT_EQ(pass.slices.size(), pass.path.size());
+  }
+  // Windows recorded in the trace are consistent with the assignment.
+  EXPECT_DOUBLE_EQ(assignment.windows[trace.passes[0].path.front()].arrival,
+                   0.0);
+}
+
+TEST(SlicingTrace, ClearedBetweenRuns) {
+  const Application app = testing::make_chain(3, 10.0, 100.0);
+  const std::vector<double> est{10.0, 10.0, 10.0};
+  SlicingTrace trace;
+  SlicingOptions options;
+  options.trace = &trace;
+  (void)run_slicing(app, est, DeadlineMetric(MetricKind::kPure), 1, nullptr,
+                    options);
+  const std::size_t first = trace.passes.size();
+  (void)run_slicing(app, est, DeadlineMetric(MetricKind::kPure), 1, nullptr,
+                    options);
+  EXPECT_EQ(trace.passes.size(), first);  // not accumulated
+}
+
+TEST(SlicingTrace, RenderingMentionsTasksAndMetric) {
+  const Application app = testing::make_chain(3, 10.0, 100.0);
+  const std::vector<double> est{10.0, 10.0, 10.0};
+  SlicingTrace trace;
+  SlicingOptions options;
+  options.trace = &trace;
+  (void)run_slicing(app, est, DeadlineMetric(MetricKind::kNorm), 1, nullptr,
+                    options);
+  const std::string text = trace.to_string(app);
+  EXPECT_NE(text.find("pass 0"), std::string::npos);
+  EXPECT_NE(text.find("t0"), std::string::npos);
+  EXPECT_NE(text.find("t2"), std::string::npos);
+  EXPECT_NE(text.find("R="), std::string::npos);
+  EXPECT_NE(text.find("->"), std::string::npos);
+}
+
+TEST(SlicingTrace, MetricValuesNonDecreasingAcrossPasses) {
+  // The most critical (minimum-R) path is peeled first; later paths are
+  // never *more* critical than the first one was at selection time for
+  // simple fan-out structures sharing one window.
+  const Application app = testing::make_diamond(10.0, 25.0, 15.0, 10.0,
+                                                120.0);
+  const std::vector<double> est{10.0, 25.0, 15.0, 10.0};
+  SlicingTrace trace;
+  SlicingOptions options;
+  options.trace = &trace;
+  (void)run_slicing(app, est, DeadlineMetric(MetricKind::kPure), 2, nullptr,
+                    options);
+  ASSERT_EQ(trace.passes.size(), 2u);
+  EXPECT_LE(trace.passes[0].metric_value, trace.passes[1].metric_value);
+  // The heavier branch (25) is on the first path.
+  EXPECT_NE(std::find(trace.passes[0].path.begin(),
+                      trace.passes[0].path.end(), NodeId{1}),
+            trace.passes[0].path.end());
+}
+
+}  // namespace
+}  // namespace dsslice

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsslice/util/check.hpp"
+#include "dsslice/util/stats.hpp"
+
+namespace dsslice {
+namespace {
+
+TEST(RunningStats, EmptyDefaults) {
+  RunningStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.ci95_halfwidth(), 0.0);
+}
+
+TEST(RunningStats, SingleSample) {
+  RunningStats s;
+  s.add(42.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 42.0);
+  EXPECT_DOUBLE_EQ(s.max(), 42.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 42.0);
+}
+
+TEST(RunningStats, KnownMeanAndVariance) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.add(x);
+  }
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 denominator: Σ(x-5)² = 32, 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats whole;
+  RunningStats a;
+  RunningStats b;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(static_cast<double>(i)) * 10.0;
+    whole.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmptySides) {
+  RunningStats a;
+  RunningStats b;
+  b.add(3.0);
+  a.merge(b);  // empty.merge(non-empty)
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+  RunningStats c;
+  a.merge(c);  // non-empty.merge(empty)
+  EXPECT_EQ(a.count(), 1u);
+}
+
+TEST(BatchStats, MeanAndStddev) {
+  EXPECT_DOUBLE_EQ(mean_of({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_NEAR(stddev_of({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}),
+              std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+  const std::vector<double> xs{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile_of(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile_of(xs, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile_of(xs, 50.0), 25.0);
+  EXPECT_DOUBLE_EQ(percentile_of({5.0}, 73.0), 5.0);
+}
+
+TEST(Percentile, RejectsBadInput) {
+  EXPECT_THROW(percentile_of({}, 50.0), ConfigError);
+  EXPECT_THROW(percentile_of({1.0}, -1.0), ConfigError);
+  EXPECT_THROW(percentile_of({1.0}, 101.0), ConfigError);
+}
+
+TEST(SuccessCounter, RatioAndCi) {
+  SuccessCounter c;
+  EXPECT_DOUBLE_EQ(c.ratio(), 0.0);
+  for (int i = 0; i < 60; ++i) {
+    c.add(true);
+  }
+  for (int i = 0; i < 40; ++i) {
+    c.add(false);
+  }
+  EXPECT_EQ(c.trials(), 100u);
+  EXPECT_DOUBLE_EQ(c.ratio(), 0.6);
+  EXPECT_NEAR(c.ci95_halfwidth(), 1.96 * std::sqrt(0.6 * 0.4 / 100.0), 1e-12);
+}
+
+TEST(SuccessCounter, AddManyAndMerge) {
+  SuccessCounter a;
+  a.add_many(3, 10);
+  SuccessCounter b;
+  b.add_many(7, 10);
+  a.merge(b);
+  EXPECT_EQ(a.successes(), 10u);
+  EXPECT_EQ(a.trials(), 20u);
+  EXPECT_DOUBLE_EQ(a.ratio(), 0.5);
+  EXPECT_THROW(a.add_many(5, 4), ConfigError);
+}
+
+}  // namespace
+}  // namespace dsslice

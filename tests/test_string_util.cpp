@@ -1,0 +1,49 @@
+#include <gtest/gtest.h>
+
+#include "dsslice/util/string_util.hpp"
+
+namespace dsslice {
+namespace {
+
+TEST(FormatFixed, RoundsToDigits) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(3.145, 0), "3");
+  EXPECT_EQ(format_fixed(-0.5, 1), "-0.5");
+  EXPECT_EQ(format_fixed(2.0, 3), "2.000");
+}
+
+TEST(FormatPercent, ScalesRatio) {
+  EXPECT_EQ(format_percent(0.423), "42.3%");
+  EXPECT_EQ(format_percent(1.0, 0), "100%");
+  EXPECT_EQ(format_percent(0.0), "0.0%");
+}
+
+TEST(Join, HandlesEmptyAndMany) {
+  EXPECT_EQ(join({}, ", "), "");
+  EXPECT_EQ(join({"a"}, ", "), "a");
+  EXPECT_EQ(join({"a", "b", "c"}, "-"), "a-b-c");
+}
+
+TEST(Pad, LeftAndRight) {
+  EXPECT_EQ(pad_left("ab", 4), "  ab");
+  EXPECT_EQ(pad_right("ab", 4), "ab  ");
+  EXPECT_EQ(pad_left("abcd", 2), "abcd");
+  EXPECT_EQ(pad_right("abcd", 2), "abcd");
+}
+
+TEST(Split, KeepsEmptyFields) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(split("a,", ','), (std::vector<std::string>{"a", ""}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(Trim, StripsAsciiWhitespace) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("\t a b \n"), "a b");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+}  // namespace
+}  // namespace dsslice

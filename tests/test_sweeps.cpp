@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "dsslice/sim/sweeps.hpp"
+#include "test_util.hpp"
+
+namespace dsslice {
+namespace {
+
+ExperimentConfig tiny_base() {
+  ExperimentConfig c;
+  c.generator = testing::small_generator(11);
+  c.generator.graph_count = 12;
+  return c;
+}
+
+TEST(Sweeps, RunSweepShapesResult) {
+  ThreadPool pool(4);
+  const ExperimentConfig base = tiny_base();
+  const std::vector<SeriesSpec> specs{
+      {"A", [base](double x) {
+         ExperimentConfig c = base;
+         c.generator.workload.olr = x;
+         return c;
+       }},
+      {"B", [base](double x) {
+         ExperimentConfig c = base;
+         c.generator.workload.olr = x;
+         c.technique = DistributionTechnique::kSlicingPure;
+         return c;
+       }},
+  };
+  const SweepResult r = run_sweep("OLR", {0.5, 1.0}, specs, pool);
+  EXPECT_EQ(r.x_label, "OLR");
+  ASSERT_EQ(r.x.size(), 2u);
+  ASSERT_EQ(r.series.size(), 2u);
+  EXPECT_EQ(r.series[0].name, "A");
+  ASSERT_EQ(r.series[0].success_ratio.size(), 2u);
+  ASSERT_EQ(r.series[0].ci95.size(), 2u);
+  // Looser OLR cannot hurt (same seeds, monotone budget).
+  EXPECT_LE(r.series[0].success_ratio[0],
+            r.series[0].success_ratio[1] + 1e-9);
+  EXPECT_EQ(&r.find("B"), &r.series[1]);
+  EXPECT_THROW(r.find("missing"), ConfigError);
+}
+
+TEST(Sweeps, RejectsEmptyInputs) {
+  ThreadPool pool(1);
+  const std::vector<SeriesSpec> specs{
+      {"A", [](double) { return tiny_base(); }}};
+  EXPECT_THROW(run_sweep("x", {}, specs, pool), ConfigError);
+  EXPECT_THROW(run_sweep("x", {1.0}, {}, pool), ConfigError);
+}
+
+TEST(Sweeps, MetricSeriesCoversFourMetrics) {
+  const auto specs = metric_series(tiny_base());
+  ASSERT_EQ(specs.size(), 4u);
+  EXPECT_EQ(specs[0].name, "PURE");
+  EXPECT_EQ(specs[3].name, "ADAPT-L");
+  const ExperimentConfig c = specs[3].factory(0.0);
+  EXPECT_EQ(c.technique, DistributionTechnique::kSlicingAdaptL);
+}
+
+TEST(Sweeps, WcetSeriesCoversThreeStrategies) {
+  const auto specs = wcet_series(tiny_base());
+  ASSERT_EQ(specs.size(), 3u);
+  EXPECT_EQ(specs[0].name, "WCET-AVG");
+  EXPECT_EQ(specs[1].factory(0.0).wcet_strategy, WcetEstimation::kMax);
+}
+
+TEST(Sweeps, SystemSizeSweepSetsProcessorCount) {
+  ThreadPool pool(4);
+  const SweepResult r =
+      sweep_system_size(tiny_base(), {2, 4}, pool);
+  EXPECT_EQ(r.x_label, "m");
+  ASSERT_EQ(r.x.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.x[0], 2.0);
+  ASSERT_EQ(r.series.size(), 4u);
+}
+
+TEST(Sweeps, OlrAndEtdSweepsProduceSeries) {
+  ThreadPool pool(4);
+  const SweepResult olr = sweep_olr(tiny_base(), {0.6, 1.0}, pool);
+  EXPECT_EQ(olr.series.size(), 4u);
+  const SweepResult etd = sweep_etd(tiny_base(), {0.0, 0.5}, pool);
+  EXPECT_EQ(etd.series.size(), 4u);
+  const SweepResult w_olr = sweep_wcet_olr(tiny_base(), {0.6, 1.0}, pool);
+  EXPECT_EQ(w_olr.series.size(), 3u);
+  const SweepResult w_etd = sweep_wcet_etd(tiny_base(), {0.0, 0.5}, pool);
+  EXPECT_EQ(w_etd.series.size(), 3u);
+}
+
+}  // namespace
+}  // namespace dsslice

@@ -1,0 +1,42 @@
+#include <gtest/gtest.h>
+
+#include "dsslice/model/task.hpp"
+#include "dsslice/util/check.hpp"
+
+namespace dsslice {
+namespace {
+
+TEST(Task, EligibilityFollowsSentinel) {
+  Task t{"t", {10.0, kIneligibleWcet, 12.0}, 0.0, 0.0};
+  EXPECT_TRUE(t.eligible(0));
+  EXPECT_FALSE(t.eligible(1));
+  EXPECT_TRUE(t.eligible(2));
+  EXPECT_FALSE(t.eligible(3));  // out of range is simply ineligible
+  EXPECT_EQ(t.eligible_class_count(), 2u);
+}
+
+TEST(Task, WcetLookup) {
+  Task t{"t", {10.0, kIneligibleWcet}, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(t.wcet(0), 10.0);
+  EXPECT_THROW(t.wcet(1), ConfigError);  // ineligible
+  EXPECT_THROW(t.wcet(2), ConfigError);  // out of range
+}
+
+TEST(Task, Periodicity) {
+  Task aperiodic{"a", {1.0}, 0.0, 0.0};
+  Task periodic{"p", {1.0}, 0.0, 50.0};
+  EXPECT_FALSE(aperiodic.is_periodic());
+  EXPECT_TRUE(periodic.is_periodic());
+}
+
+TEST(DeadlineAssignment, Accessors) {
+  DeadlineAssignment a;
+  a.windows = {Window{0.0, 10.0}, Window{10.0, 25.0}};
+  a.pass_of = {0, 1};
+  EXPECT_DOUBLE_EQ(a.arrival(0), 0.0);
+  EXPECT_DOUBLE_EQ(a.absolute_deadline(0), 10.0);
+  EXPECT_DOUBLE_EQ(a.relative_deadline(1), 15.0);
+}
+
+}  // namespace
+}  // namespace dsslice

@@ -1,0 +1,43 @@
+#include <gtest/gtest.h>
+
+#include "dsslice/model/time.hpp"
+#include "dsslice/util/check.hpp"
+
+namespace dsslice {
+namespace {
+
+TEST(Window, LengthAndFits) {
+  const Window w{10.0, 35.0};
+  EXPECT_DOUBLE_EQ(w.length(), 25.0);
+  EXPECT_TRUE(w.fits(25.0));
+  EXPECT_TRUE(w.fits(0.0));
+  EXPECT_FALSE(w.fits(25.5));
+}
+
+TEST(Window, InvertedWindowHasNegativeLength) {
+  const Window w{20.0, 5.0};
+  EXPECT_DOUBLE_EQ(w.length(), -15.0);
+  EXPECT_FALSE(w.fits(0.0));
+}
+
+TEST(Window, ToStringFormatsBounds) {
+  EXPECT_EQ(to_string(Window{1.0, 2.5}), "[1.00, 2.50]");
+}
+
+TEST(TimeGcdLcm, BasicIdentities) {
+  EXPECT_EQ(time_gcd(12, 18), 6);
+  EXPECT_EQ(time_gcd(7, 13), 1);
+  EXPECT_EQ(time_gcd(0, 5), 5);
+  EXPECT_EQ(time_gcd(-12, 18), 6);
+  EXPECT_EQ(time_lcm(4, 6), 12);
+  EXPECT_EQ(time_lcm(5, 7), 35);
+  EXPECT_EQ(time_lcm(10, 10), 10);
+}
+
+TEST(TimeGcdLcm, LcmRejectsNonPositive) {
+  EXPECT_THROW(time_lcm(0, 5), ConfigError);
+  EXPECT_THROW(time_lcm(5, -1), ConfigError);
+}
+
+}  // namespace
+}  // namespace dsslice

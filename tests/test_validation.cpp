@@ -1,0 +1,146 @@
+// Each violation class the validator must detect, constructed explicitly.
+#include <gtest/gtest.h>
+
+#include "dsslice/sched/validation.hpp"
+#include "test_util.hpp"
+
+namespace dsslice {
+namespace {
+
+struct Fixture {
+  Application app = testing::make_chain(2, 10.0, 100.0);
+  Platform platform = Platform::identical(2);
+  DeadlineAssignment assignment;
+
+  Fixture() {
+    assignment.windows = {Window{0.0, 50.0}, Window{50.0, 100.0}};
+  }
+};
+
+TEST(ValidateSchedule, AcceptsCorrectSchedule) {
+  Fixture f;
+  Schedule s(2, 2);
+  s.place(0, 0, 0.0, 10.0);
+  s.place(1, 0, 50.0, 60.0);
+  EXPECT_TRUE(
+      validate_schedule(f.app, f.platform, f.assignment, s).empty());
+}
+
+TEST(ValidateSchedule, DetectsUnscheduledTask) {
+  Fixture f;
+  Schedule s(2, 2);
+  s.place(0, 0, 0.0, 10.0);
+  const auto p = validate_schedule(f.app, f.platform, f.assignment, s);
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_NE(p[0].find("not scheduled"), std::string::npos);
+}
+
+TEST(ValidateSchedule, DetectsWrongDuration) {
+  Fixture f;
+  Schedule s(2, 2);
+  s.place(0, 0, 0.0, 12.0);  // WCET is 10
+  s.place(1, 0, 50.0, 60.0);
+  const auto p = validate_schedule(f.app, f.platform, f.assignment, s);
+  ASSERT_FALSE(p.empty());
+  EXPECT_NE(p[0].find("duration"), std::string::npos);
+}
+
+TEST(ValidateSchedule, DetectsEarlyStartAndDeadlineMiss) {
+  Fixture f;
+  f.assignment.windows[0] = Window{5.0, 50.0};
+  Schedule s(2, 2);
+  s.place(0, 0, 0.0, 10.0);   // starts before arrival 5
+  s.place(1, 0, 95.0, 105.0);  // finishes after deadline 100
+  const auto p = validate_schedule(f.app, f.platform, f.assignment, s);
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_NE(p[0].find("starts before"), std::string::npos);
+  EXPECT_NE(p[1].find("after deadline"), std::string::npos);
+  // Deadline checking can be disabled for lateness studies.
+  ValidationOptions opts;
+  opts.check_deadlines = false;
+  const auto p2 =
+      validate_schedule(f.app, f.platform, f.assignment, s, opts);
+  EXPECT_EQ(p2.size(), 1u);
+}
+
+TEST(ValidateSchedule, DetectsProcessorOverlap) {
+  // Two independent tasks overlapping on one processor.
+  ApplicationBuilder b;
+  const NodeId x = b.add_uniform_task("x", 10.0);
+  const NodeId y = b.add_uniform_task("y", 10.0);
+  b.set_ete_deadline(x, 100.0);
+  b.set_ete_deadline(y, 100.0);
+  const Application app = b.build();
+  DeadlineAssignment a;
+  a.windows = {Window{0.0, 100.0}, Window{0.0, 100.0}};
+  Schedule s(2, 1);
+  s.place(x, 0, 0.0, 10.0);
+  s.place(y, 0, 5.0, 15.0);
+  const auto p = validate_schedule(app, Platform::identical(1), a, s);
+  ASSERT_FALSE(p.empty());
+  EXPECT_NE(p[0].find("overlap"), std::string::npos);
+}
+
+TEST(ValidateSchedule, DetectsMissingCommunicationDelay) {
+  ApplicationBuilder b;
+  const NodeId u = b.add_uniform_task("u", 10.0);
+  const NodeId v = b.add_uniform_task("v", 10.0);
+  b.add_precedence(u, v, 4.0);
+  b.set_input_arrival(u, 0.0);
+  b.set_ete_deadline(v, 100.0);
+  const Application app = b.build();
+  DeadlineAssignment a;
+  a.windows = {Window{0.0, 50.0}, Window{0.0, 100.0}};
+  Schedule s(2, 2);
+  s.place(u, 0, 0.0, 10.0);
+  s.place(v, 1, 12.0, 22.0);  // data arrives at 10 + 4 = 14
+  const auto p = validate_schedule(app, Platform::identical(2), a, s);
+  ASSERT_FALSE(p.empty());
+  EXPECT_NE(p[0].find("before data"), std::string::npos);
+  // Same start co-located is fine (no bus cost).
+  Schedule s2(2, 2);
+  s2.place(u, 0, 0.0, 10.0);
+  s2.place(v, 0, 10.0, 20.0);
+  EXPECT_TRUE(validate_schedule(app, Platform::identical(2), a, s2).empty());
+}
+
+TEST(ValidateSchedule, DetectsIneligiblePlacement) {
+  ApplicationBuilder b;
+  const NodeId x = b.add_task("x", {10.0, kIneligibleWcet});
+  b.set_ete_deadline(x, 100.0);
+  const Application app = b.build(2);
+  const Platform plat = Platform::shared_bus(
+      {ProcessorClass{"e0", 1.0}, ProcessorClass{"e1", 1.0}}, {0, 1});
+  DeadlineAssignment a;
+  a.windows = {Window{0.0, 100.0}};
+  Schedule s(1, 2);
+  s.place(x, 1, 0.0, 10.0);  // class 1 is ineligible
+  const auto p = validate_schedule(app, plat, a, s);
+  ASSERT_FALSE(p.empty());
+  EXPECT_NE(p[0].find("ineligible"), std::string::npos);
+}
+
+TEST(ValidateAssignment, AcceptsNonOverlappingWindows) {
+  Fixture f;
+  EXPECT_TRUE(validate_assignment(f.app, f.assignment).empty());
+}
+
+TEST(ValidateAssignment, DetectsOverlapAlongArc) {
+  Fixture f;
+  f.assignment.windows = {Window{0.0, 60.0}, Window{50.0, 100.0}};
+  const auto p = validate_assignment(f.app, f.assignment);
+  ASSERT_FALSE(p.empty());
+  EXPECT_NE(p[0].find("exceeds successor"), std::string::npos);
+}
+
+TEST(ValidateAssignment, DetectsBoundaryViolations) {
+  Fixture f;
+  f.assignment.windows = {Window{-5.0, 50.0}, Window{50.0, 120.0}};
+  const auto p = validate_assignment(f.app, f.assignment);
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_NE(p[0].find("before the application arrival"), std::string::npos);
+  EXPECT_NE(p[1].find("exceeds the E-T-E deadline"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dsslice

@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "dsslice/core/wcet_estimate.hpp"
+#include "dsslice/util/check.hpp"
+#include "test_util.hpp"
+
+namespace dsslice {
+namespace {
+
+TEST(WcetEstimate, StrategiesOnMultiClassTask) {
+  const Task t{"t", {10.0, 20.0, 30.0}, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(estimate_wcet(t, WcetEstimation::kAverage), 20.0);
+  EXPECT_DOUBLE_EQ(estimate_wcet(t, WcetEstimation::kMax), 30.0);
+  EXPECT_DOUBLE_EQ(estimate_wcet(t, WcetEstimation::kMin), 10.0);
+}
+
+TEST(WcetEstimate, IgnoresIneligibleClasses) {
+  const Task t{"t", {10.0, kIneligibleWcet, 30.0}, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(estimate_wcet(t, WcetEstimation::kAverage), 20.0);
+  EXPECT_DOUBLE_EQ(estimate_wcet(t, WcetEstimation::kMax), 30.0);
+  EXPECT_DOUBLE_EQ(estimate_wcet(t, WcetEstimation::kMin), 10.0);
+}
+
+TEST(WcetEstimate, SingleClassAllStrategiesAgree) {
+  const Task t{"t", {17.0}, 0.0, 0.0};
+  for (const auto s : {WcetEstimation::kAverage, WcetEstimation::kMax,
+                       WcetEstimation::kMin}) {
+    EXPECT_DOUBLE_EQ(estimate_wcet(t, s), 17.0);
+  }
+}
+
+TEST(WcetEstimate, FullyIneligibleTaskThrows) {
+  const Task t{"t", {kIneligibleWcet, kIneligibleWcet}, 0.0, 0.0};
+  EXPECT_THROW(estimate_wcet(t, WcetEstimation::kAverage), ConfigError);
+}
+
+TEST(WcetEstimate, VectorVariantCoversAllTasks) {
+  const Application app = testing::make_chain(3, 12.0, 100.0);
+  const auto est = estimate_wcets(app, WcetEstimation::kMax);
+  ASSERT_EQ(est.size(), 3u);
+  for (const double c : est) {
+    EXPECT_DOUBLE_EQ(c, 12.0);
+  }
+}
+
+TEST(WcetEstimate, MinLeMeanLeMaxAlways) {
+  const Scenario sc =
+      generate_scenario_at(testing::paper_generator(5), 0);
+  const auto avg = estimate_wcets(sc.application, WcetEstimation::kAverage);
+  const auto mx = estimate_wcets(sc.application, WcetEstimation::kMax);
+  const auto mn = estimate_wcets(sc.application, WcetEstimation::kMin);
+  for (std::size_t i = 0; i < avg.size(); ++i) {
+    EXPECT_LE(mn[i], avg[i] + 1e-12);
+    EXPECT_LE(avg[i], mx[i] + 1e-12);
+  }
+}
+
+TEST(WcetEstimate, Names) {
+  EXPECT_EQ(to_string(WcetEstimation::kAverage), "WCET-AVG");
+  EXPECT_EQ(to_string(WcetEstimation::kMax), "WCET-MAX");
+  EXPECT_EQ(to_string(WcetEstimation::kMin), "WCET-MIN");
+}
+
+}  // namespace
+}  // namespace dsslice
