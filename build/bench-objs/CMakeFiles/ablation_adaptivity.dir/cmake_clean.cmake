@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_adaptivity"
+  "../bench/ablation_adaptivity.pdb"
+  "CMakeFiles/ablation_adaptivity.dir/ablation_adaptivity.cpp.o"
+  "CMakeFiles/ablation_adaptivity.dir/ablation_adaptivity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_adaptivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

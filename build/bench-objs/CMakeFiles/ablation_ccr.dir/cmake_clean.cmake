@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_ccr"
+  "../bench/ablation_ccr.pdb"
+  "CMakeFiles/ablation_ccr.dir/ablation_ccr.cpp.o"
+  "CMakeFiles/ablation_ccr.dir/ablation_ccr.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ccr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_periodic"
+  "../bench/ablation_periodic.pdb"
+  "CMakeFiles/ablation_periodic.dir/ablation_periodic.cpp.o"
+  "CMakeFiles/ablation_periodic.dir/ablation_periodic.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_periodic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_quality"
+  "../bench/ablation_quality.pdb"
+  "CMakeFiles/ablation_quality.dir/ablation_quality.cpp.o"
+  "CMakeFiles/ablation_quality.dir/ablation_quality.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_resources"
+  "../bench/ablation_resources.pdb"
+  "CMakeFiles/ablation_resources.dir/ablation_resources.cpp.o"
+  "CMakeFiles/ablation_resources.dir/ablation_resources.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_structure"
+  "../bench/ablation_structure.pdb"
+  "CMakeFiles/ablation_structure.dir/ablation_structure.cpp.o"
+  "CMakeFiles/ablation_structure.dir/ablation_structure.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

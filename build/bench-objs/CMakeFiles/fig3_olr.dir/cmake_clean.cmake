@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_olr"
+  "../bench/fig3_olr.pdb"
+  "CMakeFiles/fig3_olr.dir/fig3_olr.cpp.o"
+  "CMakeFiles/fig3_olr.dir/fig3_olr.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_olr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_etd"
+  "../bench/fig4_etd.pdb"
+  "CMakeFiles/fig4_etd.dir/fig4_etd.cpp.o"
+  "CMakeFiles/fig4_etd.dir/fig4_etd.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_etd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_wcet_olr"
+  "../bench/fig5_wcet_olr.pdb"
+  "CMakeFiles/fig5_wcet_olr.dir/fig5_wcet_olr.cpp.o"
+  "CMakeFiles/fig5_wcet_olr.dir/fig5_wcet_olr.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_wcet_olr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_wcet_etd"
+  "../bench/fig6_wcet_etd.pdb"
+  "CMakeFiles/fig6_wcet_etd.dir/fig6_wcet_etd.cpp.o"
+  "CMakeFiles/fig6_wcet_etd.dir/fig6_wcet_etd.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_wcet_etd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_wcet_etd.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debugging_walkthrough.dir/debugging_walkthrough.cpp.o"
+  "CMakeFiles/debugging_walkthrough.dir/debugging_walkthrough.cpp.o.d"
+  "debugging_walkthrough"
+  "debugging_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debugging_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

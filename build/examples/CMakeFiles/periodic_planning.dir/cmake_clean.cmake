@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/periodic_planning.dir/periodic_planning.cpp.o"
+  "CMakeFiles/periodic_planning.dir/periodic_planning.cpp.o.d"
+  "periodic_planning"
+  "periodic_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/periodic_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

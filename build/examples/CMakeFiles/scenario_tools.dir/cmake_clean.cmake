@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenario_tools.dir/scenario_tools.cpp.o"
+  "CMakeFiles/scenario_tools.dir/scenario_tools.cpp.o.d"
+  "scenario_tools"
+  "scenario_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenario_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

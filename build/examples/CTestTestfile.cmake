@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_automotive_pipeline "/root/repo/build/examples/automotive_pipeline")
+set_tests_properties(example_automotive_pipeline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_radar_tracking "/root/repo/build/examples/radar_tracking")
+set_tests_properties(example_radar_tracking PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_metric_playground "/root/repo/build/examples/metric_playground" "--seed" "3" "--trace" "--diagnose")
+set_tests_properties(example_metric_playground PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_periodic_planning "/root/repo/build/examples/periodic_planning")
+set_tests_properties(example_periodic_planning PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;26;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_scenario_tools_generate "/root/repo/build/examples/scenario_tools" "--mode" "generate" "--seed" "7" "--out" "smoke_scenario.txt")
+set_tests_properties(example_scenario_tools_generate PROPERTIES  WORKING_DIRECTORY "/root/repo/build/examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;27;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_scenario_tools_analyze "/root/repo/build/examples/scenario_tools" "--mode" "analyze" "--in" "smoke_scenario.txt")
+set_tests_properties(example_scenario_tools_analyze PROPERTIES  DEPENDS "example_scenario_tools_generate" WORKING_DIRECTORY "/root/repo/build/examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;31;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_experiment_runner "/root/repo/build/examples/experiment_runner" "--technique" "adapt-l" "--graphs" "64")
+set_tests_properties(example_experiment_runner PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;36;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_debugging_walkthrough "/root/repo/build/examples/debugging_walkthrough")
+set_tests_properties(example_debugging_walkthrough PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;38;add_test;/root/repo/examples/CMakeLists.txt;0;")

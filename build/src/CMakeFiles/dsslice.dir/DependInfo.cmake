@@ -1,0 +1,68 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsslice/baselines/bettati_liu.cpp" "src/CMakeFiles/dsslice.dir/dsslice/baselines/bettati_liu.cpp.o" "gcc" "src/CMakeFiles/dsslice.dir/dsslice/baselines/bettati_liu.cpp.o.d"
+  "/root/repo/src/dsslice/baselines/distribution_registry.cpp" "src/CMakeFiles/dsslice.dir/dsslice/baselines/distribution_registry.cpp.o" "gcc" "src/CMakeFiles/dsslice.dir/dsslice/baselines/distribution_registry.cpp.o.d"
+  "/root/repo/src/dsslice/baselines/iterative_refinement.cpp" "src/CMakeFiles/dsslice.dir/dsslice/baselines/iterative_refinement.cpp.o" "gcc" "src/CMakeFiles/dsslice.dir/dsslice/baselines/iterative_refinement.cpp.o.d"
+  "/root/repo/src/dsslice/baselines/kao_garcia_molina.cpp" "src/CMakeFiles/dsslice.dir/dsslice/baselines/kao_garcia_molina.cpp.o" "gcc" "src/CMakeFiles/dsslice.dir/dsslice/baselines/kao_garcia_molina.cpp.o.d"
+  "/root/repo/src/dsslice/core/anchors.cpp" "src/CMakeFiles/dsslice.dir/dsslice/core/anchors.cpp.o" "gcc" "src/CMakeFiles/dsslice.dir/dsslice/core/anchors.cpp.o.d"
+  "/root/repo/src/dsslice/core/critical_path.cpp" "src/CMakeFiles/dsslice.dir/dsslice/core/critical_path.cpp.o" "gcc" "src/CMakeFiles/dsslice.dir/dsslice/core/critical_path.cpp.o.d"
+  "/root/repo/src/dsslice/core/diagnosis.cpp" "src/CMakeFiles/dsslice.dir/dsslice/core/diagnosis.cpp.o" "gcc" "src/CMakeFiles/dsslice.dir/dsslice/core/diagnosis.cpp.o.d"
+  "/root/repo/src/dsslice/core/feasibility.cpp" "src/CMakeFiles/dsslice.dir/dsslice/core/feasibility.cpp.o" "gcc" "src/CMakeFiles/dsslice.dir/dsslice/core/feasibility.cpp.o.d"
+  "/root/repo/src/dsslice/core/jitter.cpp" "src/CMakeFiles/dsslice.dir/dsslice/core/jitter.cpp.o" "gcc" "src/CMakeFiles/dsslice.dir/dsslice/core/jitter.cpp.o.d"
+  "/root/repo/src/dsslice/core/metrics.cpp" "src/CMakeFiles/dsslice.dir/dsslice/core/metrics.cpp.o" "gcc" "src/CMakeFiles/dsslice.dir/dsslice/core/metrics.cpp.o.d"
+  "/root/repo/src/dsslice/core/quality.cpp" "src/CMakeFiles/dsslice.dir/dsslice/core/quality.cpp.o" "gcc" "src/CMakeFiles/dsslice.dir/dsslice/core/quality.cpp.o.d"
+  "/root/repo/src/dsslice/core/slicing.cpp" "src/CMakeFiles/dsslice.dir/dsslice/core/slicing.cpp.o" "gcc" "src/CMakeFiles/dsslice.dir/dsslice/core/slicing.cpp.o.d"
+  "/root/repo/src/dsslice/core/wcet_estimate.cpp" "src/CMakeFiles/dsslice.dir/dsslice/core/wcet_estimate.cpp.o" "gcc" "src/CMakeFiles/dsslice.dir/dsslice/core/wcet_estimate.cpp.o.d"
+  "/root/repo/src/dsslice/gen/generator_config.cpp" "src/CMakeFiles/dsslice.dir/dsslice/gen/generator_config.cpp.o" "gcc" "src/CMakeFiles/dsslice.dir/dsslice/gen/generator_config.cpp.o.d"
+  "/root/repo/src/dsslice/gen/platform_generator.cpp" "src/CMakeFiles/dsslice.dir/dsslice/gen/platform_generator.cpp.o" "gcc" "src/CMakeFiles/dsslice.dir/dsslice/gen/platform_generator.cpp.o.d"
+  "/root/repo/src/dsslice/gen/rng.cpp" "src/CMakeFiles/dsslice.dir/dsslice/gen/rng.cpp.o" "gcc" "src/CMakeFiles/dsslice.dir/dsslice/gen/rng.cpp.o.d"
+  "/root/repo/src/dsslice/gen/taskgraph_generator.cpp" "src/CMakeFiles/dsslice.dir/dsslice/gen/taskgraph_generator.cpp.o" "gcc" "src/CMakeFiles/dsslice.dir/dsslice/gen/taskgraph_generator.cpp.o.d"
+  "/root/repo/src/dsslice/graph/algorithms.cpp" "src/CMakeFiles/dsslice.dir/dsslice/graph/algorithms.cpp.o" "gcc" "src/CMakeFiles/dsslice.dir/dsslice/graph/algorithms.cpp.o.d"
+  "/root/repo/src/dsslice/graph/closure.cpp" "src/CMakeFiles/dsslice.dir/dsslice/graph/closure.cpp.o" "gcc" "src/CMakeFiles/dsslice.dir/dsslice/graph/closure.cpp.o.d"
+  "/root/repo/src/dsslice/graph/dot.cpp" "src/CMakeFiles/dsslice.dir/dsslice/graph/dot.cpp.o" "gcc" "src/CMakeFiles/dsslice.dir/dsslice/graph/dot.cpp.o.d"
+  "/root/repo/src/dsslice/graph/task_graph.cpp" "src/CMakeFiles/dsslice.dir/dsslice/graph/task_graph.cpp.o" "gcc" "src/CMakeFiles/dsslice.dir/dsslice/graph/task_graph.cpp.o.d"
+  "/root/repo/src/dsslice/model/application.cpp" "src/CMakeFiles/dsslice.dir/dsslice/model/application.cpp.o" "gcc" "src/CMakeFiles/dsslice.dir/dsslice/model/application.cpp.o.d"
+  "/root/repo/src/dsslice/model/interconnect.cpp" "src/CMakeFiles/dsslice.dir/dsslice/model/interconnect.cpp.o" "gcc" "src/CMakeFiles/dsslice.dir/dsslice/model/interconnect.cpp.o.d"
+  "/root/repo/src/dsslice/model/platform.cpp" "src/CMakeFiles/dsslice.dir/dsslice/model/platform.cpp.o" "gcc" "src/CMakeFiles/dsslice.dir/dsslice/model/platform.cpp.o.d"
+  "/root/repo/src/dsslice/model/resources.cpp" "src/CMakeFiles/dsslice.dir/dsslice/model/resources.cpp.o" "gcc" "src/CMakeFiles/dsslice.dir/dsslice/model/resources.cpp.o.d"
+  "/root/repo/src/dsslice/model/task.cpp" "src/CMakeFiles/dsslice.dir/dsslice/model/task.cpp.o" "gcc" "src/CMakeFiles/dsslice.dir/dsslice/model/task.cpp.o.d"
+  "/root/repo/src/dsslice/model/time.cpp" "src/CMakeFiles/dsslice.dir/dsslice/model/time.cpp.o" "gcc" "src/CMakeFiles/dsslice.dir/dsslice/model/time.cpp.o.d"
+  "/root/repo/src/dsslice/report/csv.cpp" "src/CMakeFiles/dsslice.dir/dsslice/report/csv.cpp.o" "gcc" "src/CMakeFiles/dsslice.dir/dsslice/report/csv.cpp.o.d"
+  "/root/repo/src/dsslice/report/schedule_export.cpp" "src/CMakeFiles/dsslice.dir/dsslice/report/schedule_export.cpp.o" "gcc" "src/CMakeFiles/dsslice.dir/dsslice/report/schedule_export.cpp.o.d"
+  "/root/repo/src/dsslice/report/series.cpp" "src/CMakeFiles/dsslice.dir/dsslice/report/series.cpp.o" "gcc" "src/CMakeFiles/dsslice.dir/dsslice/report/series.cpp.o.d"
+  "/root/repo/src/dsslice/report/table.cpp" "src/CMakeFiles/dsslice.dir/dsslice/report/table.cpp.o" "gcc" "src/CMakeFiles/dsslice.dir/dsslice/report/table.cpp.o.d"
+  "/root/repo/src/dsslice/sched/annealing_scheduler.cpp" "src/CMakeFiles/dsslice.dir/dsslice/sched/annealing_scheduler.cpp.o" "gcc" "src/CMakeFiles/dsslice.dir/dsslice/sched/annealing_scheduler.cpp.o.d"
+  "/root/repo/src/dsslice/sched/branch_and_bound.cpp" "src/CMakeFiles/dsslice.dir/dsslice/sched/branch_and_bound.cpp.o" "gcc" "src/CMakeFiles/dsslice.dir/dsslice/sched/branch_and_bound.cpp.o.d"
+  "/root/repo/src/dsslice/sched/clustering.cpp" "src/CMakeFiles/dsslice.dir/dsslice/sched/clustering.cpp.o" "gcc" "src/CMakeFiles/dsslice.dir/dsslice/sched/clustering.cpp.o.d"
+  "/root/repo/src/dsslice/sched/dispatch_scheduler.cpp" "src/CMakeFiles/dsslice.dir/dsslice/sched/dispatch_scheduler.cpp.o" "gcc" "src/CMakeFiles/dsslice.dir/dsslice/sched/dispatch_scheduler.cpp.o.d"
+  "/root/repo/src/dsslice/sched/edf_list_scheduler.cpp" "src/CMakeFiles/dsslice.dir/dsslice/sched/edf_list_scheduler.cpp.o" "gcc" "src/CMakeFiles/dsslice.dir/dsslice/sched/edf_list_scheduler.cpp.o.d"
+  "/root/repo/src/dsslice/sched/insertion_scheduler.cpp" "src/CMakeFiles/dsslice.dir/dsslice/sched/insertion_scheduler.cpp.o" "gcc" "src/CMakeFiles/dsslice.dir/dsslice/sched/insertion_scheduler.cpp.o.d"
+  "/root/repo/src/dsslice/sched/planning_cycle.cpp" "src/CMakeFiles/dsslice.dir/dsslice/sched/planning_cycle.cpp.o" "gcc" "src/CMakeFiles/dsslice.dir/dsslice/sched/planning_cycle.cpp.o.d"
+  "/root/repo/src/dsslice/sched/preemptive_scheduler.cpp" "src/CMakeFiles/dsslice.dir/dsslice/sched/preemptive_scheduler.cpp.o" "gcc" "src/CMakeFiles/dsslice.dir/dsslice/sched/preemptive_scheduler.cpp.o.d"
+  "/root/repo/src/dsslice/sched/schedule.cpp" "src/CMakeFiles/dsslice.dir/dsslice/sched/schedule.cpp.o" "gcc" "src/CMakeFiles/dsslice.dir/dsslice/sched/schedule.cpp.o.d"
+  "/root/repo/src/dsslice/sched/validation.cpp" "src/CMakeFiles/dsslice.dir/dsslice/sched/validation.cpp.o" "gcc" "src/CMakeFiles/dsslice.dir/dsslice/sched/validation.cpp.o.d"
+  "/root/repo/src/dsslice/sim/experiment.cpp" "src/CMakeFiles/dsslice.dir/dsslice/sim/experiment.cpp.o" "gcc" "src/CMakeFiles/dsslice.dir/dsslice/sim/experiment.cpp.o.d"
+  "/root/repo/src/dsslice/sim/runner.cpp" "src/CMakeFiles/dsslice.dir/dsslice/sim/runner.cpp.o" "gcc" "src/CMakeFiles/dsslice.dir/dsslice/sim/runner.cpp.o.d"
+  "/root/repo/src/dsslice/sim/serialization.cpp" "src/CMakeFiles/dsslice.dir/dsslice/sim/serialization.cpp.o" "gcc" "src/CMakeFiles/dsslice.dir/dsslice/sim/serialization.cpp.o.d"
+  "/root/repo/src/dsslice/sim/sweeps.cpp" "src/CMakeFiles/dsslice.dir/dsslice/sim/sweeps.cpp.o" "gcc" "src/CMakeFiles/dsslice.dir/dsslice/sim/sweeps.cpp.o.d"
+  "/root/repo/src/dsslice/util/check.cpp" "src/CMakeFiles/dsslice.dir/dsslice/util/check.cpp.o" "gcc" "src/CMakeFiles/dsslice.dir/dsslice/util/check.cpp.o.d"
+  "/root/repo/src/dsslice/util/cli.cpp" "src/CMakeFiles/dsslice.dir/dsslice/util/cli.cpp.o" "gcc" "src/CMakeFiles/dsslice.dir/dsslice/util/cli.cpp.o.d"
+  "/root/repo/src/dsslice/util/stats.cpp" "src/CMakeFiles/dsslice.dir/dsslice/util/stats.cpp.o" "gcc" "src/CMakeFiles/dsslice.dir/dsslice/util/stats.cpp.o.d"
+  "/root/repo/src/dsslice/util/string_util.cpp" "src/CMakeFiles/dsslice.dir/dsslice/util/string_util.cpp.o" "gcc" "src/CMakeFiles/dsslice.dir/dsslice/util/string_util.cpp.o.d"
+  "/root/repo/src/dsslice/util/thread_pool.cpp" "src/CMakeFiles/dsslice.dir/dsslice/util/thread_pool.cpp.o" "gcc" "src/CMakeFiles/dsslice.dir/dsslice/util/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

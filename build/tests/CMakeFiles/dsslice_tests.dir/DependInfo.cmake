@@ -1,0 +1,71 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_anchors.cpp" "tests/CMakeFiles/dsslice_tests.dir/test_anchors.cpp.o" "gcc" "tests/CMakeFiles/dsslice_tests.dir/test_anchors.cpp.o.d"
+  "/root/repo/tests/test_annealing.cpp" "tests/CMakeFiles/dsslice_tests.dir/test_annealing.cpp.o" "gcc" "tests/CMakeFiles/dsslice_tests.dir/test_annealing.cpp.o.d"
+  "/root/repo/tests/test_application.cpp" "tests/CMakeFiles/dsslice_tests.dir/test_application.cpp.o" "gcc" "tests/CMakeFiles/dsslice_tests.dir/test_application.cpp.o.d"
+  "/root/repo/tests/test_baselines.cpp" "tests/CMakeFiles/dsslice_tests.dir/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/dsslice_tests.dir/test_baselines.cpp.o.d"
+  "/root/repo/tests/test_branch_and_bound.cpp" "tests/CMakeFiles/dsslice_tests.dir/test_branch_and_bound.cpp.o" "gcc" "tests/CMakeFiles/dsslice_tests.dir/test_branch_and_bound.cpp.o.d"
+  "/root/repo/tests/test_bus_contention.cpp" "tests/CMakeFiles/dsslice_tests.dir/test_bus_contention.cpp.o" "gcc" "tests/CMakeFiles/dsslice_tests.dir/test_bus_contention.cpp.o.d"
+  "/root/repo/tests/test_cli.cpp" "tests/CMakeFiles/dsslice_tests.dir/test_cli.cpp.o" "gcc" "tests/CMakeFiles/dsslice_tests.dir/test_cli.cpp.o.d"
+  "/root/repo/tests/test_closure.cpp" "tests/CMakeFiles/dsslice_tests.dir/test_closure.cpp.o" "gcc" "tests/CMakeFiles/dsslice_tests.dir/test_closure.cpp.o.d"
+  "/root/repo/tests/test_clustering.cpp" "tests/CMakeFiles/dsslice_tests.dir/test_clustering.cpp.o" "gcc" "tests/CMakeFiles/dsslice_tests.dir/test_clustering.cpp.o.d"
+  "/root/repo/tests/test_critical_path.cpp" "tests/CMakeFiles/dsslice_tests.dir/test_critical_path.cpp.o" "gcc" "tests/CMakeFiles/dsslice_tests.dir/test_critical_path.cpp.o.d"
+  "/root/repo/tests/test_cross_scheduler_properties.cpp" "tests/CMakeFiles/dsslice_tests.dir/test_cross_scheduler_properties.cpp.o" "gcc" "tests/CMakeFiles/dsslice_tests.dir/test_cross_scheduler_properties.cpp.o.d"
+  "/root/repo/tests/test_diagnosis.cpp" "tests/CMakeFiles/dsslice_tests.dir/test_diagnosis.cpp.o" "gcc" "tests/CMakeFiles/dsslice_tests.dir/test_diagnosis.cpp.o.d"
+  "/root/repo/tests/test_dispatch_scheduler.cpp" "tests/CMakeFiles/dsslice_tests.dir/test_dispatch_scheduler.cpp.o" "gcc" "tests/CMakeFiles/dsslice_tests.dir/test_dispatch_scheduler.cpp.o.d"
+  "/root/repo/tests/test_dot.cpp" "tests/CMakeFiles/dsslice_tests.dir/test_dot.cpp.o" "gcc" "tests/CMakeFiles/dsslice_tests.dir/test_dot.cpp.o.d"
+  "/root/repo/tests/test_edf_scheduler.cpp" "tests/CMakeFiles/dsslice_tests.dir/test_edf_scheduler.cpp.o" "gcc" "tests/CMakeFiles/dsslice_tests.dir/test_edf_scheduler.cpp.o.d"
+  "/root/repo/tests/test_experiment.cpp" "tests/CMakeFiles/dsslice_tests.dir/test_experiment.cpp.o" "gcc" "tests/CMakeFiles/dsslice_tests.dir/test_experiment.cpp.o.d"
+  "/root/repo/tests/test_feasibility.cpp" "tests/CMakeFiles/dsslice_tests.dir/test_feasibility.cpp.o" "gcc" "tests/CMakeFiles/dsslice_tests.dir/test_feasibility.cpp.o.d"
+  "/root/repo/tests/test_generator.cpp" "tests/CMakeFiles/dsslice_tests.dir/test_generator.cpp.o" "gcc" "tests/CMakeFiles/dsslice_tests.dir/test_generator.cpp.o.d"
+  "/root/repo/tests/test_graph_algorithms.cpp" "tests/CMakeFiles/dsslice_tests.dir/test_graph_algorithms.cpp.o" "gcc" "tests/CMakeFiles/dsslice_tests.dir/test_graph_algorithms.cpp.o.d"
+  "/root/repo/tests/test_graph_properties.cpp" "tests/CMakeFiles/dsslice_tests.dir/test_graph_properties.cpp.o" "gcc" "tests/CMakeFiles/dsslice_tests.dir/test_graph_properties.cpp.o.d"
+  "/root/repo/tests/test_interconnect.cpp" "tests/CMakeFiles/dsslice_tests.dir/test_interconnect.cpp.o" "gcc" "tests/CMakeFiles/dsslice_tests.dir/test_interconnect.cpp.o.d"
+  "/root/repo/tests/test_iterative.cpp" "tests/CMakeFiles/dsslice_tests.dir/test_iterative.cpp.o" "gcc" "tests/CMakeFiles/dsslice_tests.dir/test_iterative.cpp.o.d"
+  "/root/repo/tests/test_jitter.cpp" "tests/CMakeFiles/dsslice_tests.dir/test_jitter.cpp.o" "gcc" "tests/CMakeFiles/dsslice_tests.dir/test_jitter.cpp.o.d"
+  "/root/repo/tests/test_metrics.cpp" "tests/CMakeFiles/dsslice_tests.dir/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/dsslice_tests.dir/test_metrics.cpp.o.d"
+  "/root/repo/tests/test_paper_shapes.cpp" "tests/CMakeFiles/dsslice_tests.dir/test_paper_shapes.cpp.o" "gcc" "tests/CMakeFiles/dsslice_tests.dir/test_paper_shapes.cpp.o.d"
+  "/root/repo/tests/test_planning_cycle.cpp" "tests/CMakeFiles/dsslice_tests.dir/test_planning_cycle.cpp.o" "gcc" "tests/CMakeFiles/dsslice_tests.dir/test_planning_cycle.cpp.o.d"
+  "/root/repo/tests/test_platform.cpp" "tests/CMakeFiles/dsslice_tests.dir/test_platform.cpp.o" "gcc" "tests/CMakeFiles/dsslice_tests.dir/test_platform.cpp.o.d"
+  "/root/repo/tests/test_preemptive.cpp" "tests/CMakeFiles/dsslice_tests.dir/test_preemptive.cpp.o" "gcc" "tests/CMakeFiles/dsslice_tests.dir/test_preemptive.cpp.o.d"
+  "/root/repo/tests/test_quality.cpp" "tests/CMakeFiles/dsslice_tests.dir/test_quality.cpp.o" "gcc" "tests/CMakeFiles/dsslice_tests.dir/test_quality.cpp.o.d"
+  "/root/repo/tests/test_report.cpp" "tests/CMakeFiles/dsslice_tests.dir/test_report.cpp.o" "gcc" "tests/CMakeFiles/dsslice_tests.dir/test_report.cpp.o.d"
+  "/root/repo/tests/test_resources.cpp" "tests/CMakeFiles/dsslice_tests.dir/test_resources.cpp.o" "gcc" "tests/CMakeFiles/dsslice_tests.dir/test_resources.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/dsslice_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/dsslice_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_runner.cpp" "tests/CMakeFiles/dsslice_tests.dir/test_runner.cpp.o" "gcc" "tests/CMakeFiles/dsslice_tests.dir/test_runner.cpp.o.d"
+  "/root/repo/tests/test_schedule.cpp" "tests/CMakeFiles/dsslice_tests.dir/test_schedule.cpp.o" "gcc" "tests/CMakeFiles/dsslice_tests.dir/test_schedule.cpp.o.d"
+  "/root/repo/tests/test_schedule_export.cpp" "tests/CMakeFiles/dsslice_tests.dir/test_schedule_export.cpp.o" "gcc" "tests/CMakeFiles/dsslice_tests.dir/test_schedule_export.cpp.o.d"
+  "/root/repo/tests/test_scheduler_networks.cpp" "tests/CMakeFiles/dsslice_tests.dir/test_scheduler_networks.cpp.o" "gcc" "tests/CMakeFiles/dsslice_tests.dir/test_scheduler_networks.cpp.o.d"
+  "/root/repo/tests/test_scheduler_properties.cpp" "tests/CMakeFiles/dsslice_tests.dir/test_scheduler_properties.cpp.o" "gcc" "tests/CMakeFiles/dsslice_tests.dir/test_scheduler_properties.cpp.o.d"
+  "/root/repo/tests/test_serialization.cpp" "tests/CMakeFiles/dsslice_tests.dir/test_serialization.cpp.o" "gcc" "tests/CMakeFiles/dsslice_tests.dir/test_serialization.cpp.o.d"
+  "/root/repo/tests/test_slicing.cpp" "tests/CMakeFiles/dsslice_tests.dir/test_slicing.cpp.o" "gcc" "tests/CMakeFiles/dsslice_tests.dir/test_slicing.cpp.o.d"
+  "/root/repo/tests/test_slicing_edge_cases.cpp" "tests/CMakeFiles/dsslice_tests.dir/test_slicing_edge_cases.cpp.o" "gcc" "tests/CMakeFiles/dsslice_tests.dir/test_slicing_edge_cases.cpp.o.d"
+  "/root/repo/tests/test_slicing_properties.cpp" "tests/CMakeFiles/dsslice_tests.dir/test_slicing_properties.cpp.o" "gcc" "tests/CMakeFiles/dsslice_tests.dir/test_slicing_properties.cpp.o.d"
+  "/root/repo/tests/test_slicing_trace.cpp" "tests/CMakeFiles/dsslice_tests.dir/test_slicing_trace.cpp.o" "gcc" "tests/CMakeFiles/dsslice_tests.dir/test_slicing_trace.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/dsslice_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/dsslice_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_string_util.cpp" "tests/CMakeFiles/dsslice_tests.dir/test_string_util.cpp.o" "gcc" "tests/CMakeFiles/dsslice_tests.dir/test_string_util.cpp.o.d"
+  "/root/repo/tests/test_sweeps.cpp" "tests/CMakeFiles/dsslice_tests.dir/test_sweeps.cpp.o" "gcc" "tests/CMakeFiles/dsslice_tests.dir/test_sweeps.cpp.o.d"
+  "/root/repo/tests/test_task.cpp" "tests/CMakeFiles/dsslice_tests.dir/test_task.cpp.o" "gcc" "tests/CMakeFiles/dsslice_tests.dir/test_task.cpp.o.d"
+  "/root/repo/tests/test_task_graph.cpp" "tests/CMakeFiles/dsslice_tests.dir/test_task_graph.cpp.o" "gcc" "tests/CMakeFiles/dsslice_tests.dir/test_task_graph.cpp.o.d"
+  "/root/repo/tests/test_temporal_parallel_sets.cpp" "tests/CMakeFiles/dsslice_tests.dir/test_temporal_parallel_sets.cpp.o" "gcc" "tests/CMakeFiles/dsslice_tests.dir/test_temporal_parallel_sets.cpp.o.d"
+  "/root/repo/tests/test_thread_pool.cpp" "tests/CMakeFiles/dsslice_tests.dir/test_thread_pool.cpp.o" "gcc" "tests/CMakeFiles/dsslice_tests.dir/test_thread_pool.cpp.o.d"
+  "/root/repo/tests/test_time.cpp" "tests/CMakeFiles/dsslice_tests.dir/test_time.cpp.o" "gcc" "tests/CMakeFiles/dsslice_tests.dir/test_time.cpp.o.d"
+  "/root/repo/tests/test_validation.cpp" "tests/CMakeFiles/dsslice_tests.dir/test_validation.cpp.o" "gcc" "tests/CMakeFiles/dsslice_tests.dir/test_validation.cpp.o.d"
+  "/root/repo/tests/test_wcet_estimate.cpp" "tests/CMakeFiles/dsslice_tests.dir/test_wcet_estimate.cpp.o" "gcc" "tests/CMakeFiles/dsslice_tests.dir/test_wcet_estimate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dsslice.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
