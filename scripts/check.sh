@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Full verification: build + test the default (Release) and sanitize
+# (ASan/UBSan) presets. Run from anywhere; operates on the repo root.
+set -euo pipefail
+
+root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$root"
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+for preset in default sanitize; do
+  echo "==> configure [$preset]"
+  cmake --preset "$preset"
+  echo "==> build [$preset]"
+  cmake --build --preset "$preset" -j "$jobs"
+  echo "==> test [$preset]"
+  ctest --preset "$preset" -j "$jobs"
+done
+
+echo "All checks passed."

@@ -46,6 +46,9 @@
 #include "dsslice/report/schedule_export.hpp"
 #include "dsslice/report/series.hpp"
 #include "dsslice/report/table.hpp"
+#include "dsslice/robust/fault_model.hpp"
+#include "dsslice/robust/recovery.hpp"
+#include "dsslice/robust/robustness_harness.hpp"
 #include "dsslice/sched/annealing_scheduler.hpp"
 #include "dsslice/sched/branch_and_bound.hpp"
 #include "dsslice/sched/clustering.hpp"

@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "dsslice/model/time.hpp"
+
 namespace dsslice {
 
 using ProcessorId = std::uint32_t;
@@ -28,6 +30,20 @@ struct ProcessorClass {
 struct Processor {
   std::string name;
   ProcessorClassId klass = 0;
+
+  /// Static availability window [available_from, available_until): outside
+  /// it the processor accepts no new work. This models *planned* degraded
+  /// modes (maintenance windows, staged bring-up); the on-line dispatcher
+  /// plans around it, in contrast to the *unforeseen* failures injected by
+  /// robust/fault_model.hpp, which kill work in flight. The constructive
+  /// schedulers assume full availability (docs/ROBUSTNESS.md).
+  Time available_from = kTimeZero;
+  Time available_until = kTimeInfinity;
+
+  /// True when the processor may execute work at time t.
+  bool available_at(Time t) const {
+    return t >= available_from && t < available_until;
+  }
 };
 
 }  // namespace dsslice

@@ -1,0 +1,167 @@
+#include "dsslice/robust/fault_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "dsslice/gen/rng.hpp"
+#include "dsslice/util/check.hpp"
+
+namespace dsslice {
+
+std::string to_string(OverrunScope scope) {
+  switch (scope) {
+    case OverrunScope::kUniform:
+      return "uniform";
+    case OverrunScope::kHotSpot:
+      return "hot-spot";
+  }
+  return "unknown";
+}
+
+namespace {
+
+bool finite(double x) { return std::isfinite(x); }
+
+bool probability(double p) { return finite(p) && p >= 0.0 && p <= 1.0; }
+
+}  // namespace
+
+bool FaultSpec::is_benign() const {
+  const bool overruns =
+      overrun_probability > 0.0 &&
+      (overrun_factor != 1.0 || overrun_addend != 0.0);
+  const bool spikes = spike_probability > 0.0 && spike_factor != 1.0;
+  return !overruns && failures.empty() && random_failure_probability == 0.0 &&
+         !spikes;
+}
+
+void FaultSpec::validate() const {
+  DSSLICE_REQUIRE(finite(overrun_factor) && overrun_factor >= 0.0,
+                  "overrun_factor must be finite and non-negative");
+  DSSLICE_REQUIRE(finite(overrun_addend),
+                  "overrun_addend must be finite");
+  DSSLICE_REQUIRE(probability(overrun_probability),
+                  "overrun_probability must be in [0, 1]");
+  DSSLICE_REQUIRE(finite(hotspot_fraction) && hotspot_fraction > 0.0 &&
+                      hotspot_fraction <= 1.0,
+                  "hotspot_fraction must be in (0, 1]");
+  for (const ProcessorFailure& f : failures) {
+    DSSLICE_REQUIRE(finite(f.at) && f.at >= 0.0,
+                    "processor failure time must be finite and non-negative");
+  }
+  DSSLICE_REQUIRE(probability(random_failure_probability),
+                  "random_failure_probability must be in [0, 1]");
+  if (random_failure_probability > 0.0) {
+    DSSLICE_REQUIRE(finite(random_failure_window.arrival) &&
+                        finite(random_failure_window.deadline) &&
+                        random_failure_window.arrival >= 0.0 &&
+                        random_failure_window.length() >= 0.0,
+                    "random_failure_window must be a valid window");
+  }
+  DSSLICE_REQUIRE(probability(spike_probability),
+                  "spike_probability must be in [0, 1]");
+  DSSLICE_REQUIRE(finite(spike_factor) && spike_factor >= 0.0,
+                  "spike_factor must be finite and non-negative");
+}
+
+std::string FaultTrace::summary() const {
+  std::ostringstream os;
+  os << "overruns=" << overrun_tasks.size()
+     << " failures=" << failures.size() << " spikes=" << spiked_arcs.size();
+  return os.str();
+}
+
+FaultModel::FaultModel(FaultSpec spec) : spec_(std::move(spec)) {
+  spec_.validate();
+}
+
+FaultTrace FaultModel::instantiate(const Application& app,
+                                   const Platform& platform) const {
+  const std::size_t n = app.task_count();
+  const std::size_t m = platform.processor_count();
+  const std::size_t arcs = app.graph().arc_count();
+
+  FaultTrace trace;
+  trace.conditions.wcet_factor.assign(n, 1.0);
+  trace.conditions.wcet_addend.assign(n, 0.0);
+  trace.conditions.arc_delay_factor.assign(arcs, 1.0);
+  trace.conditions.processor_down_at.assign(m, kTimeInfinity);
+
+  Xoshiro256 rng(spec_.seed);
+
+  // Overruns. The draw order (tasks, then processors, then arcs) is part of
+  // the trace's determinism contract; keep it stable.
+  const bool perturbs = spec_.overrun_factor != 1.0 ||
+                        spec_.overrun_addend != 0.0;
+  if (spec_.overrun_probability > 0.0 && perturbs && n > 0) {
+    if (spec_.scope == OverrunScope::kUniform) {
+      for (NodeId v = 0; v < n; ++v) {
+        if (rng.bernoulli(spec_.overrun_probability)) {
+          trace.overrun_tasks.push_back(v);
+        }
+      }
+    } else {  // kHotSpot
+      if (rng.bernoulli(spec_.overrun_probability)) {
+        const auto width = std::max<std::size_t>(
+            1, static_cast<std::size_t>(
+                   std::llround(spec_.hotspot_fraction *
+                                static_cast<double>(n))));
+        const std::size_t lo = static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(n > width ? n - width : 0)));
+        for (std::size_t v = lo; v < std::min(n, lo + width); ++v) {
+          trace.overrun_tasks.push_back(static_cast<NodeId>(v));
+        }
+      }
+    }
+    for (const NodeId v : trace.overrun_tasks) {
+      trace.conditions.wcet_factor[v] = spec_.overrun_factor;
+      trace.conditions.wcet_addend[v] = spec_.overrun_addend;
+    }
+  }
+
+  // Processor failures: deterministic list first (earliest halt wins when a
+  // processor appears twice), then the random draw.
+  for (const ProcessorFailure& f : spec_.failures) {
+    DSSLICE_REQUIRE(f.processor < m,
+                    "failure names processor " +
+                        std::to_string(f.processor) + " but the platform has " +
+                        std::to_string(m));
+    trace.conditions.processor_down_at[f.processor] =
+        std::min(trace.conditions.processor_down_at[f.processor], f.at);
+  }
+  if (spec_.random_failure_probability > 0.0) {
+    for (ProcessorId p = 0; p < m; ++p) {
+      if (!rng.bernoulli(spec_.random_failure_probability)) {
+        continue;
+      }
+      const Time at =
+          spec_.random_failure_window.length() > 0.0
+              ? rng.uniform(spec_.random_failure_window.arrival,
+                            spec_.random_failure_window.deadline)
+              : spec_.random_failure_window.arrival;
+      trace.conditions.processor_down_at[p] =
+          std::min(trace.conditions.processor_down_at[p], at);
+    }
+  }
+  for (ProcessorId p = 0; p < m; ++p) {
+    if (trace.conditions.processor_down_at[p] < kTimeInfinity) {
+      trace.failures.push_back(
+          ProcessorFailure{p, trace.conditions.processor_down_at[p]});
+    }
+  }
+
+  // Interconnect delay spikes.
+  if (spec_.spike_probability > 0.0 && spec_.spike_factor != 1.0) {
+    for (std::size_t k = 0; k < arcs; ++k) {
+      if (rng.bernoulli(spec_.spike_probability)) {
+        trace.conditions.arc_delay_factor[k] = spec_.spike_factor;
+        trace.spiked_arcs.push_back(k);
+      }
+    }
+  }
+
+  return trace;
+}
+
+}  // namespace dsslice

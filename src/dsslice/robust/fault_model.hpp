@@ -1,0 +1,119 @@
+// Deterministic run-time fault injection (docs/ROBUSTNESS.md).
+//
+// The paper's robustness study (Figs. 5–6) perturbs only the WCET
+// *estimates* used at slicing time; the schedule itself still executes
+// nominally. This module injects faults into the *execution* instead: a
+// FaultSpec describes a fault intensity (execution-time overruns, unforeseen
+// processor failures, interconnect delay spikes) and FaultModel::instantiate
+// realizes it — seeded through gen/rng, so the same spec over the same
+// scenario always yields the same FaultTrace — as DispatchConditions the
+// on-line dispatcher consumes. A benign spec (zero intensity) produces
+// conditions under which the dispatch is bit-identical to the fault-free
+// run, which anchors the determinism tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dsslice/model/application.hpp"
+#include "dsslice/model/platform.hpp"
+#include "dsslice/sched/dispatch_scheduler.hpp"
+
+namespace dsslice {
+
+/// Which tasks an execution-time overrun hits.
+enum class OverrunScope {
+  /// Every task is affected independently with overrun_probability.
+  kUniform,
+  /// With overrun_probability, a contiguous "hot spot" of
+  /// round(hotspot_fraction · n) task ids (a misbehaving component) overruns
+  /// together; otherwise the run is clean.
+  kHotSpot,
+};
+
+std::string to_string(OverrunScope scope);
+
+/// One unforeseen processor halt.
+struct ProcessorFailure {
+  ProcessorId processor = 0;
+  Time at = kTimeZero;
+
+  bool operator==(const ProcessorFailure&) const = default;
+};
+
+/// Declarative fault-intensity description. Defaults are benign.
+struct FaultSpec {
+  /// Seed of the fault realization stream (independent of the workload
+  /// seed; batches derive per-graph seeds via derive_seed).
+  std::uint64_t seed = 0x0FA017;
+
+  // --- execution-time overruns -------------------------------------------
+  OverrunScope scope = OverrunScope::kUniform;
+  /// Actual execution time of an affected task = wcet · overrun_factor +
+  /// overrun_addend (clamped at 0). factor 1 / addend 0 = nominal; factors
+  /// below 1 model overestimated WCETs (early completions).
+  double overrun_factor = 1.0;
+  double overrun_addend = 0.0;
+  /// kUniform: per-task probability of being affected. kHotSpot:
+  /// probability that the hot spot manifests at all.
+  double overrun_probability = 0.0;
+  /// kHotSpot: fraction of the task set in the hot region, (0, 1].
+  double hotspot_fraction = 0.25;
+
+  // --- unforeseen processor failures -------------------------------------
+  /// Deterministic halts (processor ids validated at instantiation).
+  std::vector<ProcessorFailure> failures;
+  /// Additionally, each processor fails independently with this
+  /// probability, at an instant drawn uniformly from random_failure_window.
+  double random_failure_probability = 0.0;
+  Window random_failure_window{kTimeZero, kTimeZero};
+
+  // --- interconnect message-delay spikes ----------------------------------
+  /// Per-arc probability of a delay spike; a spiked message takes
+  /// spike_factor × its nominal delay.
+  double spike_probability = 0.0;
+  double spike_factor = 1.0;
+
+  /// True when the spec cannot perturb any run.
+  bool is_benign() const;
+
+  /// Throws ConfigError on out-of-range parameters (probabilities outside
+  /// [0, 1], non-finite or negative factors/times, empty random window with
+  /// positive failure probability).
+  void validate() const;
+
+  bool operator==(const FaultSpec&) const = default;
+};
+
+/// The realization of a FaultSpec against one concrete scenario: the
+/// dispatcher-ready conditions plus bookkeeping of what was injected.
+struct FaultTrace {
+  DispatchConditions conditions;
+  std::vector<NodeId> overrun_tasks;     ///< tasks with perturbed run time
+  std::vector<ProcessorFailure> failures;///< effective halts, by processor id
+  std::vector<std::size_t> spiked_arcs;  ///< arc indices (graph().arcs())
+
+  /// One-line human-readable digest ("overruns=7 failures=1 spikes=3").
+  std::string summary() const;
+
+  bool operator==(const FaultTrace&) const = default;
+};
+
+class FaultModel {
+ public:
+  /// Validates the spec (throws ConfigError when out of range).
+  explicit FaultModel(FaultSpec spec);
+
+  const FaultSpec& spec() const { return spec_; }
+
+  /// Realizes the spec for one scenario. Deterministic: identical
+  /// (spec, application, platform) triples yield identical traces.
+  FaultTrace instantiate(const Application& app,
+                         const Platform& platform) const;
+
+ private:
+  FaultSpec spec_;
+};
+
+}  // namespace dsslice

@@ -1,0 +1,200 @@
+#include "dsslice/robust/recovery.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "dsslice/graph/algorithms.hpp"
+#include "dsslice/util/check.hpp"
+
+namespace dsslice {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+}  // namespace
+
+std::string to_string(RecoveryPolicy policy) {
+  switch (policy) {
+    case RecoveryPolicy::kNone:
+      return "none";
+    case RecoveryPolicy::kRedistributeSlack:
+      return "redistribute-slack";
+    case RecoveryPolicy::kMigrate:
+      return "migrate";
+  }
+  return "unknown";
+}
+
+std::span<const RecoveryPolicy> all_recovery_policies() {
+  static constexpr std::array<RecoveryPolicy, 3> kAll = {
+      RecoveryPolicy::kNone, RecoveryPolicy::kRedistributeSlack,
+      RecoveryPolicy::kMigrate};
+  return kAll;
+}
+
+std::vector<Window> redistribute_slack(const Application& app,
+                                       std::span<const double> est_wcet,
+                                       const DispatchControl::View& view,
+                                       const std::vector<Window>& windows) {
+  const TaskGraph& g = app.graph();
+  const std::size_t n = g.node_count();
+  DSSLICE_REQUIRE(est_wcet.size() == n && windows.size() == n,
+                  "redistribute_slack size mismatch");
+  const auto order = topological_order(g);
+  DSSLICE_REQUIRE(order.has_value(), "task graph has a cycle");
+
+  std::vector<Window> out = windows;
+
+  // Forward pass: estimated finish of every task given the actual state of
+  // the run. Started work finishes at its known (non-preemptive) finish
+  // time; unstarted work is assumed to start as early as its predecessors
+  // allow, never before `now`, and to run for its estimated WCET.
+  std::vector<Time> est_finish(n, kTimeZero);
+  std::vector<Time> est_start(n, view.now);
+  for (const NodeId v : *order) {
+    if (view.started[v] || view.done[v]) {
+      est_finish[v] = view.finish[v];
+      continue;
+    }
+    Time s = view.now;
+    for (const NodeId u : g.predecessors(v)) {
+      s = std::max(s, est_finish[u]);
+    }
+    est_start[v] = s;
+    est_finish[v] = s + est_wcet[v];
+  }
+
+  // Backward pass: latest finish that still leaves every downstream task
+  // its estimated WCET inside the residual E-T-E budget.
+  std::vector<Time> lft(n, kTimeInfinity);
+  for (auto it = order->rbegin(); it != order->rend(); ++it) {
+    const NodeId v = *it;
+    Time l = app.has_ete_deadline(v) ? app.ete_deadline(v) : kTimeInfinity;
+    for (const NodeId s : g.successors(v)) {
+      l = std::min(l, lft[s] - est_wcet[s]);
+    }
+    lft[v] = l;
+  }
+
+  for (const NodeId v : *order) {
+    if (view.started[v] || view.done[v]) {
+      continue;  // running/finished work keeps its window
+    }
+    out[v] = Window{est_start[v], lft[v]};
+  }
+  return out;
+}
+
+std::optional<ProcessorId> choose_migration_target(
+    const Task& task, const Platform& platform,
+    std::span<const Time> busy_until, std::span<const Time> down_at,
+    Time now) {
+  const std::size_t m = platform.processor_count();
+  DSSLICE_REQUIRE(busy_until.size() == m && down_at.size() == m,
+                  "choose_migration_target size mismatch");
+  std::optional<ProcessorId> best;
+  Time best_load = kTimeInfinity;
+  double best_wcet = kTimeInfinity;
+  for (ProcessorId p = 0; p < m; ++p) {
+    if (down_at[p] <= now + kEps) {
+      continue;  // already halted (or halting right now)
+    }
+    const ProcessorClassId e = platform.class_of(p);
+    if (!task.eligible(e)) {
+      continue;
+    }
+    const Time load = std::max(busy_until[p], now);
+    const double c = task.wcet(e);
+    const bool wins = !best.has_value() || load < best_load - kEps ||
+                      (load <= best_load + kEps &&
+                       (c < best_wcet - kEps ||
+                        (c <= best_wcet + kEps && p < *best)));
+    if (wins) {
+      best = p;
+      best_load = load;
+      best_wcet = c;
+    }
+  }
+  return best;
+}
+
+void RecoveryStats::merge(const RecoveryStats& other) {
+  reslices += other.reslices;
+  migrations += other.migrations;
+  revived += other.revived;
+  abandoned += other.abandoned;
+}
+
+RecoveryEngine::RecoveryEngine(RecoveryPolicy policy, const Application& app,
+                               std::vector<double> est_wcet)
+    : policy_(policy), app_(app), est_wcet_(std::move(est_wcet)) {
+  DSSLICE_REQUIRE(est_wcet_.size() == app_.task_count(),
+                  "estimate vector size mismatch");
+}
+
+void RecoveryEngine::on_completion(const View& view, NodeId, bool missed,
+                                   std::vector<Window>& windows) {
+  if (policy_ != RecoveryPolicy::kRedistributeSlack || !missed) {
+    return;
+  }
+  windows = redistribute_slack(app_, est_wcet_, view, windows);
+  ++stats_.reslices;
+}
+
+std::vector<NodeId> RecoveryEngine::on_processor_failure(
+    const View& view, ProcessorId p, const std::vector<NodeId>& victims,
+    std::vector<Window>& windows, std::vector<ProcessorId>& pinned) {
+  switch (policy_) {
+    case RecoveryPolicy::kNone:
+      stats_.abandoned += victims.size();
+      return {};
+
+    case RecoveryPolicy::kRedistributeSlack: {
+      // Revive the victims (they are unstarted again in `view`) and re-run
+      // the residual-budget distribution over the surviving suffix.
+      windows = redistribute_slack(app_, est_wcet_, view, windows);
+      ++stats_.reslices;
+      stats_.revived += victims.size();
+      return victims;
+    }
+
+    case RecoveryPolicy::kMigrate: {
+      // Unstarted tasks previously pinned to the dead processor must find a
+      // new home too (cascading failures).
+      for (NodeId v = 0; v < app_.task_count(); ++v) {
+        if (view.started[v] || view.done[v] || pinned[v] != p) {
+          continue;
+        }
+        const auto target = choose_migration_target(
+            app_.task(v), view.platform, view.busy_until, view.down_at,
+            view.now);
+        if (target.has_value()) {
+          pinned[v] = *target;
+          ++stats_.migrations;
+        } else {
+          pinned[v] = kUnpinnedProcessor;
+        }
+      }
+      std::vector<NodeId> revived;
+      for (const NodeId v : victims) {
+        const auto target = choose_migration_target(
+            app_.task(v), view.platform, view.busy_until, view.down_at,
+            view.now);
+        if (!target.has_value()) {
+          ++stats_.abandoned;
+          continue;
+        }
+        pinned[v] = *target;
+        ++stats_.migrations;
+        ++stats_.revived;
+        revived.push_back(v);
+      }
+      return revived;
+    }
+  }
+  return {};
+}
+
+}  // namespace dsslice

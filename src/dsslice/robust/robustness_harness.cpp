@@ -1,0 +1,230 @@
+#include "dsslice/robust/robustness_harness.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+
+#include "dsslice/core/wcet_estimate.hpp"
+#include "dsslice/gen/rng.hpp"
+#include "dsslice/gen/taskgraph_generator.hpp"
+#include "dsslice/util/check.hpp"
+#include "dsslice/util/string_util.hpp"
+
+namespace dsslice {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+}  // namespace
+
+std::string RobustnessConfig::display_label() const {
+  if (!label.empty()) {
+    return label;
+  }
+  return base.display_label() + "/" + to_string(policy);
+}
+
+double RobustnessOutcome::ete_miss_ratio() const {
+  return deadline_outputs == 0
+             ? 0.0
+             : static_cast<double>(ete_misses) /
+                   static_cast<double>(deadline_outputs);
+}
+
+void RobustnessResult::add(const RobustnessOutcome& outcome) {
+  ete_met.add_many(
+      static_cast<std::uint64_t>(outcome.deadline_outputs - outcome.ete_misses),
+      static_cast<std::uint64_t>(outcome.deadline_outputs));
+  graph_miss_ratio.add(outcome.ete_miss_ratio());
+  slice_misses.add(static_cast<double>(outcome.slice_misses));
+  killed += outcome.killed;
+  unfinished += outcome.unfinished;
+  recovery.merge(outcome.recovery);
+}
+
+double RobustnessResult::ete_miss_ratio() const {
+  return ete_met.trials() == 0 ? 0.0 : 1.0 - ete_met.ratio();
+}
+
+std::string RobustnessResult::summary(const std::string& label) const {
+  std::ostringstream os;
+  os << pad_right(label, 24) << " ete-met "
+     << pad_left(format_percent(ete_met.ratio(), 1), 7) << "  slice-misses "
+     << format_fixed(slice_misses.mean(), 2);
+  if (killed > 0 || unfinished > 0) {
+    os << "  killed " << killed << "  unfinished " << unfinished;
+  }
+  if (recovery.reslices > 0 || recovery.migrations > 0) {
+    os << "  reslices " << recovery.reslices << "  migrations "
+       << recovery.migrations;
+  }
+  return os.str();
+}
+
+RobustnessOutcome evaluate_robust_scenario(const RobustnessConfig& config,
+                                           std::uint64_t workload_seed,
+                                           std::uint64_t fault_seed) {
+  const Scenario scenario = generate_scenario(config.base.generator,
+                                              workload_seed);
+  const Application& app = scenario.application;
+  const Platform& platform = scenario.platform;
+
+  const std::vector<double> est = estimate_wcets(app, config.base.wcet_strategy);
+  const DeadlineAssignment assignment =
+      distribute_for_config(config.base, app, platform, est);
+
+  FaultSpec spec = config.faults;
+  spec.seed = fault_seed;
+  const FaultTrace trace = FaultModel(spec).instantiate(app, platform);
+
+  RecoveryEngine engine(config.policy, app, est);
+  DispatchTelemetry telemetry;
+  DispatchOptions options;
+  options.abort_on_miss = false;
+  EdfDispatchScheduler(options).run(app, assignment, platform,
+                                    &trace.conditions, &engine, &telemetry);
+
+  RobustnessOutcome outcome;
+  for (NodeId v = 0; v < app.task_count(); ++v) {
+    if (!app.has_ete_deadline(v)) {
+      continue;
+    }
+    ++outcome.deadline_outputs;
+    if (telemetry.completion[v] > app.ete_deadline(v) + kEps) {
+      ++outcome.ete_misses;  // finished late, or never (completion = ∞)
+    }
+  }
+  outcome.slice_misses = telemetry.misses.size();
+  outcome.killed = telemetry.killed.size();
+  outcome.unfinished = telemetry.unfinished.size();
+  outcome.recovery = engine.stats();
+  return outcome;
+}
+
+namespace {
+
+RobustnessResult run_robustness_batch(const RobustnessConfig& config,
+                                      ThreadPool* pool) {
+  config.base.generator.validate();
+  config.faults.validate();
+  const std::size_t count = config.base.generator.graph_count;
+  const auto t0 = std::chrono::steady_clock::now();
+
+  std::vector<RobustnessOutcome> outcomes(count);
+  const auto body = [&](std::size_t k) {
+    outcomes[k] = evaluate_robust_scenario(
+        config, derive_seed(config.base.generator.base_seed, k),
+        derive_seed(config.faults.seed, k));
+  };
+  if (pool != nullptr) {
+    parallel_for(*pool, count, body);
+  } else {
+    for (std::size_t k = 0; k < count; ++k) {
+      body(k);
+    }
+  }
+
+  RobustnessResult result;
+  for (const RobustnessOutcome& outcome : outcomes) {
+    result.add(outcome);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  result.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  return result;
+}
+
+}  // namespace
+
+RobustnessResult run_robustness(const RobustnessConfig& config,
+                                ThreadPool& pool) {
+  return run_robustness_batch(config, &pool);
+}
+
+RobustnessResult run_robustness_serial(const RobustnessConfig& config) {
+  return run_robustness_batch(config, nullptr);
+}
+
+SweepResult sweep_overrun_factor(
+    const RobustnessConfig& base,
+    const std::vector<DistributionTechnique>& techniques,
+    const std::vector<RecoveryPolicy>& policies,
+    const std::vector<double>& factors, ThreadPool& pool, bool verbose) {
+  SweepResult sweep;
+  sweep.x_label = "overrun-factor";
+  sweep.x = factors;
+  for (const DistributionTechnique technique : techniques) {
+    for (const RecoveryPolicy policy : policies) {
+      RobustnessConfig config = base;
+      config.base.technique = technique;
+      config.base.label.clear();
+      config.policy = policy;
+      Series series;
+      series.name = to_string(technique) + "/" + to_string(policy);
+      for (const double factor : factors) {
+        config.faults.overrun_factor = factor;
+        const RobustnessResult result = run_robustness(config, pool);
+        series.success_ratio.push_back(result.ete_met.ratio());
+        series.ci95.push_back(result.ete_met.ci95_halfwidth());
+        series.mean_min_laxity.push_back(result.slice_misses.mean());
+        if (verbose) {
+          std::ostringstream os;
+          os << series.name << " x=" << format_fixed(factor, 2);
+          std::fputs((result.summary(os.str()) + "\n").c_str(), stderr);
+        }
+      }
+      sweep.series.push_back(std::move(series));
+    }
+  }
+  return sweep;
+}
+
+std::vector<BreakdownPoint> breakdown_overrun_factors(const SweepResult& sweep,
+                                                      double miss_threshold) {
+  DSSLICE_REQUIRE(miss_threshold >= 0.0 && miss_threshold <= 1.0,
+                  "miss_threshold must be in [0, 1]");
+  std::vector<BreakdownPoint> points;
+  for (const Series& series : sweep.series) {
+    DSSLICE_CHECK(series.success_ratio.size() == sweep.x.size(),
+                  "series/x size mismatch");
+    BreakdownPoint point;
+    point.series = series.name;
+    point.factor = sweep.x.empty() ? 0.0 : sweep.x.back();
+    for (std::size_t i = 0; i < sweep.x.size(); ++i) {
+      const double miss = 1.0 - series.success_ratio[i];
+      if (miss <= miss_threshold + kEps) {
+        point.factor = sweep.x[i];
+        continue;
+      }
+      point.broke = true;
+      if (i == 0) {
+        point.factor = sweep.x[0];
+        break;
+      }
+      // Interpolate the crossing between grid points i-1 (within) and i.
+      const double prev_miss = 1.0 - series.success_ratio[i - 1];
+      const double span = miss - prev_miss;
+      const double t =
+          span > kEps ? (miss_threshold - prev_miss) / span : 0.0;
+      point.factor = sweep.x[i - 1] + t * (sweep.x[i] - sweep.x[i - 1]);
+      break;
+    }
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+std::string format_breakdown_table(const std::vector<BreakdownPoint>& points,
+                                   double miss_threshold) {
+  std::ostringstream os;
+  os << "breakdown overrun factor (E-T-E miss ratio > "
+     << format_percent(miss_threshold, 0) << ")\n";
+  for (const BreakdownPoint& point : points) {
+    os << "  " << pad_right(point.series, 28) << " "
+       << format_fixed(point.factor, 3)
+       << (point.broke ? "" : "  (never broke in sweep range)") << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace dsslice

@@ -1,0 +1,118 @@
+// Robustness evaluation harness (docs/ROBUSTNESS.md).
+//
+// Couples the batch experiment machinery (sim/) with run-time fault
+// injection (robust/fault_model) and degraded-mode recovery
+// (robust/recovery): each task set is sliced exactly as in the nominal
+// experiments, then *dispatched* under a FaultSpec realization with a
+// RecoveryPolicy reacting on-line. The primary outcome is the fraction of
+// E-T-E deadlines met under faults; sweeping the fault intensity yields the
+// breakdown overrun factor — the largest intensity a metric tolerates
+// before its E-T-E miss ratio exceeds a threshold.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dsslice/robust/fault_model.hpp"
+#include "dsslice/robust/recovery.hpp"
+#include "dsslice/sim/experiment.hpp"
+#include "dsslice/sim/sweeps.hpp"
+#include "dsslice/util/thread_pool.hpp"
+
+namespace dsslice {
+
+struct RobustnessConfig {
+  /// Workload family, distribution technique and WCET strategy. The
+  /// dispatcher is always the on-line EdfDispatchScheduler with
+  /// abort_on_miss disabled (a robustness run must observe every miss, not
+  /// stop at the first); base.algorithm and base.scheduler.abort_on_miss
+  /// are ignored.
+  ExperimentConfig base;
+  FaultSpec faults;
+  RecoveryPolicy policy = RecoveryPolicy::kNone;
+
+  /// Display label; "<technique>/<policy>" when empty.
+  std::string label;
+
+  std::string display_label() const;
+};
+
+/// Outcome of dispatching one faulted task set.
+struct RobustnessOutcome {
+  std::size_t deadline_outputs = 0;  ///< outputs carrying an E-T-E deadline
+  std::size_t ete_misses = 0;        ///< of those, finished late or never
+  std::size_t slice_misses = 0;      ///< per-task window misses observed
+  std::size_t killed = 0;            ///< tasks killed by processor failures
+  std::size_t unfinished = 0;        ///< tasks never completed
+  RecoveryStats recovery;
+
+  double ete_miss_ratio() const;
+};
+
+/// Aggregate over a batch of faulted task sets.
+struct RobustnessResult {
+  SuccessCounter ete_met;        ///< per-output E-T-E deadline success
+  RunningStats graph_miss_ratio; ///< per-graph E-T-E miss ratio
+  RunningStats slice_misses;     ///< per-graph window-miss count
+  std::size_t killed = 0;
+  std::size_t unfinished = 0;
+  RecoveryStats recovery;
+  double wall_seconds = 0.0;
+
+  void add(const RobustnessOutcome& outcome);
+
+  /// Fraction of E-T-E deadlines missed across the batch (1 − met ratio).
+  double ete_miss_ratio() const;
+
+  /// One-line human-readable summary.
+  std::string summary(const std::string& label) const;
+};
+
+/// The per-graph unit of work: generate scenario `workload_seed`, slice
+/// nominally, realize the fault spec under `fault_seed`, dispatch with the
+/// configured recovery policy. Exposed for tests and custom drivers.
+RobustnessOutcome evaluate_robust_scenario(const RobustnessConfig& config,
+                                           std::uint64_t workload_seed,
+                                           std::uint64_t fault_seed);
+
+/// Runs base.generator.graph_count faulted task sets on the pool and
+/// aggregates in index order (deterministic reduction, like
+/// run_experiment). Graph k uses derive_seed(generator.base_seed, k) for
+/// the workload and derive_seed(faults.seed, k) for the fault realization.
+RobustnessResult run_robustness(const RobustnessConfig& config,
+                                ThreadPool& pool);
+
+/// Strictly serial reference (determinism tests).
+RobustnessResult run_robustness_serial(const RobustnessConfig& config);
+
+/// Sweeps the execution-time overrun factor for every technique × policy
+/// pair. Each series is named "<TECHNIQUE>/<policy>"; success_ratio is the
+/// fraction of E-T-E deadlines met at that intensity (mean_min_laxity
+/// carries the mean per-graph slice-miss count as a secondary measure).
+SweepResult sweep_overrun_factor(const RobustnessConfig& base,
+                                 const std::vector<DistributionTechnique>& techniques,
+                                 const std::vector<RecoveryPolicy>& policies,
+                                 const std::vector<double>& factors,
+                                 ThreadPool& pool, bool verbose = false);
+
+/// One series' breakdown factor.
+struct BreakdownPoint {
+  std::string series;
+  /// Largest swept x whose E-T-E miss ratio stays within `miss_threshold`,
+  /// linearly interpolated at the threshold crossing; clamped to the sweep
+  /// range (first x when even the lowest intensity breaks, last x when the
+  /// series never breaks).
+  double factor = 0.0;
+  bool broke = false;  ///< false when the series survived the whole sweep
+};
+
+/// Breakdown overrun factor per series of an overrun sweep.
+std::vector<BreakdownPoint> breakdown_overrun_factors(
+    const SweepResult& sweep, double miss_threshold);
+
+/// Aligned table of breakdown points for bench output.
+std::string format_breakdown_table(const std::vector<BreakdownPoint>& points,
+                                   double miss_threshold);
+
+}  // namespace dsslice

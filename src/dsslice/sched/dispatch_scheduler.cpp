@@ -1,7 +1,9 @@
 #include "dsslice/sched/dispatch_scheduler.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
+#include <unordered_map>
 #include <vector>
 
 #include "dsslice/util/check.hpp"
@@ -20,6 +22,15 @@ std::string to_string(SchedulerAlgorithm algorithm) {
   return "unknown";
 }
 
+void DispatchControl::on_completion(const View&, NodeId, bool,
+                                    std::vector<Window>&) {}
+
+std::vector<NodeId> DispatchControl::on_processor_failure(
+    const View&, ProcessorId, const std::vector<NodeId>&,
+    std::vector<Window>&, std::vector<ProcessorId>&) {
+  return {};
+}
+
 EdfDispatchScheduler::EdfDispatchScheduler(DispatchOptions options)
     : options_(options) {}
 
@@ -27,31 +38,119 @@ namespace {
 
 constexpr double kEps = 1e-9;
 
-/// Per-task dispatch state.
-struct TaskState {
-  std::size_t preds_left = 0;
-  bool started = false;
-  bool done = false;
-  Time finish = kTimeZero;
-  ProcessorId processor = 0;
-};
+std::uint64_t arc_key(NodeId u, NodeId v) {
+  return (static_cast<std::uint64_t>(u) << 32) | v;
+}
 
 }  // namespace
 
 SchedulerResult EdfDispatchScheduler::run(const Application& app,
                                           const DeadlineAssignment& assignment,
                                           const Platform& platform) const {
+  return run(app, assignment, platform, nullptr, nullptr, nullptr);
+}
+
+SchedulerResult EdfDispatchScheduler::run(const Application& app,
+                                          const DeadlineAssignment& assignment,
+                                          const Platform& platform,
+                                          const DispatchConditions* conditions,
+                                          DispatchControl* control,
+                                          DispatchTelemetry* telemetry) const {
   const TaskGraph& g = app.graph();
   const std::size_t n = g.node_count();
   const std::size_t m = platform.processor_count();
   DSSLICE_REQUIRE(assignment.windows.size() == n, "assignment size mismatch");
+  if (conditions != nullptr) {
+    DSSLICE_REQUIRE(conditions->wcet_factor.empty() ||
+                        conditions->wcet_factor.size() == n,
+                    "wcet_factor size mismatch");
+    DSSLICE_REQUIRE(conditions->wcet_addend.empty() ||
+                        conditions->wcet_addend.size() == n,
+                    "wcet_addend size mismatch");
+    DSSLICE_REQUIRE(conditions->arc_delay_factor.empty() ||
+                        conditions->arc_delay_factor.size() == g.arc_count(),
+                    "arc_delay_factor size mismatch");
+    DSSLICE_REQUIRE(conditions->processor_down_at.empty() ||
+                        conditions->processor_down_at.size() == m,
+                    "processor_down_at size mismatch");
+  }
 
-  SchedulerResult result{Schedule(n, m), false, std::nullopt, ""};
-  std::vector<TaskState> state(n);
+  SchedulerResult result{Schedule(n, m), false, std::nullopt, "", {}};
+
+  // Mutable dispatch state (struct-of-arrays so DispatchControl can observe
+  // it through cheap spans).
+  std::vector<Window> windows = assignment.windows;
+  std::vector<std::size_t> preds_left(n, 0);
+  std::vector<char> started(n, 0), done(n, 0), lost(n, 0);
+  std::vector<Time> start_time(n, kTimeZero);
+  std::vector<Time> finish(n, kTimeInfinity);
+  std::vector<ProcessorId> proc_of(n, 0);
+  std::vector<ProcessorId> pinned(n, kUnpinnedProcessor);
   std::vector<Time> busy_until(m, kTimeZero);
   std::size_t remaining = n;
   for (NodeId v = 0; v < n; ++v) {
-    state[v].preds_left = g.in_degree(v);
+    preds_left[v] = g.in_degree(v);
+  }
+
+  // Per-processor timing: the *planned* availability window comes from the
+  // platform (the dispatcher refuses work it knows cannot finish in time),
+  // whereas injected failures are unforeseen — work is accepted and killed.
+  std::vector<Time> known_from(m, kTimeZero), known_until(m, kTimeInfinity);
+  std::vector<Time> surprise_down(m, kTimeInfinity);
+  std::vector<char> failure_handled(m, 0);
+  for (ProcessorId p = 0; p < m; ++p) {
+    known_from[p] = platform.processor(p).available_from;
+    known_until[p] = platform.processor(p).available_until;
+    if (conditions != nullptr && !conditions->processor_down_at.empty()) {
+      surprise_down[p] = conditions->processor_down_at[p];
+    }
+  }
+  std::vector<Time> down_at(m, kTimeInfinity);  // effective halt, for views
+  for (ProcessorId p = 0; p < m; ++p) {
+    down_at[p] = std::min(known_until[p], surprise_down[p]);
+  }
+  bool any_failure = false;
+
+  // Actual execution time of v on class e under the injected conditions.
+  const auto actual_wcet = [&](NodeId v, ProcessorClassId e) {
+    double c = app.task(v).wcet(e);
+    if (conditions != nullptr) {
+      if (!conditions->wcet_factor.empty()) {
+        c *= conditions->wcet_factor[v];
+      }
+      if (!conditions->wcet_addend.empty()) {
+        c += conditions->wcet_addend[v];
+      }
+      c = std::max(0.0, c);
+    }
+    return c;
+  };
+
+  // Per-arc message-delay multiplier (identity when not injected).
+  std::unordered_map<std::uint64_t, double> arc_factor;
+  if (conditions != nullptr && !conditions->arc_delay_factor.empty()) {
+    const auto& arcs = g.arcs();
+    arc_factor.reserve(arcs.size());
+    for (std::size_t k = 0; k < arcs.size(); ++k) {
+      arc_factor.emplace(arc_key(arcs[k].from, arcs[k].to),
+                         conditions->arc_delay_factor[k]);
+    }
+  }
+  const auto comm_delay = [&](NodeId u, NodeId v, ProcessorId src,
+                              ProcessorId dst, double items) {
+    Time d = platform.comm_delay(src, dst, items);
+    if (!arc_factor.empty()) {
+      const auto it = arc_factor.find(arc_key(u, v));
+      if (it != arc_factor.end()) {
+        d *= it->second;
+      }
+    }
+    return d;
+  };
+
+  if (telemetry != nullptr) {
+    *telemetry = DispatchTelemetry{};
+    telemetry->completion.assign(n, kTimeInfinity);
   }
 
   const auto fail = [&](NodeId v, std::string reason) {
@@ -61,14 +160,18 @@ SchedulerResult EdfDispatchScheduler::run(const Application& app,
     return result;
   };
 
+  const auto make_view = [&](Time now) {
+    return DispatchControl::View{app,      platform, now,        started,
+                                 done,     finish,   busy_until, down_at};
+  };
+
   // Earliest time the data of ready task v is available on processor p.
   const auto data_ready = [&](NodeId v, ProcessorId p) {
     Time ready = kTimeZero;
     for (const NodeId u : g.predecessors(v)) {
       const double items = g.message_items(u, v).value_or(0.0);
       ready = std::max(ready,
-                       state[u].finish + platform.comm_delay(
-                                             state[u].processor, p, items));
+                       finish[u] + comm_delay(u, v, proc_of[u], p, items));
     }
     return ready;
   };
@@ -76,19 +179,70 @@ SchedulerResult EdfDispatchScheduler::run(const Application& app,
   bool missed = false;
   Time now = kTimeZero;
   std::size_t guard = 0;
+  // Each iteration advances to a strictly later event. Between two state
+  // mutations (completion / failure / revival — at most n + 3m of them) the
+  // event set is bounded by n arrivals + n·m data-ready instants + m busy
+  // horizons, hence the quadratic guard.
+  const std::size_t guard_limit = (n + 3 * m + 4) * (n * (m + 1) + m + 4) + 64;
   while (remaining > 0) {
-    // Each iteration advances to a strictly later event; the event set is
-    // bounded by n completions + n arrivals + n·m data-ready instants.
-    DSSLICE_CHECK(++guard <= n * (m + 4) + 16, "dispatch failed to converge");
+    DSSLICE_CHECK(++guard <= guard_limit, "dispatch failed to converge");
+
+    // Unforeseen processor failures whose instant has been reached: halt the
+    // processor, kill the task in flight, and let the recovery hook decide
+    // which victims re-enter the dispatch queue.
+    for (ProcessorId p = 0; p < m; ++p) {
+      if (failure_handled[p] || surprise_down[p] > now + kEps) {
+        continue;
+      }
+      failure_handled[p] = 1;
+      any_failure = true;
+      std::vector<NodeId> victims;
+      for (NodeId v = 0; v < n; ++v) {
+        if (started[v] && !done[v] && proc_of[v] == p &&
+            finish[v] > surprise_down[p] + kEps) {
+          victims.push_back(v);
+          started[v] = 0;
+          finish[v] = kTimeInfinity;
+          lost[v] = 1;
+          if (telemetry != nullptr) {
+            telemetry->killed.push_back(v);
+          }
+        }
+      }
+      busy_until[p] = std::min(busy_until[p], surprise_down[p]);
+      std::vector<NodeId> revived;
+      if (control != nullptr) {
+        const auto view = make_view(now);
+        revived = control->on_processor_failure(view, p, victims, windows,
+                                                pinned);
+      }
+      for (const NodeId r : revived) {
+        DSSLICE_CHECK(std::find(victims.begin(), victims.end(), r) !=
+                          victims.end(),
+                      "control revived a task that was not a victim");
+        lost[r] = 0;
+        if (telemetry != nullptr) {
+          ++telemetry->restarts;
+        }
+      }
+    }
 
     // Complete tasks whose finish time has been reached.
     for (NodeId v = 0; v < n; ++v) {
-      if (state[v].started && !state[v].done &&
-          state[v].finish <= now + kEps) {
-        state[v].done = true;
+      if (started[v] && !done[v] && finish[v] <= now + kEps) {
+        done[v] = 1;
         --remaining;
-        if (state[v].finish > assignment.windows[v].deadline + kEps) {
+        result.schedule.place(v, proc_of[v], start_time[v], finish[v]);
+        if (telemetry != nullptr) {
+          telemetry->completion[v] = finish[v];
+        }
+        const bool late = finish[v] > windows[v].deadline + kEps;
+        if (late) {
           missed = true;
+          if (telemetry != nullptr) {
+            telemetry->misses.push_back(
+                TaskMissEvent{v, finish[v], windows[v].deadline});
+          }
           if (options_.abort_on_miss) {
             return fail(v, "task " + app.task(v).name +
                                " misses its deadline at dispatch time");
@@ -100,7 +254,11 @@ SchedulerResult EdfDispatchScheduler::run(const Application& app,
           }
         }
         for (const NodeId s : g.successors(v)) {
-          --state[s].preds_left;
+          --preds_left[s];
+        }
+        if (control != nullptr) {
+          const auto view = make_view(now);
+          control->on_completion(view, v, late, windows);
         }
       }
     }
@@ -117,17 +275,16 @@ SchedulerResult EdfDispatchScheduler::run(const Application& app,
       double best_wcet = 0.0;
       Time best_deadline = kTimeInfinity;
       for (NodeId v = 0; v < n; ++v) {
-        const TaskState& ts = state[v];
-        if (ts.started || ts.preds_left != 0 ||
-            assignment.windows[v].arrival > now + kEps) {
+        if (started[v] || done[v] || lost[v] || preds_left[v] != 0 ||
+            windows[v].arrival > now + kEps) {
           continue;
         }
-        const Time deadline = assignment.windows[v].deadline;
+        const Time deadline = windows[v].deadline;
         if (best < n && deadline > best_deadline + kEps) {
           continue;  // cannot beat the current best
         }
-        // Idle, eligible processor with data present; prefer the fastest
-        // class, then the lowest id (deterministic).
+        // Idle, available, eligible processor with data present; prefer the
+        // fastest class, then the lowest id (deterministic).
         ProcessorId chosen = 0;
         double chosen_wcet = 0.0;
         bool found = false;
@@ -135,14 +292,23 @@ SchedulerResult EdfDispatchScheduler::run(const Application& app,
           if (busy_until[p] > now + kEps) {
             continue;
           }
+          if (pinned[v] != kUnpinnedProcessor && pinned[v] != p) {
+            continue;
+          }
+          if (now + kEps < known_from[p] || now + kEps >= surprise_down[p]) {
+            continue;  // not yet up / observed dead
+          }
           const Task& task = app.task(v);
           if (!task.eligible(platform.class_of(p))) {
             continue;
           }
+          const double c = actual_wcet(v, platform.class_of(p));
+          if (now + c > known_until[p] + kEps) {
+            continue;  // would outlive the planned availability window
+          }
           if (data_ready(v, p) > now + kEps) {
             continue;
           }
-          const double c = task.wcet(platform.class_of(p));
           if (!found || c < chosen_wcet) {
             found = true;
             chosen = p;
@@ -165,27 +331,31 @@ SchedulerResult EdfDispatchScheduler::run(const Application& app,
       if (best >= n) {
         break;  // nothing dispatchable right now
       }
-      state[best].started = true;
-      state[best].processor = best_proc;
-      state[best].finish = now + best_wcet;
-      busy_until[best_proc] = state[best].finish;
-      result.schedule.place(best, best_proc, now, state[best].finish);
+      started[best] = 1;
+      proc_of[best] = best_proc;
+      start_time[best] = now;
+      finish[best] = now + best_wcet;
+      busy_until[best_proc] = finish[best];
     }
 
-    // Advance to the next event: a completion, a slice arrival of a ready
-    // task, or a data arrival on some eligible processor.
+    // Advance to the next event: a completion, an unforeseen failure, a
+    // slice arrival of a ready task, or a data arrival on some usable
+    // processor.
     Time next = kTimeInfinity;
     for (ProcessorId p = 0; p < m; ++p) {
       if (busy_until[p] > now + kEps) {
         next = std::min(next, busy_until[p]);
       }
+      if (!failure_handled[p] && surprise_down[p] < kTimeInfinity &&
+          surprise_down[p] > now + kEps) {
+        next = std::min(next, surprise_down[p]);
+      }
     }
     for (NodeId v = 0; v < n; ++v) {
-      const TaskState& ts = state[v];
-      if (ts.started || ts.preds_left != 0) {
+      if (started[v] || done[v] || lost[v] || preds_left[v] != 0) {
         continue;
       }
-      const Time arrival = assignment.windows[v].arrival;
+      const Time arrival = windows[v].arrival;
       if (arrival > now + kEps) {
         next = std::min(next, arrival);
         continue;
@@ -197,6 +367,16 @@ SchedulerResult EdfDispatchScheduler::run(const Application& app,
           continue;
         }
         any_eligible = true;
+        if (now + kEps >= surprise_down[p]) {
+          continue;  // dead processor generates no future events
+        }
+        if (pinned[v] != kUnpinnedProcessor && pinned[v] != p) {
+          continue;
+        }
+        if (now + kEps < known_from[p]) {
+          next = std::min(next, known_from[p]);
+          continue;
+        }
         const Time ready = data_ready(v, p);
         if (ready > now + kEps) {
           next = std::min(next, ready);
@@ -208,12 +388,36 @@ SchedulerResult EdfDispatchScheduler::run(const Application& app,
       }
     }
     if (next >= kTimeInfinity) {
+      if (any_failure) {
+        // Failures stranded the rest of the graph: report the degraded run
+        // instead of spinning (tasks blocked on lost predecessors or dead
+        // pinned processors can never proceed).
+        break;
+      }
       // All ready tasks are waiting only for busy processors that never
       // free up — impossible in a finite simulation unless the graph is
       // cyclic, which Application::validate rejects.
       return fail(0, "dispatch deadlocked: task graph has a cycle");
     }
     now = next;
+  }
+
+  if (remaining > 0) {
+    std::size_t stranded = 0;
+    NodeId first = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      if (!done[v]) {
+        if (stranded++ == 0) {
+          first = v;
+        }
+        if (telemetry != nullptr) {
+          telemetry->unfinished.push_back(v);
+        }
+      }
+    }
+    return fail(first, "processor failure left " + std::to_string(stranded) +
+                           " task(s) unfinished (first: " +
+                           app.task(first).name + ")");
   }
 
   result.success = !missed && result.schedule.complete();

@@ -12,11 +12,23 @@
 //
 // A task is *dispatchable* on processor p at time t iff all its
 // predecessors completed, every message reached p (f_u + comm delay ≤ t),
-// its slice arrival has passed (a_i ≤ t), and p is idle and of an eligible
-// class. Simulation advances over completion / arrival / data-arrival
-// events; within an instant, assignments are made in EDF order with
-// deterministic tie-breaking.
+// its slice arrival has passed (a_i ≤ t), and p is idle, available and of
+// an eligible class. Simulation advances over completion / arrival /
+// data-arrival / failure events; within an instant, assignments are made in
+// EDF order with deterministic tie-breaking.
+//
+// Beyond the nominal mode, the dispatcher is the execution substrate of the
+// robustness evaluation (robust/): DispatchConditions injects *actual*
+// run-time behaviour (execution-time overruns, unforeseen processor
+// failures, message-delay spikes), DispatchTelemetry surfaces per-task miss
+// and kill events, and a DispatchControl hook lets a recovery engine
+// re-slice windows or re-pin tasks while the simulation is in flight.
 #pragma once
+
+#include <limits>
+#include <optional>
+#include <span>
+#include <vector>
 
 #include "dsslice/model/application.hpp"
 #include "dsslice/model/platform.hpp"
@@ -31,6 +43,95 @@ struct DispatchOptions {
   bool abort_on_miss = true;
 };
 
+/// Injected run-time conditions for one dispatch simulation (produced by
+/// robust/fault_model.hpp). All vectors may be empty (= nominal behaviour);
+/// when non-empty they must match the task / arc / processor counts.
+///
+/// The *actual* execution time of task v on class e is
+///   max(0, wcet(e) · wcet_factor[v] + wcet_addend[v]),
+/// the actual delay of the message on arc k (graph().arcs() order) is the
+/// nominal delay · arc_delay_factor[k], and processor p halts without
+/// warning at processor_down_at[p] (kTimeInfinity = never), killing any
+/// task it is executing at that instant.
+struct DispatchConditions {
+  std::vector<double> wcet_factor;      ///< per task; empty = all 1.0
+  std::vector<double> wcet_addend;      ///< per task; empty = all 0.0
+  std::vector<double> arc_delay_factor; ///< per arc; empty = all 1.0
+  std::vector<Time> processor_down_at;  ///< per processor; empty = never
+
+  bool operator==(const DispatchConditions&) const = default;
+};
+
+/// One slice-deadline miss observed at dispatch time.
+struct TaskMissEvent {
+  NodeId task = 0;
+  Time finish = kTimeZero;
+  Time deadline = kTimeZero;
+
+  Time lateness() const { return finish - deadline; }
+  bool operator==(const TaskMissEvent&) const = default;
+};
+
+/// Per-run observability of the dispatch simulation (all optional).
+struct DispatchTelemetry {
+  /// Completion time per task; kTimeInfinity for tasks that never finished.
+  std::vector<Time> completion;
+  /// Slice-deadline misses in completion order.
+  std::vector<TaskMissEvent> misses;
+  /// Tasks killed in flight by a processor failure (one entry per kill;
+  /// a task revived and killed again appears twice).
+  std::vector<NodeId> killed;
+  /// Tasks that never completed (stranded by failures).
+  std::vector<NodeId> unfinished;
+  /// Number of revived tasks that re-entered the dispatch queue.
+  std::size_t restarts = 0;
+};
+
+/// Sentinel for DispatchControl pinning: the task may run anywhere.
+inline constexpr ProcessorId kUnpinnedProcessor =
+    std::numeric_limits<ProcessorId>::max();
+
+/// Recovery hook called from inside the dispatch loop (robust/recovery.hpp
+/// implements the concrete policies). The default implementation is a
+/// no-op observer: windows are left untouched and killed tasks stay dead.
+class DispatchControl {
+ public:
+  /// Read-only snapshot of the in-flight dispatch state.
+  struct View {
+    const Application& app;
+    const Platform& platform;
+    Time now = kTimeZero;
+    /// Per task: dispatched (still 1 after completion; reset on kill).
+    std::span<const char> started;
+    /// Per task: completed.
+    std::span<const char> done;
+    /// Per task: finish time — known as soon as the task starts
+    /// (non-preemptive); kTimeInfinity while unstarted.
+    std::span<const Time> finish;
+    /// Per processor: end of the current busy interval.
+    std::span<const Time> busy_until;
+    /// Per processor: effective halt instant — min of the platform's
+    /// available_until and any injected failure; kTimeInfinity = healthy.
+    std::span<const Time> down_at;
+  };
+
+  virtual ~DispatchControl() = default;
+
+  /// Called after task v completes at view.now (`missed` = past its current
+  /// slice deadline). May rewrite the windows of unstarted tasks.
+  virtual void on_completion(const View& view, NodeId v, bool missed,
+                             std::vector<Window>& windows);
+
+  /// Called when processor p halts at view.now; `victims` holds the task it
+  /// was executing (at most one, non-preemptive). Returns the subset of
+  /// victims to re-release for re-execution from scratch (the rest are lost
+  /// and their subtrees never run). May rewrite windows and re-pin tasks:
+  /// pinned[v] != kUnpinnedProcessor restricts v to that processor.
+  virtual std::vector<NodeId> on_processor_failure(
+      const View& view, ProcessorId p, const std::vector<NodeId>& victims,
+      std::vector<Window>& windows, std::vector<ProcessorId>& pinned);
+};
+
 class EdfDispatchScheduler {
  public:
   explicit EdfDispatchScheduler(DispatchOptions options = {});
@@ -41,6 +142,19 @@ class EdfDispatchScheduler {
   SchedulerResult run(const Application& app,
                       const DeadlineAssignment& assignment,
                       const Platform& platform) const;
+
+  /// Fault-aware overload: `conditions` injects actual execution times,
+  /// message delays and processor failures (nullptr = nominal), `control`
+  /// receives recovery callbacks (nullptr = no recovery), `telemetry`
+  /// collects per-task events (nullptr = discard). A benign conditions
+  /// object (all factors 1, no failures) reproduces the nominal run
+  /// bit-exactly.
+  SchedulerResult run(const Application& app,
+                      const DeadlineAssignment& assignment,
+                      const Platform& platform,
+                      const DispatchConditions* conditions,
+                      DispatchControl* control = nullptr,
+                      DispatchTelemetry* telemetry = nullptr) const;
 
   const DispatchOptions& options() const { return options_; }
 

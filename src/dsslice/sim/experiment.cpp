@@ -49,6 +49,29 @@ std::string ExperimentResult::summary(const std::string& label) const {
   return os.str();
 }
 
+DeadlineAssignment distribute_for_config(const ExperimentConfig& config,
+                                         const Application& app,
+                                         const Platform& platform,
+                                         std::span<const double> est_wcet,
+                                         std::size_t* slicing_passes) {
+  if (slicing_passes != nullptr) {
+    *slicing_passes = 0;
+  }
+  if (is_slicing(config.technique)) {
+    SlicingStats stats;
+    const DeadlineMetric metric(metric_of(config.technique),
+                                config.metric_params);
+    DeadlineAssignment assignment = run_slicing(
+        app, est_wcet, metric, platform.processor_count(), &stats);
+    if (slicing_passes != nullptr) {
+      *slicing_passes = stats.passes;
+    }
+    return assignment;
+  }
+  return distribute(config.technique, app, est_wcet, platform,
+                    config.metric_params);
+}
+
 GraphOutcome evaluate_scenario(const ExperimentConfig& config,
                                std::uint64_t seed) {
   const Scenario scenario = generate_scenario(config.generator, seed);
@@ -60,18 +83,8 @@ GraphOutcome evaluate_scenario(const ExperimentConfig& config,
   GraphOutcome outcome;
   outcome.task_count = app.task_count();
 
-  DeadlineAssignment assignment;
-  if (is_slicing(config.technique)) {
-    SlicingStats stats;
-    const DeadlineMetric metric(metric_of(config.technique),
-                                config.metric_params);
-    assignment = run_slicing(app, est, metric, platform.processor_count(),
-                             &stats);
-    outcome.slicing_passes = stats.passes;
-  } else {
-    assignment = distribute(config.technique, app, est, platform,
-                            config.metric_params);
-  }
+  const DeadlineAssignment assignment = distribute_for_config(
+      config, app, platform, est, &outcome.slicing_passes);
   outcome.min_laxity = min_laxity(assignment, est);
 
   if (config.algorithm == SchedulerAlgorithm::kPreemptiveEdf) {

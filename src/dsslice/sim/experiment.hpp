@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 
 #include "dsslice/baselines/distribution_registry.hpp"
@@ -68,6 +69,16 @@ struct ExperimentResult {
   /// One-line human-readable summary.
   std::string summary(const std::string& label) const;
 };
+
+/// Runs the configured deadline-distribution technique (slicing or direct)
+/// over one scenario. When `slicing_passes` is non-null it receives the
+/// slicer's pass count (0 for non-slicing techniques). Shared by
+/// evaluate_scenario and the robustness harness.
+DeadlineAssignment distribute_for_config(const ExperimentConfig& config,
+                                         const Application& app,
+                                         const Platform& platform,
+                                         std::span<const double> est_wcet,
+                                         std::size_t* slicing_passes = nullptr);
 
 /// Evaluates a single already-generated scenario under the configuration
 /// (the per-graph unit of work; exposed for tests and custom drivers).

@@ -1,5 +1,9 @@
 #include "dsslice/sim/serialization.hpp"
 
+#include <cerrno>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -12,6 +16,11 @@ namespace {
 
 constexpr int kFormatVersion = 1;
 
+/// Sanity bound on entity counts (classes, processors, tasks, arcs). A
+/// count beyond this is a corrupted or hostile file, not a real scenario;
+/// rejecting it up front avoids multi-gigabyte allocations.
+constexpr std::size_t kMaxEntityCount = 1'000'000;
+
 /// %.17g round-trips doubles exactly.
 std::string num(double x) {
   std::ostringstream os;
@@ -23,7 +32,9 @@ std::string num(double x) {
 /// Tokenized line reader with position tracking for error messages.
 class LineReader {
  public:
-  explicit LineReader(const std::string& text) : in_(text) {}
+  explicit LineReader(const std::string& text,
+                      std::string context = "scenario")
+      : in_(text), context_(std::move(context)) {}
 
   /// Next non-empty, non-comment line split on whitespace.
   std::vector<std::string> next() {
@@ -48,7 +59,7 @@ class LineReader {
   }
 
   [[noreturn]] void fail(const std::string& why) const {
-    throw ConfigError("scenario parse error at line " +
+    throw ConfigError(context_ + " parse error at line " +
                       std::to_string(line_no_) + ": " + why);
   }
 
@@ -70,16 +81,69 @@ class LineReader {
     return v;
   }
 
+  /// A finite number — rejects NaN and ±inf (corrupted durations/values).
+  double to_finite(const std::string& tok, const std::string& what) const {
+    const double v = to_double(tok);
+    if (!std::isfinite(v)) {
+      fail(what + " must be finite, got: " + tok);
+    }
+    return v;
+  }
+
+  /// A finite, non-negative duration/time/size-like value.
+  double to_nonneg(const std::string& tok, const std::string& what) const {
+    const double v = to_finite(tok, what);
+    if (v < 0.0) {
+      fail(what + " must be non-negative, got: " + tok);
+    }
+    return v;
+  }
+
+  /// A time value where infinity is meaningful ("never"); rejects NaN and
+  /// negative values.
+  double to_time(const std::string& tok, const std::string& what) const {
+    const double v = to_double(tok);
+    if (std::isnan(v) || v < 0.0) {
+      fail(what + " must be a non-negative time, got: " + tok);
+    }
+    return v;
+  }
+
   std::size_t to_size(const std::string& tok) const {
     const double v = to_double(tok);
-    if (v < 0 || v != static_cast<double>(static_cast<std::size_t>(v))) {
+    if (std::isnan(v) || v < 0 ||
+        v != static_cast<double>(static_cast<std::size_t>(v))) {
       fail("not a non-negative integer: " + tok);
     }
     return static_cast<std::size_t>(v);
   }
 
+  /// An entity count with an upper sanity bound.
+  std::size_t to_count(const std::string& tok, const std::string& what) const {
+    const std::size_t v = to_size(tok);
+    if (v > kMaxEntityCount) {
+      fail(what + " count " + tok + " exceeds the sanity bound of " +
+           std::to_string(kMaxEntityCount));
+    }
+    return v;
+  }
+
+  std::uint64_t to_u64(const std::string& tok) const {
+    if (tok.empty() || tok[0] == '-') {
+      fail("not an unsigned integer: " + tok);
+    }
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(tok.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || errno == ERANGE) {
+      fail("not an unsigned integer: " + tok);
+    }
+    return static_cast<std::uint64_t>(v);
+  }
+
  private:
   std::istringstream in_;
+  std::string context_;
   int line_no_ = 0;
 };
 
@@ -100,7 +164,11 @@ std::string serialize_scenario(const Scenario& scenario) {
   }
   os << "processors " << platform.processor_count() << "\n";
   for (const Processor& p : platform.processors()) {
-    os << "proc " << p.name << " " << p.klass << "\n";
+    os << "proc " << p.name << " " << p.klass;
+    if (p.available_from != kTimeZero || p.available_until != kTimeInfinity) {
+      os << " " << num(p.available_from) << " " << num(p.available_until);
+    }
+    os << "\n";
   }
   os << "bus " << num(bus->per_item_delay()) << "\n";
   os << "tasks " << app.task_count() << "\n";
@@ -140,37 +208,53 @@ Scenario parse_scenario(const std::string& text) {
 
   auto line = reader.next();
   reader.expect(line, "classes", 1);
-  const std::size_t class_count = reader.to_size(line[1]);
+  const std::size_t class_count = reader.to_count(line[1], "class");
   std::vector<ProcessorClass> classes;
   for (std::size_t k = 0; k < class_count; ++k) {
     line = reader.next();
     reader.expect(line, "class", 2);
-    classes.push_back(ProcessorClass{line[1], reader.to_double(line[2])});
+    const double speed = reader.to_finite(line[2], "speed_factor");
+    if (speed <= 0.0) {
+      reader.fail("speed_factor must be positive, got: " + line[2]);
+    }
+    classes.push_back(ProcessorClass{line[1], speed});
   }
 
   line = reader.next();
   reader.expect(line, "processors", 1);
-  const std::size_t proc_count = reader.to_size(line[1]);
+  const std::size_t proc_count = reader.to_count(line[1], "processor");
   std::vector<Processor> procs;
   for (std::size_t q = 0; q < proc_count; ++q) {
     line = reader.next();
-    reader.expect(line, "proc", 2);
+    if (line.empty() || line[0] != "proc" ||
+        (line.size() != 3 && line.size() != 5)) {
+      reader.fail(
+          "expected 'proc <name> <class_index> [<from> <until>]'");
+    }
     const std::size_t klass = reader.to_size(line[2]);
     if (klass >= class_count) {
       reader.fail("processor class index out of range");
     }
-    procs.push_back(Processor{line[1], static_cast<ProcessorClassId>(klass)});
+    Processor p{line[1], static_cast<ProcessorClassId>(klass)};
+    if (line.size() == 5) {
+      p.available_from = reader.to_nonneg(line[3], "availability start");
+      p.available_until = reader.to_time(line[4], "availability end");
+      if (p.available_until < p.available_from) {
+        reader.fail("availability window ends before it starts");
+      }
+    }
+    procs.push_back(std::move(p));
   }
 
   line = reader.next();
   reader.expect(line, "bus", 1);
-  const double bus_delay = reader.to_double(line[1]);
+  const double bus_delay = reader.to_nonneg(line[1], "bus per-item delay");
   Platform platform(std::move(classes), std::move(procs),
                     std::make_shared<SharedBus>(bus_delay));
 
   line = reader.next();
   reader.expect(line, "tasks", 1);
-  const std::size_t task_count = reader.to_size(line[1]);
+  const std::size_t task_count = reader.to_count(line[1], "task");
   TaskGraph graph(task_count);
   std::vector<Task> tasks;
   for (std::size_t i = 0; i < task_count; ++i) {
@@ -181,19 +265,19 @@ Scenario parse_scenario(const std::string& text) {
     }
     Task t;
     t.name = line[1];
-    t.phasing = reader.to_double(line[2]);
-    t.period = reader.to_double(line[3]);
+    t.phasing = reader.to_nonneg(line[2], "phasing");
+    t.period = reader.to_nonneg(line[3], "period");
     for (std::size_t e = 0; e < class_count; ++e) {
       const std::string& tok = line[4 + e];
       t.wcet_by_class.push_back(tok == "-" ? kIneligibleWcet
-                                           : reader.to_double(tok));
+                                           : reader.to_nonneg(tok, "wcet"));
     }
     tasks.push_back(std::move(t));
   }
 
   line = reader.next();
   reader.expect(line, "arcs", 1);
-  const std::size_t arc_count = reader.to_size(line[1]);
+  const std::size_t arc_count = reader.to_count(line[1], "arc");
   for (std::size_t a = 0; a < arc_count; ++a) {
     line = reader.next();
     reader.expect(line, "arc", 3);
@@ -203,7 +287,7 @@ Scenario parse_scenario(const std::string& text) {
       reader.fail("arc endpoint out of range");
     }
     graph.add_arc(static_cast<NodeId>(from), static_cast<NodeId>(to),
-                  reader.to_double(line[3]));
+                  reader.to_nonneg(line[3], "message_items"));
   }
 
   Application app(std::move(graph), std::move(tasks));
@@ -213,11 +297,19 @@ Scenario parse_scenario(const std::string& text) {
       break;
     }
     if (line.size() == 3 && line[0] == "arrival") {
-      app.set_input_arrival(static_cast<NodeId>(reader.to_size(line[1])),
-                            reader.to_double(line[2]));
+      const std::size_t node = reader.to_size(line[1]);
+      if (node >= task_count) {
+        reader.fail("arrival node out of range");
+      }
+      app.set_input_arrival(static_cast<NodeId>(node),
+                            reader.to_nonneg(line[2], "arrival"));
     } else if (line.size() == 3 && line[0] == "deadline") {
-      app.set_ete_deadline(static_cast<NodeId>(reader.to_size(line[1])),
-                           reader.to_double(line[2]));
+      const std::size_t node = reader.to_size(line[1]);
+      if (node >= task_count) {
+        reader.fail("deadline node out of range");
+      }
+      app.set_ete_deadline(static_cast<NodeId>(node),
+                           reader.to_nonneg(line[2], "deadline"));
     } else {
       reader.fail("expected 'arrival', 'deadline' or 'end'");
     }
@@ -238,6 +330,91 @@ Scenario load_scenario(const std::string& path) {
   std::ostringstream buffer;
   buffer << in.rdbuf();
   return parse_scenario(buffer.str());
+}
+
+std::string serialize_fault_spec(const FaultSpec& spec) {
+  spec.validate();
+  std::ostringstream os;
+  os << "dsslice-faults " << kFormatVersion << "\n";
+  os << "seed " << spec.seed << "\n";
+  os << "overrun " << to_string(spec.scope) << " "
+     << num(spec.overrun_factor) << " " << num(spec.overrun_addend) << " "
+     << num(spec.overrun_probability) << " " << num(spec.hotspot_fraction)
+     << "\n";
+  os << "failures " << spec.failures.size() << "\n";
+  for (const ProcessorFailure& f : spec.failures) {
+    os << "failure " << f.processor << " " << num(f.at) << "\n";
+  }
+  os << "random-failure " << num(spec.random_failure_probability) << " "
+     << num(spec.random_failure_window.arrival) << " "
+     << num(spec.random_failure_window.deadline) << "\n";
+  os << "spike " << num(spec.spike_probability) << " "
+     << num(spec.spike_factor) << "\n";
+  os << "end\n";
+  return os.str();
+}
+
+FaultSpec parse_fault_spec(const std::string& text) {
+  LineReader reader(text, "fault-spec");
+
+  auto header = reader.next();
+  reader.expect(header, "dsslice-faults", 1);
+  if (reader.to_size(header[1]) != static_cast<std::size_t>(kFormatVersion)) {
+    reader.fail("unsupported format version " + header[1]);
+  }
+
+  FaultSpec spec;
+
+  auto line = reader.next();
+  reader.expect(line, "seed", 1);
+  spec.seed = reader.to_u64(line[1]);
+
+  line = reader.next();
+  reader.expect(line, "overrun", 5);
+  if (line[1] == "uniform") {
+    spec.scope = OverrunScope::kUniform;
+  } else if (line[1] == "hot-spot") {
+    spec.scope = OverrunScope::kHotSpot;
+  } else {
+    reader.fail("unknown overrun scope: " + line[1]);
+  }
+  spec.overrun_factor = reader.to_nonneg(line[2], "overrun_factor");
+  spec.overrun_addend = reader.to_finite(line[3], "overrun_addend");
+  spec.overrun_probability = reader.to_nonneg(line[4], "overrun_probability");
+  spec.hotspot_fraction = reader.to_nonneg(line[5], "hotspot_fraction");
+
+  line = reader.next();
+  reader.expect(line, "failures", 1);
+  const std::size_t failure_count = reader.to_count(line[1], "failure");
+  for (std::size_t k = 0; k < failure_count; ++k) {
+    line = reader.next();
+    reader.expect(line, "failure", 2);
+    spec.failures.push_back(ProcessorFailure{
+        static_cast<ProcessorId>(reader.to_size(line[1])),
+        reader.to_nonneg(line[2], "failure time")});
+  }
+
+  line = reader.next();
+  reader.expect(line, "random-failure", 3);
+  spec.random_failure_probability =
+      reader.to_nonneg(line[1], "random_failure_probability");
+  spec.random_failure_window.arrival =
+      reader.to_nonneg(line[2], "random_failure_window start");
+  spec.random_failure_window.deadline =
+      reader.to_nonneg(line[3], "random_failure_window end");
+
+  line = reader.next();
+  reader.expect(line, "spike", 2);
+  spec.spike_probability = reader.to_nonneg(line[1], "spike_probability");
+  spec.spike_factor = reader.to_nonneg(line[2], "spike_factor");
+
+  line = reader.next();
+  if (line.size() != 1 || line[0] != "end") {
+    reader.fail("expected 'end'");
+  }
+
+  spec.validate();
+  return spec;
 }
 
 }  // namespace dsslice

@@ -19,13 +19,32 @@
 //   deadline <node> <time>                 (per output task with one)
 //   end
 //
+// A `proc` line may carry an optional availability window
+// (`proc <name> <class_index> <from> <until>`); it is emitted only when the
+// processor is not always-on.
+//
 // Only shared-bus platforms are supported (the only kind the generator
 // produces); serializing another interconnect throws.
+//
+// Fault specifications (robust/fault_model.hpp) use a sibling format:
+//
+//   dsslice-faults 1
+//   seed <u64>
+//   overrun <scope> <factor> <addend> <probability> <hotspot_fraction>
+//   failures <k>
+//   failure <processor> <time>             (k times)
+//   random-failure <probability> <from> <until>
+//   spike <probability> <factor>
+//   end
+//
+// Both parsers reject NaN / infinite durations, negative times and counts
+// beyond a sanity bound with a ConfigError naming the offending line.
 #pragma once
 
 #include <string>
 
 #include "dsslice/gen/taskgraph_generator.hpp"
+#include "dsslice/robust/fault_model.hpp"
 
 namespace dsslice {
 
@@ -39,5 +58,12 @@ Scenario parse_scenario(const std::string& text);
 /// File helpers (throw ConfigError on I/O failure).
 void save_scenario(const Scenario& scenario, const std::string& path);
 Scenario load_scenario(const std::string& path);
+
+/// Serializes a fault specification in the format above.
+std::string serialize_fault_spec(const FaultSpec& spec);
+
+/// Parses and validates a fault specification; throws ConfigError with a
+/// line number on malformed input.
+FaultSpec parse_fault_spec(const std::string& text);
 
 }  // namespace dsslice

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <exception>
+#include <utility>
 
 #include "dsslice/util/check.hpp"
 
@@ -39,6 +40,11 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::wait_idle() {
   std::unique_lock lock(mutex_);
   cv_idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  if (pending_error_) {
+    std::exception_ptr error = std::exchange(pending_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
 void ThreadPool::worker_loop() {
@@ -54,10 +60,18 @@ void ThreadPool::worker_loop() {
       queue_.pop();
       ++in_flight_;
     }
-    task();
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
     {
       std::lock_guard lock(mutex_);
       --in_flight_;
+      if (error && !pending_error_) {
+        pending_error_ = std::move(error);
+      }
     }
     cv_idle_.notify_all();
   }

@@ -7,6 +7,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -27,10 +28,15 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
-  /// Enqueues a task; it runs on some worker at an unspecified time.
+  /// Enqueues a task; it runs on some worker at an unspecified time. If the
+  /// task throws, the exception is captured (first one wins) and rethrown
+  /// from the next wait_idle() — it never terminates the worker.
   void submit(std::function<void()> task);
 
   /// Blocks until every submitted task has completed. The pool stays usable.
+  /// Rethrows the first exception thrown by a task submitted since the last
+  /// wait_idle(), after the queue has fully drained (no deadlock: remaining
+  /// tasks still run, their exceptions are discarded).
   void wait_idle();
 
  private:
@@ -43,6 +49,7 @@ class ThreadPool {
   std::condition_variable cv_idle_;
   std::size_t in_flight_ = 0;
   bool stopping_ = false;
+  std::exception_ptr pending_error_;
 };
 
 /// Runs body(i) for i in [0, count) across the pool, blocking until done.

@@ -1,0 +1,275 @@
+// Fault model determinism and the dispatcher's fault-aware semantics:
+// identical seeds yield identical traces, benign specs reproduce the
+// fault-free dispatch bit-exactly, and each fault class (overrun, processor
+// failure, delay spike) perturbs the run the way its definition says.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "dsslice/gen/taskgraph_generator.hpp"
+#include "dsslice/robust/fault_model.hpp"
+#include "dsslice/sched/dispatch_scheduler.hpp"
+#include "test_util.hpp"
+
+namespace dsslice {
+namespace {
+
+DeadlineAssignment windows(std::vector<Window> ws) {
+  DeadlineAssignment a;
+  a.windows = std::move(ws);
+  return a;
+}
+
+FaultSpec overrun_spec(double factor, double probability,
+                       std::uint64_t seed = 42) {
+  FaultSpec spec;
+  spec.seed = seed;
+  spec.overrun_factor = factor;
+  spec.overrun_probability = probability;
+  return spec;
+}
+
+TEST(FaultModel, SameSeedSameTrace) {
+  const Scenario scenario =
+      generate_scenario(testing::small_generator(7), 7);
+  FaultSpec spec = overrun_spec(1.5, 0.4);
+  spec.random_failure_probability = 0.3;
+  spec.random_failure_window = Window{0.0, 50.0};
+  spec.spike_probability = 0.25;
+  spec.spike_factor = 3.0;
+
+  const FaultModel model(spec);
+  const FaultTrace a =
+      model.instantiate(scenario.application, scenario.platform);
+  const FaultTrace b =
+      model.instantiate(scenario.application, scenario.platform);
+  EXPECT_EQ(a, b);
+
+  FaultSpec other = spec;
+  other.seed = spec.seed + 1;
+  const FaultTrace c =
+      FaultModel(other).instantiate(scenario.application, scenario.platform);
+  EXPECT_NE(a, c);  // astronomically unlikely to collide
+}
+
+TEST(FaultModel, BenignSpecIsIdentity) {
+  const FaultSpec spec;  // defaults
+  EXPECT_TRUE(spec.is_benign());
+
+  const Scenario scenario =
+      generate_scenario(testing::small_generator(3), 3);
+  const FaultTrace trace =
+      FaultModel(spec).instantiate(scenario.application, scenario.platform);
+  EXPECT_TRUE(trace.overrun_tasks.empty());
+  EXPECT_TRUE(trace.failures.empty());
+  EXPECT_TRUE(trace.spiked_arcs.empty());
+  EXPECT_TRUE(std::all_of(trace.conditions.wcet_factor.begin(),
+                          trace.conditions.wcet_factor.end(),
+                          [](double f) { return f == 1.0; }));
+  EXPECT_TRUE(std::all_of(trace.conditions.wcet_addend.begin(),
+                          trace.conditions.wcet_addend.end(),
+                          [](double a) { return a == 0.0; }));
+  EXPECT_TRUE(std::all_of(trace.conditions.processor_down_at.begin(),
+                          trace.conditions.processor_down_at.end(),
+                          [](Time t) { return t == kTimeInfinity; }));
+}
+
+TEST(FaultModel, ZeroIntensityDispatchIsBitIdentical) {
+  // A benign trace routed through the fault-aware dispatch path must
+  // reproduce the nominal run exactly — same placements, same start and
+  // finish bits.
+  const Scenario scenario =
+      generate_scenario(testing::small_generator(11), 11);
+  const Application& app = scenario.application;
+  const std::vector<double> est = estimate_wcets(app, WcetEstimation::kAverage);
+  const DeadlineAssignment a = run_slicing(
+      app, est, DeadlineMetric(MetricKind::kAdaptL),
+      scenario.platform.processor_count());
+
+  const EdfDispatchScheduler sched({.abort_on_miss = false});
+  const SchedulerResult nominal = sched.run(app, a, scenario.platform);
+
+  const FaultTrace trace =
+      FaultModel(FaultSpec{}).instantiate(app, scenario.platform);
+  DispatchTelemetry telemetry;
+  const SchedulerResult faulted = sched.run(app, a, scenario.platform,
+                                            &trace.conditions, nullptr,
+                                            &telemetry);
+
+  EXPECT_EQ(nominal.success, faulted.success);
+  ASSERT_TRUE(faulted.schedule.complete());
+  for (NodeId v = 0; v < app.task_count(); ++v) {
+    EXPECT_EQ(nominal.schedule.entry(v), faulted.schedule.entry(v));
+    EXPECT_EQ(telemetry.completion[v], nominal.schedule.entry(v).finish);
+  }
+  EXPECT_TRUE(telemetry.killed.empty());
+  EXPECT_TRUE(telemetry.unfinished.empty());
+}
+
+TEST(FaultModel, OverrunStretchesExecutionAndSurfacesMisses) {
+  const Application app = testing::make_chain(3, 10.0, 60.0);
+  const auto a = windows({{0.0, 20.0}, {20.0, 40.0}, {40.0, 60.0}});
+
+  FaultTrace trace =
+      FaultModel(FaultSpec{}).instantiate(app, Platform::identical(1));
+  trace.conditions.wcet_factor = {3.0, 1.0, 1.0};  // task 0 runs 30, not 10
+
+  DispatchTelemetry telemetry;
+  const SchedulerResult r =
+      EdfDispatchScheduler({.abort_on_miss = false})
+          .run(app, a, Platform::identical(1), &trace.conditions, nullptr,
+               &telemetry);
+  ASSERT_TRUE(r.schedule.complete());
+  EXPECT_DOUBLE_EQ(r.schedule.entry(0).finish, 30.0);
+  EXPECT_DOUBLE_EQ(r.schedule.entry(2).finish, 50.0);
+  // Task 0 missed its slice deadline (30 > 20); the chain still meets the
+  // E-T-E deadline because the windows carried slack.
+  ASSERT_EQ(telemetry.misses.size(), 1u);
+  EXPECT_EQ(telemetry.misses[0].task, 0u);
+  EXPECT_DOUBLE_EQ(telemetry.misses[0].lateness(), 10.0);
+  EXPECT_FALSE(r.success);  // a slice miss marks the dispatch unsuccessful
+}
+
+TEST(FaultModel, ProcessorFailureKillsInFlightWork) {
+  const Application app = testing::make_chain(3, 10.0, 100.0);
+  // Task 1 is released the moment task 0 finishes, so it is mid-execution
+  // when the processor halts at t = 15.
+  const auto a = windows({{0.0, 33.0}, {10.0, 66.0}, {66.0, 100.0}});
+
+  FaultTrace trace =
+      FaultModel(FaultSpec{}).instantiate(app, Platform::identical(1));
+  trace.conditions.processor_down_at = {15.0};  // mid-flight of task 1
+
+  DispatchTelemetry telemetry;
+  const SchedulerResult r =
+      EdfDispatchScheduler({.abort_on_miss = false})
+          .run(app, a, Platform::identical(1), &trace.conditions, nullptr,
+               &telemetry);
+  EXPECT_FALSE(r.success);
+  // Task 0 completed before the halt; task 1 was killed; task 2 stranded.
+  EXPECT_EQ(telemetry.completion[0], 10.0);
+  EXPECT_EQ(telemetry.killed, std::vector<NodeId>({1}));
+  EXPECT_EQ(telemetry.unfinished, std::vector<NodeId>({1, 2}));
+  EXPECT_EQ(telemetry.completion[1], kTimeInfinity);
+}
+
+TEST(FaultModel, DeterministicFailureListIsValidated) {
+  FaultSpec spec;
+  spec.failures.push_back(ProcessorFailure{5, 10.0});
+  const Scenario scenario =
+      generate_scenario(testing::small_generator(1, /*processors=*/3), 1);
+  EXPECT_THROW(FaultModel(spec).instantiate(scenario.application,
+                                            scenario.platform),
+               ConfigError);
+}
+
+TEST(FaultModel, HotSpotIsContiguous) {
+  const Scenario scenario =
+      generate_scenario(testing::small_generator(23), 23);
+  FaultSpec spec;
+  spec.scope = OverrunScope::kHotSpot;
+  spec.overrun_factor = 2.0;
+  spec.overrun_probability = 1.0;  // the hot spot always manifests
+  spec.hotspot_fraction = 0.25;
+
+  const FaultTrace trace =
+      FaultModel(spec).instantiate(scenario.application, scenario.platform);
+  const std::size_t n = scenario.application.task_count();
+  const auto expected_width = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::llround(0.25 * static_cast<double>(n))));
+  ASSERT_EQ(trace.overrun_tasks.size(), expected_width);
+  for (std::size_t i = 1; i < trace.overrun_tasks.size(); ++i) {
+    EXPECT_EQ(trace.overrun_tasks[i], trace.overrun_tasks[i - 1] + 1);
+  }
+}
+
+TEST(FaultModel, DelaySpikeStretchesMessages) {
+  // Two tasks on different processors: the message delay dominates the
+  // start of the successor; a ×4 spike shifts it accordingly.
+  ApplicationBuilder b;
+  const NodeId u = b.add_uniform_task("u", 10.0);
+  const NodeId v = b.add_uniform_task("v", 10.0);
+  b.add_precedence(u, v, /*message_items=*/2.0);
+  b.set_input_arrival(u, 0.0);
+  b.set_ete_deadline(v, 200.0);
+  const Application app = b.build();
+  const auto a = windows({{0.0, 100.0}, {0.0, 200.0}});
+
+  // Pin the two tasks to different processors via a busy decoy: simpler is
+  // to use 2 processors and check both runs; nominal delay = 2 items × 1.0.
+  const Platform platform = Platform::identical(2);
+  const EdfDispatchScheduler sched({.abort_on_miss = false});
+  const SchedulerResult nominal = sched.run(app, a, platform);
+  ASSERT_TRUE(nominal.success);
+
+  FaultTrace trace = FaultModel(FaultSpec{}).instantiate(app, platform);
+  ASSERT_EQ(trace.conditions.arc_delay_factor.size(), 1u);
+  trace.conditions.arc_delay_factor[0] = 4.0;
+  const SchedulerResult spiked =
+      sched.run(app, a, platform, &trace.conditions);
+  ASSERT_TRUE(spiked.success);
+
+  if (nominal.schedule.entry(u).processor !=
+      nominal.schedule.entry(v).processor) {
+    // Cross-processor: start shifted by the extra 3 × 2.0 delay.
+    EXPECT_DOUBLE_EQ(spiked.schedule.entry(v).start,
+                     nominal.schedule.entry(v).start + 6.0);
+  } else {
+    EXPECT_EQ(nominal.schedule.entry(v), spiked.schedule.entry(v));
+  }
+}
+
+TEST(FaultModel, SpecValidationRejectsNonsense) {
+  EXPECT_THROW(FaultModel(overrun_spec(-1.0, 0.5)), ConfigError);
+  EXPECT_THROW(FaultModel(overrun_spec(2.0, 1.5)), ConfigError);
+  FaultSpec nan_spec;
+  nan_spec.overrun_addend = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(FaultModel{nan_spec}, ConfigError);
+  FaultSpec bad_frac;
+  bad_frac.hotspot_fraction = 0.0;
+  EXPECT_THROW(FaultModel{bad_frac}, ConfigError);
+}
+
+TEST(PlannedAvailability, DispatcherWaitsForAvailableFrom) {
+  // One processor that only comes up at t=25: the chain starts there, not
+  // at its slice arrival.
+  const Application app = testing::make_chain(2, 10.0, 100.0);
+  const auto a = windows({{0.0, 50.0}, {50.0, 100.0}});
+  std::vector<Processor> procs{Processor{"p0", 0}};
+  procs[0].available_from = 25.0;
+  Platform platform({ProcessorClass{"c0", 1.0}}, std::move(procs),
+                    std::make_shared<SharedBus>(1.0));
+
+  const SchedulerResult r =
+      EdfDispatchScheduler({.abort_on_miss = false}).run(app, a, platform);
+  ASSERT_TRUE(r.schedule.complete());
+  EXPECT_DOUBLE_EQ(r.schedule.entry(0).start, 25.0);
+}
+
+TEST(PlannedAvailability, DispatcherPlansAroundAvailableUntil) {
+  // Two processors; p0 retires at t=15. The dispatcher knows (planned
+  // maintenance) and must not start a 10-unit task on p0 at t=10.
+  const Application app = testing::make_chain(2, 10.0, 100.0);
+  const auto a = windows({{0.0, 50.0}, {50.0, 100.0}});
+  std::vector<Processor> procs{Processor{"p0", 0}, Processor{"p1", 0}};
+  procs[0].available_until = 15.0;
+  Platform platform({ProcessorClass{"c0", 1.0}}, std::move(procs),
+                    std::make_shared<SharedBus>(1.0));
+
+  DispatchTelemetry telemetry;
+  const SchedulerResult r =
+      EdfDispatchScheduler({.abort_on_miss = false})
+          .run(app, a, platform, nullptr, nullptr, &telemetry);
+  ASSERT_TRUE(r.schedule.complete());
+  // Task 0 fits on p0 ([0, 10] ⊂ [0, 15)); task 1 arrives at 50 and must
+  // land on p1 — p0 is already retired.
+  EXPECT_EQ(r.schedule.entry(0).processor, 0u);
+  EXPECT_EQ(r.schedule.entry(1).processor, 1u);
+  EXPECT_TRUE(telemetry.killed.empty());  // planned != failure: no kills
+}
+
+}  // namespace
+}  // namespace dsslice

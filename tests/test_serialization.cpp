@@ -96,6 +96,109 @@ TEST(Serialization, RejectsMalformedInput) {
   EXPECT_THROW(parse_scenario(truncated), ConfigError);
 }
 
+TEST(Serialization, RejectsNonFiniteAndNegativeValues) {
+  const auto scenario_with = [](const std::string& task_line,
+                                const std::string& bus = "bus 1") {
+    return "dsslice-scenario 1\nclasses 1\nclass e0 1\nprocessors 1\n"
+           "proc p0 0\n" +
+           bus + "\ntasks 1\n" + task_line + "\narcs 0\nend\n";
+  };
+  // NaN / infinite durations are corrupted data, not big numbers.
+  EXPECT_THROW(parse_scenario(scenario_with("task t0 nan 0 5")), ConfigError);
+  EXPECT_THROW(parse_scenario(scenario_with("task t0 0 inf 5")), ConfigError);
+  EXPECT_THROW(parse_scenario(scenario_with("task t0 0 0 nan")), ConfigError);
+  // Negative durations.
+  EXPECT_THROW(parse_scenario(scenario_with("task t0 -1 0 5")), ConfigError);
+  EXPECT_THROW(parse_scenario(scenario_with("task t0 0 0 -5")), ConfigError);
+  EXPECT_THROW(parse_scenario(scenario_with("task t0 0 0 5", "bus -2")),
+               ConfigError);
+  // Zero or negative speed factors.
+  EXPECT_THROW(
+      parse_scenario("dsslice-scenario 1\nclasses 1\nclass e0 0\n"),
+      ConfigError);
+  // The error message names the offending line.
+  try {
+    parse_scenario(scenario_with("task t0 nan 0 5"));
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 8"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("phasing"), std::string::npos);
+  }
+}
+
+TEST(Serialization, RejectsAbsurdEntityCounts) {
+  EXPECT_THROW(
+      parse_scenario("dsslice-scenario 1\nclasses 99999999999\n"),
+      ConfigError);
+  EXPECT_THROW(parse_scenario("dsslice-scenario 1\nclasses 1\nclass e0 1\n"
+                              "processors 2000000\n"),
+               ConfigError);
+}
+
+TEST(Serialization, RoundTripsProcessorAvailability) {
+  std::vector<Processor> procs{Processor{"p0", 0}, Processor{"p1", 0}};
+  procs[0].available_from = 10.0;
+  procs[0].available_until = 90.0;
+  Scenario sc{Platform({ProcessorClass{"e0", 1.0}}, std::move(procs),
+                       std::make_shared<SharedBus>(1.0)),
+              testing::make_chain(2, 5.0, 50.0)};
+  const Scenario parsed = parse_scenario(serialize_scenario(sc));
+  EXPECT_DOUBLE_EQ(parsed.platform.processor(0).available_from, 10.0);
+  EXPECT_DOUBLE_EQ(parsed.platform.processor(0).available_until, 90.0);
+  EXPECT_EQ(parsed.platform.processor(1).available_from, kTimeZero);
+  EXPECT_EQ(parsed.platform.processor(1).available_until, kTimeInfinity);
+  // Availability windows that end before they start are rejected.
+  EXPECT_THROW(
+      parse_scenario("dsslice-scenario 1\nclasses 1\nclass e0 1\n"
+                     "processors 1\nproc p0 0 50 10\n"),
+      ConfigError);
+}
+
+TEST(Serialization, FaultSpecRoundTrips) {
+  FaultSpec spec;
+  spec.seed = 0xDEADBEEFu;
+  spec.scope = OverrunScope::kHotSpot;
+  spec.overrun_factor = 2.5;
+  spec.overrun_addend = 1.25;
+  spec.overrun_probability = 0.4;
+  spec.hotspot_fraction = 0.3;
+  spec.failures.push_back(ProcessorFailure{1, 17.5});
+  spec.random_failure_probability = 0.1;
+  spec.random_failure_window = Window{0.0, 80.0};
+  spec.spike_probability = 0.2;
+  spec.spike_factor = 5.0;
+
+  const std::string text = serialize_fault_spec(spec);
+  const FaultSpec parsed = parse_fault_spec(text);
+  EXPECT_EQ(parsed, spec);
+  // Fixed point.
+  EXPECT_EQ(serialize_fault_spec(parsed), text);
+}
+
+TEST(Serialization, FaultSpecRejectsMalformedInput) {
+  EXPECT_THROW(parse_fault_spec(""), ConfigError);
+  EXPECT_THROW(parse_fault_spec("dsslice-faults 2\n"), ConfigError);
+  const auto spec_with = [](const std::string& overrun) {
+    return "dsslice-faults 1\nseed 7\n" + overrun +
+           "\nfailures 0\nrandom-failure 0 0 0\nspike 0 1\nend\n";
+  };
+  EXPECT_NO_THROW(parse_fault_spec(spec_with("overrun uniform 1 0 0 0.25")));
+  EXPECT_THROW(parse_fault_spec(spec_with("overrun sideways 1 0 0 0.25")),
+               ConfigError);
+  EXPECT_THROW(parse_fault_spec(spec_with("overrun uniform nan 0 0 0.25")),
+               ConfigError);
+  // Out-of-range probability is caught by FaultSpec::validate.
+  EXPECT_THROW(parse_fault_spec(spec_with("overrun uniform 1 0 1.5 0.25")),
+               ConfigError);
+  // Negative seed.
+  EXPECT_THROW(
+      parse_fault_spec("dsslice-faults 1\nseed -4\n"
+                       "overrun uniform 1 0 0 0.25\nfailures 0\n"
+                       "random-failure 0 0 0\nspike 0 1\nend\n"),
+      ConfigError);
+}
+
 TEST(Serialization, FileRoundTrip) {
   const Scenario sc =
       generate_scenario_at(testing::small_generator(9), 0);

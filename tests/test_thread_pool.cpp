@@ -37,6 +37,35 @@ TEST(ThreadPool, ZeroMeansHardwareConcurrency) {
   EXPECT_GE(pool.size(), 1u);
 }
 
+TEST(ThreadPool, SubmittedTaskExceptionSurfacesOnWaitIdle) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  pool.submit([] { throw ConfigError("boom"); });
+  for (int i = 0; i < 32; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  // The queue drains fully (no deadlock), then the first exception is
+  // rethrown to the waiter.
+  EXPECT_THROW(pool.wait_idle(), ConfigError);
+  EXPECT_EQ(counter.load(), 32);
+
+  // The error is consumed: the pool stays usable and a clean wait passes.
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 33);
+}
+
+TEST(ThreadPool, FirstOfSeveralExceptionsWins) {
+  ThreadPool pool(2);
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([] { throw ConfigError("repeated boom"); });
+  }
+  EXPECT_THROW(pool.wait_idle(), ConfigError);
+  // Later exceptions were discarded along with the first rethrow.
+  pool.submit([] {});
+  EXPECT_NO_THROW(pool.wait_idle());
+}
+
 TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
   ThreadPool pool(4);
   std::vector<std::atomic<int>> hits(1000);
