@@ -58,6 +58,79 @@ BENCHMARK(BM_TransitiveClosure)
     ->Range(16, 1024)
     ->Complexity();
 
+void BM_GraphAnalysisBuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Scenario sc = generate_scenario_at(sized_config(n, 3), 1);
+  for (auto _ : state) {
+    GraphAnalysis analysis(sc.application.graph());
+    benchmark::DoNotOptimize(analysis.parallel_set_size(0));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_GraphAnalysisBuild)
+    ->RangeMultiplier(2)
+    ->Range(16, 1024)
+    ->Complexity();
+
+void BM_ParallelSetMaterialized(benchmark::State& state) {
+  // Baseline: build the Ψ_i node vectors (one allocation per task per call).
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Scenario sc = generate_scenario_at(sized_config(n, 3), 1);
+  const GraphAnalysis& analysis = sc.application.analysis();
+  for (auto _ : state) {
+    std::size_t total = 0;
+    for (NodeId i = 0; i < n; ++i) {
+      total += analysis.parallel_set(i).size();
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ParallelSetMaterialized)
+    ->RangeMultiplier(2)
+    ->Range(16, 1024)
+    ->Complexity();
+
+void BM_ParallelSetBitsetWalk(benchmark::State& state) {
+  // Hot path: walk ~(reach | coreach) word by word, no allocation.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Scenario sc = generate_scenario_at(sized_config(n, 3), 1);
+  const GraphAnalysis& analysis = sc.application.analysis();
+  for (auto _ : state) {
+    std::size_t total = 0;
+    for (NodeId i = 0; i < n; ++i) {
+      analysis.for_each_parallel(i, [&](NodeId) { ++total; });
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ParallelSetBitsetWalk)
+    ->RangeMultiplier(2)
+    ->Range(16, 1024)
+    ->Complexity();
+
+void BM_AdaptLWeightsCached(benchmark::State& state) {
+  // Per-call weights cost with a warm analysis cache and a reused workspace
+  // (the per-scenario cost inside a sweep after this PR).
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Scenario sc = generate_scenario_at(sized_config(n, 3), 1);
+  const auto est = estimate_wcets(sc.application, WcetEstimation::kAverage);
+  const DeadlineMetric metric(MetricKind::kAdaptL);
+  sc.application.analysis();
+  MetricWorkspace workspace;
+  std::vector<double> out;
+  for (auto _ : state) {
+    metric.weights_into(sc.application, est, 3, nullptr, out, &workspace);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_AdaptLWeightsCached)
+    ->RangeMultiplier(2)
+    ->Range(16, 1024)
+    ->Complexity();
+
 void BM_EdfScheduler(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const auto m = static_cast<std::size_t>(state.range(1));

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Performance benchmark driver: Release build + the slicing hot-path harness.
+# Writes BENCH_slicing.json at the repo root (see docs/PERFORMANCE.md for how
+# to read it). Extra arguments are forwarded to perf_slicing, e.g.
+#   scripts/bench.sh --smoke
+#   scripts/bench.sh --processors 8 --min-ms 500
+set -euo pipefail
+
+root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$root"
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+echo "==> configure [default]"
+cmake --preset default
+echo "==> build [perf_slicing]"
+cmake --build --preset default -j "$jobs" --target perf_slicing
+echo "==> run"
+./build/bench/perf_slicing --json "$root/BENCH_slicing.json" "$@"

@@ -17,4 +17,9 @@ for preset in default sanitize; do
   ctest --preset "$preset" -j "$jobs"
 done
 
+# Smoke pass of the perf harness (tiny sizes): catches regressions in the
+# bench itself and asserts the cached hot path builds zero analyses.
+echo "==> bench smoke [perf_slicing]"
+./build/bench/perf_slicing --smoke
+
 echo "All checks passed."

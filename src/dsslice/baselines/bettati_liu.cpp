@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "dsslice/analysis/graph_analysis.hpp"
 #include "dsslice/graph/algorithms.hpp"
 #include "dsslice/util/check.hpp"
 
@@ -12,8 +13,8 @@ DeadlineAssignment distribute_bettati_liu(const Application& app,
   const TaskGraph& g = app.graph();
   const std::size_t n = g.node_count();
   DSSLICE_REQUIRE(est_wcet.size() == n, "estimate vector size mismatch");
-  const auto topo = topological_order(g);
-  DSSLICE_REQUIRE(topo.has_value(), "requires an acyclic task graph");
+  const GraphAnalysis& analysis = app.analysis();
+  const std::span<const NodeId> topo = analysis.topological_order();
 
   // Common origin: the earliest input arrival.
   Time origin = kTimeInfinity;
@@ -24,7 +25,7 @@ DeadlineAssignment distribute_bettati_liu(const Application& app,
 
   // Governing E-T-E deadline per task: min over reachable outputs.
   std::vector<Time> governing(n, kTimeInfinity);
-  for (auto it = topo->rbegin(); it != topo->rend(); ++it) {
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
     const NodeId v = *it;
     if (g.is_output(v)) {
       DSSLICE_REQUIRE(app.has_ete_deadline(v),
@@ -32,7 +33,7 @@ DeadlineAssignment distribute_bettati_liu(const Application& app,
       governing[v] = app.ete_deadline(v);
       continue;
     }
-    for (const NodeId w : g.successors(v)) {
+    for (const NodeId w : analysis.successors(v)) {
       governing[v] = std::min(governing[v], governing[w]);
     }
   }

@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "dsslice/analysis/graph_analysis.hpp"
 #include "dsslice/baselines/kao_garcia_molina.hpp"
-#include "dsslice/graph/algorithms.hpp"
 #include "dsslice/sched/edf_list_scheduler.hpp"
 #include "dsslice/util/check.hpp"
 
@@ -24,10 +24,10 @@ DeadlineAssignment distribute_iterative(const Application& app,
                   "tighten_keep must be in [0, 1]");
 
   // Governing E-T-E deadline per task: the hard ceiling for relaxation.
-  const auto topo = topological_order(g);
-  DSSLICE_REQUIRE(topo.has_value(), "requires an acyclic task graph");
+  const GraphAnalysis& analysis = app.analysis();
+  const std::span<const NodeId> topo = analysis.topological_order();
   std::vector<Time> governing(n, kTimeInfinity);
-  for (auto it = topo->rbegin(); it != topo->rend(); ++it) {
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
     const NodeId v = *it;
     if (g.is_output(v)) {
       DSSLICE_REQUIRE(app.has_ete_deadline(v),
@@ -35,7 +35,7 @@ DeadlineAssignment distribute_iterative(const Application& app,
       governing[v] = app.ete_deadline(v);
       continue;
     }
-    for (const NodeId w : g.successors(v)) {
+    for (const NodeId w : analysis.successors(v)) {
       governing[v] = std::min(governing[v], governing[w]);
     }
   }

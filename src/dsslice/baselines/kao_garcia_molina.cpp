@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "dsslice/graph/algorithms.hpp"
+#include "dsslice/analysis/graph_analysis.hpp"
 #include "dsslice/util/check.hpp"
 
 namespace dsslice {
@@ -27,14 +27,14 @@ DeadlineAssignment distribute_kao(const Application& app,
   const TaskGraph& g = app.graph();
   const std::size_t n = g.node_count();
   DSSLICE_REQUIRE(est_wcet.size() == n, "estimate vector size mismatch");
-  const auto topo = topological_order(g);
-  DSSLICE_REQUIRE(topo.has_value(), "requires an acyclic task graph");
+  const GraphAnalysis& analysis = app.analysis();
+  const std::span<const NodeId> topo = analysis.topological_order();
 
   // Forward pass: communication-free earliest start EST_i.
   std::vector<Time> est(n, kTimeZero);
-  for (const NodeId v : *topo) {
+  for (const NodeId v : topo) {
     Time bound = g.is_input(v) ? app.input_arrival(v) : kTimeZero;
-    for (const NodeId u : g.predecessors(v)) {
+    for (const NodeId u : analysis.predecessors(v)) {
       bound = std::max(bound, est[u] + est_wcet[u]);
     }
     est[v] = bound;
@@ -45,7 +45,7 @@ DeadlineAssignment distribute_kao(const Application& app,
   std::vector<Time> governing(n, kTimeInfinity);
   std::vector<double> level(n, 0.0);
   std::vector<std::size_t> hops(n, 1);
-  for (auto it = topo->rbegin(); it != topo->rend(); ++it) {
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
     const NodeId v = *it;
     if (g.is_output(v)) {
       DSSLICE_REQUIRE(app.has_ete_deadline(v),
@@ -57,7 +57,7 @@ DeadlineAssignment distribute_kao(const Application& app,
     }
     double best_level = 0.0;
     std::size_t best_hops = 0;
-    for (const NodeId w : g.successors(v)) {
+    for (const NodeId w : analysis.successors(v)) {
       governing[v] = std::min(governing[v], governing[w]);
       if (level[w] > best_level) {
         best_level = level[w];

@@ -12,20 +12,9 @@ namespace {
 
 constexpr NodeId kNoPrev = std::numeric_limits<NodeId>::max();
 
-/// Best partial path ending at a node during the forward DP.
-struct Entry {
-  Time start = kTimeZero;     // arrival anchor of the path's first task
-  double sum_weight = 0.0;    // Σ weights along the partial path
-  std::uint32_t count = 0;    // number of tasks on the partial path
-  NodeId prev = kNoPrev;      // predecessor on the path (kNoPrev = start)
-  double score = std::numeric_limits<double>::infinity();
-  bool valid = false;
-};
+}  // namespace
 
-/// Deterministic candidate ranking: lower projected ratio wins; ties prefer
-/// the heavier path (more critical per intuition), then the smaller
-/// predecessor id for reproducibility.
-bool better(const Entry& a, const Entry& b) {
+bool CriticalPathSearch::better(const Entry& a, const Entry& b) {
   if (!b.valid) {
     return a.valid;
   }
@@ -41,41 +30,40 @@ bool better(const Entry& a, const Entry& b) {
   return a.prev < b.prev;
 }
 
-}  // namespace
-
-std::optional<CriticalPath> find_critical_path(
-    const TaskGraph& g, std::span<const NodeId> topo_order,
-    const AnchorState& anchors, std::span<const double> weights,
-    const DeadlineMetric& metric) {
-  const std::size_t n = g.node_count();
-  DSSLICE_REQUIRE(topo_order.size() == n, "topological order size mismatch");
+bool CriticalPathSearch::find(const GraphAnalysis& analysis,
+                              const AnchorState& anchors,
+                              std::span<const double> weights,
+                              const DeadlineMetric& metric,
+                              CriticalPath& out) {
+  const std::size_t n = analysis.node_count();
   DSSLICE_REQUIRE(weights.size() == n, "weight vector size mismatch");
   if (anchors.all_assigned()) {
-    return std::nullopt;
+    return false;
   }
+  const auto topo = analysis.topological_order();
 
   // Backward pass: L(v) = latest-finish bound of unassigned v.
-  std::vector<Time> latest(n, kTimeInfinity);
-  for (auto it = topo_order.rbegin(); it != topo_order.rend(); ++it) {
+  latest_.assign(n, kTimeInfinity);
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
     const NodeId v = *it;
     if (anchors.assigned(v)) {
       continue;
     }
     Time l = anchors.deadline_anchor(v);
-    for (const NodeId w : g.successors(v)) {
+    for (const NodeId w : analysis.successors(v)) {
       if (!anchors.assigned(w)) {
-        l = std::min(l, latest[w] - weights[w]);
+        l = std::min(l, latest_[w] - weights[w]);
       }
     }
-    latest[v] = l;
+    latest_[v] = l;
   }
 
   // Forward pass: best partial path per node, best complete path overall.
-  std::vector<Entry> dp(n);
+  dp_.assign(n, Entry{});
   NodeId best_sink = kNoPrev;
   Entry best_sink_entry;
 
-  for (const NodeId v : topo_order) {
+  for (const NodeId v : topo) {
     if (anchors.assigned(v)) {
       continue;
     }
@@ -88,37 +76,52 @@ std::optional<CriticalPath> find_critical_path(
       cand.sum_weight = sum_weight;
       cand.count = count;
       cand.prev = prev;
-      cand.score = metric.path_value(latest[v] - start, sum_weight, count);
+      cand.score = metric.path_value(latest_[v] - start, sum_weight, count);
       cand.valid = true;
       if (better(cand, best)) {
         best = cand;
       }
     };
 
-    if (anchors.is_pi_source(g, v)) {
+    const auto preds = analysis.predecessors(v);
+    bool pi_source = true;
+    for (const NodeId u : preds) {
+      if (!anchors.assigned(u)) {
+        pi_source = false;
+        break;
+      }
+    }
+    if (pi_source) {
       DSSLICE_CHECK(anchors.has_arrival_anchor(v),
                     "Π-source without an arrival anchor");
       consider(anchors.arrival_anchor(v), weights[v], 1, kNoPrev);
     }
-    for (const NodeId u : g.predecessors(v)) {
+    for (const NodeId u : preds) {
       if (!anchors.assigned(u)) {
-        DSSLICE_CHECK(dp[u].valid, "unassigned predecessor without DP entry");
-        consider(dp[u].start, dp[u].sum_weight + weights[v],
-                 dp[u].count + 1, u);
+        DSSLICE_CHECK(dp_[u].valid, "unassigned predecessor without DP entry");
+        consider(dp_[u].start, dp_[u].sum_weight + weights[v],
+                 dp_[u].count + 1, u);
       }
     }
     DSSLICE_CHECK(best.valid, "unassigned node produced no path candidate");
-    dp[v] = best;
+    dp_[v] = best;
 
-    if (anchors.is_pi_sink(g, v)) {
-      // latest[v] is exactly the deadline anchor here, so dp[v].score is the
-      // true metric value of the completed path.
+    bool pi_sink = true;
+    for (const NodeId w : analysis.successors(v)) {
+      if (!anchors.assigned(w)) {
+        pi_sink = false;
+        break;
+      }
+    }
+    if (pi_sink) {
+      // latest_[v] is exactly the deadline anchor here, so dp_[v].score is
+      // the true metric value of the completed path.
       DSSLICE_CHECK(anchors.has_deadline_anchor(v),
                     "Π-sink without a deadline anchor");
-      if (best_sink == kNoPrev || dp[v].score < best_sink_entry.score ||
-          (dp[v].score == best_sink_entry.score && v < best_sink)) {
+      if (best_sink == kNoPrev || dp_[v].score < best_sink_entry.score ||
+          (dp_[v].score == best_sink_entry.score && v < best_sink)) {
         best_sink = v;
-        best_sink_entry = dp[v];
+        best_sink_entry = dp_[v];
       }
     }
   }
@@ -126,17 +129,32 @@ std::optional<CriticalPath> find_critical_path(
   DSSLICE_CHECK(best_sink != kNoPrev,
                 "remaining tasks exist but no Π-sink was found");
 
-  CriticalPath path;
-  path.window_start = best_sink_entry.start;
-  path.window_end = anchors.deadline_anchor(best_sink);
-  path.metric_value = best_sink_entry.score;
+  out.window_start = best_sink_entry.start;
+  out.window_end = anchors.deadline_anchor(best_sink);
+  out.metric_value = best_sink_entry.score;
   // Reconstruct the chain backwards through the DP links.
-  for (NodeId v = best_sink; v != kNoPrev; v = dp[v].prev) {
-    path.nodes.push_back(v);
+  out.nodes.clear();
+  for (NodeId v = best_sink; v != kNoPrev; v = dp_[v].prev) {
+    out.nodes.push_back(v);
   }
-  std::reverse(path.nodes.begin(), path.nodes.end());
-  DSSLICE_CHECK(path.nodes.size() == best_sink_entry.count,
+  std::reverse(out.nodes.begin(), out.nodes.end());
+  DSSLICE_CHECK(out.nodes.size() == best_sink_entry.count,
                 "path reconstruction length mismatch");
+  return true;
+}
+
+std::optional<CriticalPath> find_critical_path(
+    const TaskGraph& g, std::span<const NodeId> topo_order,
+    const AnchorState& anchors, std::span<const double> weights,
+    const DeadlineMetric& metric) {
+  DSSLICE_REQUIRE(topo_order.size() == g.node_count(),
+                  "topological order size mismatch");
+  const GraphAnalysis analysis(g);
+  CriticalPathSearch search;
+  CriticalPath path;
+  if (!search.find(analysis, anchors, weights, metric, path)) {
+    return std::nullopt;
+  }
   return path;
 }
 

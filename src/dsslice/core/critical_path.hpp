@@ -19,12 +19,20 @@
 // The returned path runs Π-source → Π-sink, so every remaining task is
 // reachable through some returned path across iterations, and the spine
 // windows [start, end] are always anchored at both ends.
+//
+// CriticalPathSearch owns the DP buffers, so the slicing main loop reuses
+// them across its n passes instead of reallocating; adjacency and the
+// topological order come from the shared GraphAnalysis (no per-call bounds
+// checks, no re-sort).
 #pragma once
 
+#include <cstdint>
+#include <limits>
 #include <optional>
 #include <span>
 #include <vector>
 
+#include "dsslice/analysis/graph_analysis.hpp"
 #include "dsslice/core/anchors.hpp"
 #include "dsslice/core/metrics.hpp"
 #include "dsslice/graph/task_graph.hpp"
@@ -45,10 +53,42 @@ struct CriticalPath {
   Time window_length() const { return window_end - window_start; }
 };
 
+/// Reusable critical-path search. One instance per slicing run (or per
+/// worker); find() overwrites the internal DP arrays and the output path's
+/// node storage, so steady-state searches are allocation-free.
+class CriticalPathSearch {
+ public:
+  /// Finds the most critical remaining path into `out` (reusing its node
+  /// vector). Returns false when no unassigned task remains.
+  bool find(const GraphAnalysis& analysis, const AnchorState& anchors,
+            std::span<const double> weights, const DeadlineMetric& metric,
+            CriticalPath& out);
+
+ private:
+  /// Best partial path ending at a node during the forward DP.
+  struct Entry {
+    Time start = kTimeZero;   // arrival anchor of the path's first task
+    double sum_weight = 0.0;  // Σ weights along the partial path
+    std::uint32_t count = 0;  // number of tasks on the partial path
+    NodeId prev = 0;          // predecessor on the path
+    double score = std::numeric_limits<double>::infinity();
+    bool valid = false;
+  };
+
+  /// Deterministic candidate ranking: lower projected ratio wins; ties
+  /// prefer the heavier path, then the smaller predecessor id.
+  static bool better(const Entry& a, const Entry& b);
+
+  std::vector<Time> latest_;
+  std::vector<Entry> dp_;
+};
+
 /// Finds the most critical remaining path, or nullopt when no unassigned
-/// task remains. `topo_order` is the full-graph topological order (computed
-/// once by the caller and reused across iterations); `weights` are the
-/// metric weights (c̄ or ĉ) for all tasks.
+/// task remains. `topo_order` is the full-graph topological order; `weights`
+/// are the metric weights (c̄ or ĉ) for all tasks. One-shot convenience
+/// wrapper over CriticalPathSearch — it rebuilds a GraphAnalysis per call,
+/// so hot loops should hold a CriticalPathSearch and a cached analysis
+/// instead.
 std::optional<CriticalPath> find_critical_path(
     const TaskGraph& g, std::span<const NodeId> topo_order,
     const AnchorState& anchors, std::span<const double> weights,

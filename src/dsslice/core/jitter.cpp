@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "dsslice/analysis/graph_analysis.hpp"
 #include "dsslice/core/wcet_estimate.hpp"
-#include "dsslice/graph/algorithms.hpp"
 #include "dsslice/util/check.hpp"
 
 namespace dsslice {
@@ -28,17 +28,16 @@ std::vector<JitterBound> precedence_release_jitter(const Application& app,
                                                    const Platform& platform) {
   const TaskGraph& g = app.graph();
   const std::size_t n = g.node_count();
-  const auto topo = topological_order(g);
-  DSSLICE_REQUIRE(topo.has_value(), "jitter analysis requires a DAG");
+  const GraphAnalysis& analysis = app.analysis();
 
   const auto est_min = estimate_wcets(app, WcetEstimation::kMin);
   const auto est_max = estimate_wcets(app, WcetEstimation::kMax);
 
   std::vector<JitterBound> bounds(n);
-  for (const NodeId v : *topo) {
+  for (const NodeId v : analysis.topological_order()) {
     Time earliest = g.is_input(v) ? app.input_arrival(v) : kTimeZero;
     Time latest = earliest;
-    for (const NodeId u : g.predecessors(v)) {
+    for (const NodeId u : analysis.predecessors(v)) {
       // Best case: predecessor released earliest, ran its fastest class,
       // and is co-located (zero communication).
       earliest = std::max(earliest,

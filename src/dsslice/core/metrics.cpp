@@ -3,11 +3,49 @@
 #include <array>
 #include <limits>
 
-#include "dsslice/graph/algorithms.hpp"
-#include "dsslice/graph/closure.hpp"
+#include "dsslice/analysis/graph_analysis.hpp"
 #include "dsslice/util/check.hpp"
 
 namespace dsslice {
+
+namespace {
+
+/// Average task-graph parallelism ξ = Σ c̄ / critical-path length (Eq. 7),
+/// computed over the cached topological order. Arithmetic is identical to
+/// graph::average_parallelism (same per-node max/add sequence), but no
+/// topological sort is rerun and the level buffer is reusable.
+double average_parallelism_cached(const GraphAnalysis& a,
+                                  std::span<const double> est_wcet,
+                                  std::vector<double>& level) {
+  const std::size_t n = a.node_count();
+  if (n == 0) {
+    return 0.0;
+  }
+  level.assign(n, 0.0);
+  const auto topo = a.topological_order();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const NodeId v = *it;
+    double best_succ = 0.0;
+    for (const NodeId w : a.successors(v)) {
+      best_succ = std::max(best_succ, level[w]);
+    }
+    level[v] = est_wcet[v] + best_succ;
+  }
+  double cp = level[0];
+  for (const double l : level) {
+    cp = std::max(cp, l);
+  }
+  if (cp <= 0.0) {
+    return 0.0;
+  }
+  double total = 0.0;
+  for (const double c : est_wcet) {
+    total += c;
+  }
+  return total / cp;
+}
+
+}  // namespace
 
 std::string to_string(MetricKind kind) {
   switch (kind) {
@@ -60,121 +98,132 @@ double DeadlineMetric::effective_threshold(
 std::vector<double> DeadlineMetric::weights(
     const Application& app, std::span<const double> est_wcet,
     std::size_t processor_count) const {
-  DSSLICE_REQUIRE(est_wcet.size() == app.task_count(),
-                  "estimate vector size mismatch");
-  DSSLICE_REQUIRE(processor_count > 0, "need at least one processor");
-  std::vector<double> w(est_wcet.begin(), est_wcet.end());
-  if (!is_adaptive()) {
-    return w;  // PURE and NORM use c̄ directly.
-  }
-
-  const double threshold = effective_threshold(est_wcet);
-  const double m = static_cast<double>(processor_count);
-
-  if (kind_ == MetricKind::kAdaptG) {
-    // ĉ_i = c̄_i (1 + k_G ξ / m) for c̄_i ≥ c_thres (Eq. 6).
-    const double xi = average_parallelism(app.graph(), est_wcet);
-    const double surplus = 1.0 + params_.k_global * xi / m;
-    for (std::size_t i = 0; i < w.size(); ++i) {
-      if (est_wcet[i] >= threshold) {
-        w[i] = est_wcet[i] * surplus;
-      }
-    }
-    return w;
-  }
-
-  // ADAPT-L: ĉ_i = c̄_i (1 + k_L |Ψ_i| / m) for c̄_i ≥ c_thres (Eq. 8).
-  const TransitiveClosure closure(app.graph());
-
-  // Optional temporal filter (see MetricParams::temporal_parallel_sets):
-  // static execution bounds per task — earliest start via a forward pass
-  // from input arrivals, latest finish via a backward pass from E-T-E
-  // deadlines, both over the estimated WCETs.
-  std::vector<Time> est_start;
-  std::vector<Time> lft_finish;
-  if (params_.temporal_parallel_sets) {
-    const TaskGraph& g = app.graph();
-    const auto topo = topological_order(g);
-    DSSLICE_CHECK(topo.has_value(), "weights require an acyclic graph");
-    est_start.assign(w.size(), kTimeZero);
-    lft_finish.assign(w.size(), kTimeInfinity);
-    for (const NodeId v : *topo) {
-      Time start = g.is_input(v) ? app.input_arrival(v) : kTimeZero;
-      for (const NodeId u : g.predecessors(v)) {
-        start = std::max(start, est_start[u] + est_wcet[u]);
-      }
-      est_start[v] = start;
-    }
-    for (auto it = topo->rbegin(); it != topo->rend(); ++it) {
-      const NodeId v = *it;
-      Time finish = g.is_output(v) && app.has_ete_deadline(v)
-                        ? app.ete_deadline(v)
-                        : kTimeInfinity;
-      for (const NodeId s : g.successors(v)) {
-        finish = std::min(finish, lft_finish[s] - est_wcet[s]);
-      }
-      lft_finish[v] = finish;
-    }
-  }
-
-  for (NodeId i = 0; i < w.size(); ++i) {
-    if (est_wcet[i] < threshold) {
-      continue;
-    }
-    double psi;
-    if (params_.temporal_parallel_sets) {
-      std::size_t count = 0;
-      for (const NodeId j : closure.parallel_set(i)) {
-        // Rivals only when the static frames can overlap.
-        if (est_start[j] < lft_finish[i] && est_start[i] < lft_finish[j]) {
-          ++count;
-        }
-      }
-      psi = static_cast<double>(count);
-    } else {
-      psi = static_cast<double>(closure.parallel_set_size(i));
-    }
-    w[i] = est_wcet[i] * (1.0 + params_.k_local * psi / m);
-  }
+  std::vector<double> w;
+  weights_into(app, est_wcet, processor_count, nullptr, w);
   return w;
 }
 
 std::vector<double> DeadlineMetric::weights(
     const Application& app, std::span<const double> est_wcet,
     std::size_t processor_count, const ResourceModel* resources) const {
-  if (resources == nullptr || kind_ != MetricKind::kAdaptL) {
-    return weights(app, est_wcet, processor_count);
-  }
+  std::vector<double> w;
+  weights_into(app, est_wcet, processor_count, resources, w);
+  return w;
+}
+
+void DeadlineMetric::weights_into(const Application& app,
+                                  std::span<const double> est_wcet,
+                                  std::size_t processor_count,
+                                  const ResourceModel* resources,
+                                  std::vector<double>& out,
+                                  MetricWorkspace* workspace) const {
   DSSLICE_REQUIRE(est_wcet.size() == app.task_count(),
                   "estimate vector size mismatch");
-  DSSLICE_REQUIRE(resources->task_count() == app.task_count(),
-                  "resource model size mismatch");
   DSSLICE_REQUIRE(processor_count > 0, "need at least one processor");
+  out.assign(est_wcet.begin(), est_wcet.end());
+  if (!is_adaptive()) {
+    return;  // PURE and NORM use c̄ directly.
+  }
 
   const double threshold = effective_threshold(est_wcet);
   const double m = static_cast<double>(processor_count);
-  const TransitiveClosure closure(app.graph());
+  const GraphAnalysis& analysis = app.analysis();
+  MetricWorkspace local;
+  MetricWorkspace& ws = workspace != nullptr ? *workspace : local;
 
-  std::vector<double> w(est_wcet.begin(), est_wcet.end());
-  for (NodeId i = 0; i < w.size(); ++i) {
+  if (kind_ == MetricKind::kAdaptG) {
+    // ĉ_i = c̄_i (1 + k_G ξ / m) for c̄_i ≥ c_thres (Eq. 6).
+    const double xi = average_parallelism_cached(analysis, est_wcet, ws.level);
+    const double surplus = 1.0 + params_.k_global * xi / m;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      if (est_wcet[i] >= threshold) {
+        out[i] = est_wcet[i] * surplus;
+      }
+    }
+    return;
+  }
+
+  if (resources != nullptr) {
+    // Resource-aware ADAPT-L (ADAPT-LR extension, §7.3): parallel tasks
+    // sharing an exclusive resource serialize one-at-a-time regardless of
+    // the processor count, so they contribute at full weight.
+    DSSLICE_REQUIRE(resources->task_count() == app.task_count(),
+                    "resource model size mismatch");
+    for (NodeId i = 0; i < out.size(); ++i) {
+      if (est_wcet[i] < threshold) {
+        continue;
+      }
+      std::size_t resource_rivals = 0;
+      analysis.for_each_parallel(i, [&](NodeId j) {
+        if (resources->conflicts(i, j)) {
+          ++resource_rivals;
+        }
+      });
+      const double psi =
+          static_cast<double>(analysis.parallel_set_size(i));
+      out[i] = est_wcet[i] *
+               (1.0 + params_.k_local * psi / m +
+                params_.k_resource * static_cast<double>(resource_rivals));
+    }
+    return;
+  }
+
+  // ADAPT-L: ĉ_i = c̄_i (1 + k_L |Ψ_i| / m) for c̄_i ≥ c_thres (Eq. 8).
+  //
+  // Optional temporal filter (see MetricParams::temporal_parallel_sets):
+  // static execution bounds per task — earliest start via a forward pass
+  // from input arrivals, latest finish via a backward pass from E-T-E
+  // deadlines, both over the estimated WCETs and the cached topological
+  // order.
+  if (params_.temporal_parallel_sets) {
+    const auto topo = analysis.topological_order();
+    std::vector<Time>& est_start = ws.est_start;
+    std::vector<Time>& lft_finish = ws.lft_finish;
+    est_start.assign(out.size(), kTimeZero);
+    lft_finish.assign(out.size(), kTimeInfinity);
+    for (const NodeId v : topo) {
+      const auto preds = analysis.predecessors(v);
+      Time start = preds.empty() ? app.input_arrival(v) : kTimeZero;
+      for (const NodeId u : preds) {
+        start = std::max(start, est_start[u] + est_wcet[u]);
+      }
+      est_start[v] = start;
+    }
+    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+      const NodeId v = *it;
+      const auto succs = analysis.successors(v);
+      Time finish = succs.empty() && app.has_ete_deadline(v)
+                        ? app.ete_deadline(v)
+                        : kTimeInfinity;
+      for (const NodeId s : succs) {
+        finish = std::min(finish, lft_finish[s] - est_wcet[s]);
+      }
+      lft_finish[v] = finish;
+    }
+    for (NodeId i = 0; i < out.size(); ++i) {
+      if (est_wcet[i] < threshold) {
+        continue;
+      }
+      std::size_t count = 0;
+      analysis.for_each_parallel(i, [&](NodeId j) {
+        // Rivals only when the static frames can overlap.
+        if (est_start[j] < lft_finish[i] && est_start[i] < lft_finish[j]) {
+          ++count;
+        }
+      });
+      const double psi = static_cast<double>(count);
+      out[i] = est_wcet[i] * (1.0 + params_.k_local * psi / m);
+    }
+    return;
+  }
+
+  for (NodeId i = 0; i < out.size(); ++i) {
     if (est_wcet[i] < threshold) {
       continue;
     }
-    const std::vector<NodeId> parallel = closure.parallel_set(i);
-    std::size_t resource_rivals = 0;
-    for (const NodeId j : parallel) {
-      if (resources->conflicts(i, j)) {
-        ++resource_rivals;
-      }
-    }
-    const double psi = static_cast<double>(parallel.size());
-    // Resource rivals serialize one-at-a-time regardless of the processor
-    // count, so they contribute at full weight (ADAPT-LR extension, §7.3).
-    w[i] = est_wcet[i] *
-           (1.0 + params_.k_local * psi / m +
-            params_.k_resource * static_cast<double>(resource_rivals));
+    const double psi = static_cast<double>(analysis.parallel_set_size(i));
+    out[i] = est_wcet[i] * (1.0 + params_.k_local * psi / m);
   }
-  return w;
 }
 
 double DeadlineMetric::path_value(Time window, double sum_weight,
@@ -195,6 +244,14 @@ double DeadlineMetric::path_value(Time window, double sum_weight,
 
 std::vector<double> DeadlineMetric::slices(
     Time window, std::span<const double> path_weights) const {
+  std::vector<double> d;
+  slices_into(window, path_weights, d);
+  return d;
+}
+
+void DeadlineMetric::slices_into(Time window,
+                                 std::span<const double> path_weights,
+                                 std::vector<double>& out) const {
   DSSLICE_REQUIRE(!path_weights.empty(), "cannot slice an empty path");
   const std::size_t n = path_weights.size();
   double sum = 0.0;
@@ -202,33 +259,42 @@ std::vector<double> DeadlineMetric::slices(
     DSSLICE_REQUIRE(w >= 0.0, "negative path weight");
     sum += w;
   }
-  std::vector<double> d(n);
+  out.resize(n);
   if (kind_ == MetricKind::kNorm && sum > 0.0) {
     // d_i = c̄_i (1 + R) with R = (window - sum)/sum, i.e. d_i ∝ weight.
     const double scale = window / sum;
     for (std::size_t i = 0; i < n; ++i) {
-      d[i] = path_weights[i] * scale;
+      out[i] = path_weights[i] * scale;
     }
-    return d;
+    return;
   }
   // Equal-share laxity: d_i = w_i + (window - sum)/n (Eq. 5; also Eqs. 3/6/8
   // composition for the adaptive metrics, and the degenerate NORM fallback
   // when all weights are zero).
   const double share = (window - sum) / static_cast<double>(n);
   for (std::size_t i = 0; i < n; ++i) {
-    d[i] = path_weights[i] + share;
+    out[i] = path_weights[i] + share;
   }
-  return d;
 }
 
 std::vector<double> DeadlineMetric::adaptive_slices(
     Time window, std::span<const double> path_weights,
     std::span<const double> path_est) const {
+  std::vector<double> d;
+  adaptive_slices_into(window, path_weights, path_est, d);
+  return d;
+}
+
+void DeadlineMetric::adaptive_slices_into(Time window,
+                                          std::span<const double> path_weights,
+                                          std::span<const double> path_est,
+                                          std::vector<double>& out) const {
   DSSLICE_REQUIRE(path_weights.size() == path_est.size(),
                   "weight / estimate length mismatch");
   DSSLICE_REQUIRE(!path_weights.empty(), "cannot slice an empty path");
   if (!is_adaptive()) {
-    return slices(window, path_weights);
+    slices_into(window, path_weights, out);
+    return;
   }
   const std::size_t n = path_weights.size();
   double sum_est = 0.0;    // Σ c̄ along the path
@@ -240,15 +306,15 @@ std::vector<double> DeadlineMetric::adaptive_slices(
     sum_extra += path_weights[i] - path_est[i];
   }
   const double surplus = window - sum_est;  // true laxity of the window
-  std::vector<double> d(n);
+  out.resize(n);
   if (surplus >= sum_extra) {
     // Enough laxity to honour every virtual execution time: exactly the
     // paper's d_i = ĉ_i + (window − Σĉ)/n.
     const double share = (surplus - sum_extra) / static_cast<double>(n);
     for (std::size_t i = 0; i < n; ++i) {
-      d[i] = path_weights[i] + share;
+      out[i] = path_weights[i] + share;
     }
-    return d;
+    return;
   }
   if (surplus > 0.0 && sum_extra > 0.0) {
     // Partial surplus: scale the inflation so exactly the available laxity
@@ -257,17 +323,16 @@ std::vector<double> DeadlineMetric::adaptive_slices(
     // execution time.
     const double scale = surplus / sum_extra;
     for (std::size_t i = 0; i < n; ++i) {
-      d[i] = path_est[i] + (path_weights[i] - path_est[i]) * scale;
+      out[i] = path_est[i] + (path_weights[i] - path_est[i]) * scale;
     }
-    return d;
+    return;
   }
   // No surplus at all: the adaptive metrics degenerate to PURE on the real
   // estimates (the window is infeasible; distribute the shortfall equally).
   const double share = surplus / static_cast<double>(n);
   for (std::size_t i = 0; i < n; ++i) {
-    d[i] = path_est[i] + share;
+    out[i] = path_est[i] + share;
   }
-  return d;
 }
 
 }  // namespace dsslice

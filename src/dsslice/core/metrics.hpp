@@ -63,6 +63,15 @@ struct MetricParams {
   bool temporal_parallel_sets = false;
 };
 
+/// Reusable buffers for DeadlineMetric::weights_into. Keeping one per worker
+/// (or per slicing run) makes repeated weight computations allocation-free;
+/// contents are unspecified between calls.
+struct MetricWorkspace {
+  std::vector<double> level;     ///< static levels (ADAPT-G ξ computation)
+  std::vector<Time> est_start;   ///< EST bounds (temporal parallel sets)
+  std::vector<Time> lft_finish;  ///< LFT bounds (temporal parallel sets)
+};
+
 class DeadlineMetric {
  public:
   explicit DeadlineMetric(MetricKind kind, MetricParams params = {});
@@ -75,9 +84,12 @@ class DeadlineMetric {
   bool is_adaptive() const;
 
   /// Per-task weights for one slicing run. `est_wcet` is c̄;
-  /// `processor_count` is the m in the surplus factors. For ADAPT-L this
-  /// builds the transitive closure of the application graph (O(n³) bound,
-  /// §4.5); for the other metrics it is O(n).
+  /// `processor_count` is the m in the surplus factors. ADAPT-L reads the
+  /// parallel sets from the application's memoized GraphAnalysis (built once
+  /// per graph, well inside the paper's O(n³) budget, §4.5); with a warm
+  /// cache every metric's weights are O(n) except the temporal /
+  /// resource-aware ADAPT-L variants, which scan the Ψ_i bitset rows
+  /// (O(n²/64)).
   std::vector<double> weights(const Application& app,
                               std::span<const double> est_wcet,
                               std::size_t processor_count) const;
@@ -92,6 +104,17 @@ class DeadlineMetric {
                               std::span<const double> est_wcet,
                               std::size_t processor_count,
                               const ResourceModel* resources) const;
+
+  /// Allocation-free core of both weights() overloads: writes ĉ into `out`
+  /// (resized to the task count) and scratch data into `workspace` when
+  /// given. Consumes the application's memoized GraphAnalysis — no
+  /// transitive closure or topological order is rebuilt, and the ADAPT-L
+  /// parallel sets are walked directly over the reach/co-reach bitset words
+  /// instead of being materialized. Results are bit-identical to weights().
+  void weights_into(const Application& app, std::span<const double> est_wcet,
+                    std::size_t processor_count,
+                    const ResourceModel* resources, std::vector<double>& out,
+                    MetricWorkspace* workspace = nullptr) const;
 
   /// Laxity-ratio value R of a path with window length `window`, total
   /// weight `sum_weight`, and `count` tasks. Lower = more critical. Handles
@@ -118,6 +141,15 @@ class DeadlineMetric {
   std::vector<double> adaptive_slices(Time window,
                                       std::span<const double> path_weights,
                                       std::span<const double> path_est) const;
+
+  /// Allocation-free variants of slices() / adaptive_slices(): the result is
+  /// written into `out` (resized to the path length). `out` must not alias
+  /// the input spans.
+  void slices_into(Time window, std::span<const double> path_weights,
+                   std::vector<double>& out) const;
+  void adaptive_slices_into(Time window, std::span<const double> path_weights,
+                            std::span<const double> path_est,
+                            std::vector<double>& out) const;
 
   /// The effective execution-time threshold used by weights() for the given
   /// estimates (exposed for tests and diagnostics).

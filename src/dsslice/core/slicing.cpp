@@ -6,7 +6,6 @@
 
 #include "dsslice/core/anchors.hpp"
 #include "dsslice/core/critical_path.hpp"
-#include "dsslice/graph/algorithms.hpp"
 #include "dsslice/util/check.hpp"
 
 namespace dsslice {
@@ -45,22 +44,30 @@ DeadlineAssignment run_slicing(const Application& app,
                                std::size_t processor_count,
                                SlicingStats* stats,
                                const SlicingOptions& options) {
-  const TaskGraph& g = app.graph();
-  const std::size_t n = g.node_count();
+  const std::size_t n = app.task_count();
   DSSLICE_REQUIRE(est_wcet.size() == n, "estimate vector size mismatch");
   DSSLICE_REQUIRE(processor_count > 0, "need at least one processor");
 
-  const auto topo = topological_order(g);
-  DSSLICE_REQUIRE(topo.has_value(), "slicing requires an acyclic task graph");
-  for (const NodeId out : g.output_nodes()) {
-    DSSLICE_REQUIRE(app.has_ete_deadline(out),
-                    "output task without an E-T-E deadline");
+  // The memoized analysis supplies the topological order, CSR adjacency and
+  // (for ADAPT-L) the parallel sets; nothing graph-structural is recomputed
+  // in this run. Requires an acyclic graph, as slicing always has.
+  const GraphAnalysis& analysis = app.analysis();
+  for (NodeId v = 0; v < n; ++v) {
+    if (analysis.successors(v).empty()) {
+      DSSLICE_REQUIRE(app.has_ete_deadline(v),
+                      "output task without an E-T-E deadline");
+    }
   }
+
+  SlicingWorkspace local_ws;
+  SlicingWorkspace& ws =
+      options.workspace != nullptr ? *options.workspace : local_ws;
 
   // Step 1: metric weights (ĉ for adaptive metrics, c̄ otherwise) and the
   // anchor set initialized from the application's temporal requirements.
-  const std::vector<double> weights =
-      metric.weights(app, est_wcet, processor_count, options.resources);
+  metric.weights_into(app, est_wcet, processor_count, options.resources,
+                      ws.weights, &ws.metric);
+  const std::vector<double>& weights = ws.weights;
   AnchorState anchors(app);
 
   DeadlineAssignment assignment;
@@ -74,43 +81,40 @@ DeadlineAssignment run_slicing(const Application& app,
   SlicingStats local_stats;
 
   // Steps 2–14: peel critical paths until no task remains.
-  while (!anchors.all_assigned()) {
-    const auto path =
-        find_critical_path(g, *topo, anchors, weights, metric);
-    DSSLICE_CHECK(path.has_value(),
-                  "tasks remain but no critical path was found");
-
+  CriticalPath& path = ws.path;
+  while (ws.search.find(analysis, anchors, weights, metric, path)) {
     if (local_stats.passes == 0) {
-      local_stats.first_path_metric = path->metric_value;
-      local_stats.first_path_length = path->nodes.size();
+      local_stats.first_path_metric = path.metric_value;
+      local_stats.first_path_length = path.nodes.size();
     }
 
     // Step 4: distribute the path window over its tasks. Slice boundaries
     // are cumulative prefix sums so they tile [start, end] exactly.
-    std::vector<double> path_weights;
-    std::vector<double> path_est;
-    path_weights.reserve(path->nodes.size());
-    path_est.reserve(path->nodes.size());
-    for (const NodeId v : path->nodes) {
-      path_weights.push_back(weights[v]);
-      path_est.push_back(est_wcet[v]);
+    ws.path_weights.clear();
+    ws.path_est.clear();
+    ws.path_weights.reserve(path.nodes.size());
+    ws.path_est.reserve(path.nodes.size());
+    for (const NodeId v : path.nodes) {
+      ws.path_weights.push_back(weights[v]);
+      ws.path_est.push_back(est_wcet[v]);
     }
-    const std::vector<double> d = metric.adaptive_slices(
-        path->window_length(), path_weights, path_est);
+    metric.adaptive_slices_into(path.window_length(), ws.path_weights,
+                                ws.path_est, ws.slices);
+    const std::vector<double>& d = ws.slices;
 
     if (options.trace != nullptr) {
       options.trace->passes.push_back(SlicingPass{
-          path->nodes, path->window_start, path->window_end,
-          path->metric_value, d});
+          path.nodes, path.window_start, path.window_end,
+          path.metric_value, d});
     }
 
-    Time boundary = path->window_start;
-    for (std::size_t k = 0; k < path->nodes.size(); ++k) {
-      const NodeId v = path->nodes[k];
+    Time boundary = path.window_start;
+    for (std::size_t k = 0; k < path.nodes.size(); ++k) {
+      const NodeId v = path.nodes[k];
       const Time lo = boundary;
       boundary += d[k];
       const Time hi =
-          (k + 1 == path->nodes.size()) ? path->window_end : boundary;
+          (k + 1 == path.nodes.size()) ? path.window_end : boundary;
 
       Window w{lo, hi};
       if (options.clamp_to_anchors) {
@@ -130,14 +134,14 @@ DeadlineAssignment run_slicing(const Application& app,
     }
 
     // Steps 5–12: propagate anchors to unassigned neighbours of the spine.
-    for (const NodeId v : path->nodes) {
+    for (const NodeId v : path.nodes) {
       const Window& w = anchors.window(v);
-      for (const NodeId u : g.predecessors(v)) {
+      for (const NodeId u : analysis.predecessors(v)) {
         if (!anchors.assigned(u)) {
           anchors.tighten_deadline(u, w.arrival);
         }
       }
-      for (const NodeId s : g.successors(v)) {
+      for (const NodeId s : analysis.successors(v)) {
         if (!anchors.assigned(s)) {
           anchors.tighten_arrival(s, w.deadline);
         }
@@ -147,6 +151,8 @@ DeadlineAssignment run_slicing(const Application& app,
     ++local_stats.passes;
     DSSLICE_CHECK(local_stats.passes <= n, "slicing failed to converge");
   }
+  DSSLICE_CHECK(anchors.all_assigned(),
+                "tasks remain but no critical path was found");
 
   // Quality diagnostics.
   local_stats.min_laxity = std::numeric_limits<double>::infinity();

@@ -23,6 +23,7 @@
 #include <span>
 #include <vector>
 
+#include "dsslice/core/critical_path.hpp"
 #include "dsslice/core/metrics.hpp"
 #include "dsslice/core/wcet_estimate.hpp"
 #include "dsslice/model/application.hpp"
@@ -66,6 +67,22 @@ struct SlicingTrace {
   std::string to_string(const Application& app) const;
 };
 
+/// Reusable buffers for run_slicing. A run always needs per-pass scratch
+/// (metric weights, the critical-path DP arrays, the per-path weight /
+/// estimate / slice vectors); pointing SlicingOptions::workspace at one of
+/// these keeps every buffer alive across runs, so steady-state slicing
+/// performs no heap allocation beyond the returned DeadlineAssignment.
+/// One workspace per thread — runs sharing a workspace must not overlap.
+struct SlicingWorkspace {
+  std::vector<double> weights;       ///< per-task metric weights ĉ / c̄
+  MetricWorkspace metric;            ///< DeadlineMetric scratch
+  CriticalPathSearch search;         ///< DP arrays of the path search
+  CriticalPath path;                 ///< current spine (nodes reused)
+  std::vector<double> path_weights;  ///< ĉ along the current spine
+  std::vector<double> path_est;      ///< c̄ along the current spine
+  std::vector<double> slices;        ///< relative deadlines of the spine
+};
+
 struct SlicingOptions {
   /// Clamp slice windows into anchors inherited from earlier passes (cross
   /// arcs between spines). Disabling reproduces a "pure boundary" variant
@@ -77,6 +94,10 @@ struct SlicingOptions {
   /// When set, the run records every pass (path, window, metric value,
   /// slices) into this trace. Not owned; cleared at the start of the run.
   SlicingTrace* trace = nullptr;
+  /// When set, the run borrows these buffers instead of allocating its own
+  /// (identical results either way). Not owned; contents are unspecified
+  /// after the run.
+  SlicingWorkspace* workspace = nullptr;
 };
 
 /// Runs the slicing algorithm and returns per-task execution windows.

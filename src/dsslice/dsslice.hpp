@@ -14,6 +14,7 @@
 //   auto result  = EdfListScheduler().run(app, windows, platform);
 #pragma once
 
+#include "dsslice/analysis/graph_analysis.hpp"
 #include "dsslice/baselines/bettati_liu.hpp"
 #include "dsslice/baselines/distribution_registry.hpp"
 #include "dsslice/baselines/iterative_refinement.hpp"

@@ -1,93 +1,46 @@
 #include "dsslice/graph/closure.hpp"
 
-#include <bit>
-
-#include "dsslice/graph/algorithms.hpp"
 #include "dsslice/util/check.hpp"
 
 namespace dsslice {
 
-TransitiveClosure::TransitiveClosure(const TaskGraph& g)
-    : n_(g.node_count()),
-      reach_(n_ * ((n_ + 63) / 64), 0),
-      descendants_(n_, 0),
-      ancestors_(n_, 0) {
-  const auto order = topological_order(g);
-  DSSLICE_REQUIRE(order.has_value(),
-                  "transitive closure requires an acyclic graph");
-  const std::size_t w = words();
-  // Reverse topological sweep: row(u) = union over successors s of
-  // (row(s) | {s}). Successor rows are complete when u is processed.
-  for (auto it = order->rbegin(); it != order->rend(); ++it) {
-    const NodeId u = *it;
-    std::uint64_t* ru = row(u);
-    for (const NodeId s : g.successors(u)) {
-      const std::uint64_t* rs = row(s);
-      for (std::size_t k = 0; k < w; ++k) {
-        ru[k] |= rs[k];
-      }
-      ru[s / 64] |= (std::uint64_t{1} << (s % 64));
-    }
-  }
-  for (NodeId u = 0; u < n_; ++u) {
-    const std::uint64_t* ru = row(u);
-    std::size_t count = 0;
-    for (std::size_t k = 0; k < w; ++k) {
-      count += static_cast<std::size_t>(std::popcount(ru[k]));
-    }
-    descendants_[u] = count;
-  }
-  for (NodeId u = 0; u < n_; ++u) {
-    for (NodeId v = 0; v < n_; ++v) {
-      if (reaches(u, v)) {
-        ++ancestors_[v];
-      }
-    }
-  }
-}
+TransitiveClosure::TransitiveClosure(const TaskGraph& g) : analysis_(g) {}
 
 bool TransitiveClosure::reaches(NodeId u, NodeId v) const {
-  DSSLICE_REQUIRE(u < n_ && v < n_, "node id out of range");
-  return (row(u)[v / 64] >> (v % 64)) & 1;
+  DSSLICE_REQUIRE(u < node_count() && v < node_count(),
+                  "node id out of range");
+  return analysis_.reaches(u, v);
 }
 
 bool TransitiveClosure::ordered(NodeId u, NodeId v) const {
-  return reaches(u, v) || reaches(v, u);
+  DSSLICE_REQUIRE(u < node_count() && v < node_count(),
+                  "node id out of range");
+  return analysis_.ordered(u, v);
 }
 
 std::size_t TransitiveClosure::parallel_set_size(NodeId i) const {
-  DSSLICE_REQUIRE(i < n_, "node id out of range");
-  return n_ - 1 - descendants_[i] - ancestors_[i];
+  DSSLICE_REQUIRE(i < node_count(), "node id out of range");
+  return analysis_.parallel_set_size(i);
 }
 
 std::vector<NodeId> TransitiveClosure::parallel_set(NodeId i) const {
-  DSSLICE_REQUIRE(i < n_, "node id out of range");
-  std::vector<NodeId> out;
-  out.reserve(parallel_set_size(i));
-  for (NodeId v = 0; v < n_; ++v) {
-    if (v != i && !ordered(i, v)) {
-      out.push_back(v);
-    }
-  }
-  return out;
+  DSSLICE_REQUIRE(i < node_count(), "node id out of range");
+  return analysis_.parallel_set(i);
 }
 
 std::size_t TransitiveClosure::descendant_count(NodeId i) const {
-  DSSLICE_REQUIRE(i < n_, "node id out of range");
-  return descendants_[i];
+  DSSLICE_REQUIRE(i < node_count(), "node id out of range");
+  return analysis_.descendant_count(i);
 }
 
 std::size_t TransitiveClosure::ancestor_count(NodeId i) const {
-  DSSLICE_REQUIRE(i < n_, "node id out of range");
-  return ancestors_[i];
+  DSSLICE_REQUIRE(i < node_count(), "node id out of range");
+  return analysis_.ancestor_count(i);
 }
 
 std::vector<std::size_t> TransitiveClosure::all_parallel_set_sizes() const {
-  std::vector<std::size_t> out(n_);
-  for (NodeId i = 0; i < n_; ++i) {
-    out[i] = parallel_set_size(i);
-  }
-  return out;
+  const auto sizes = analysis_.parallel_set_sizes();
+  return {sizes.begin(), sizes.end()};
 }
 
 }  // namespace dsslice

@@ -3,16 +3,19 @@
 // The ADAPT-L metric needs, for every task, the set of tasks that can
 // potentially execute in parallel with it: those that are neither its
 // predecessors nor its successors under the transitive precedence relation.
-// We materialize the closure as packed 64-bit row bitsets; the DP over a
-// topological order gives O(n·|A|/64 + n²/64) construction — comfortably
-// inside the paper's quoted O(n³) budget and cache-friendly for n ≤ a few
-// thousand.
+// Since the analysis-cache refactor this class is a thin façade over
+// analysis::GraphAnalysis, which materializes the closure as packed 64-bit
+// row bitsets in both directions (reach + co-reach); ancestor counts come
+// from co-reachability popcounts instead of the former O(n²) pairwise
+// reaches() loop. Hot paths should prefer Application::analysis() directly —
+// it is memoized per application — and keep this class for standalone
+// one-shot queries on a bare TaskGraph.
 #pragma once
 
 #include <cstddef>
-#include <cstdint>
 #include <vector>
 
+#include "dsslice/analysis/graph_analysis.hpp"
 #include "dsslice/graph/task_graph.hpp"
 
 namespace dsslice {
@@ -22,7 +25,7 @@ class TransitiveClosure {
   /// Builds the closure of an acyclic graph.
   explicit TransitiveClosure(const TaskGraph& g);
 
-  std::size_t node_count() const { return n_; }
+  std::size_t node_count() const { return analysis_.node_count(); }
 
   /// True iff v is reachable from u via one or more arcs (irreflexive:
   /// reaches(v, v) is false).
@@ -45,16 +48,12 @@ class TransitiveClosure {
   /// Convenience: |Ψ_i| for every node.
   std::vector<std::size_t> all_parallel_set_sizes() const;
 
- private:
-  std::size_t words() const { return (n_ + 63) / 64; }
-  const std::uint64_t* row(NodeId u) const { return &reach_[u * words()]; }
-  std::uint64_t* row(NodeId u) { return &reach_[u * words()]; }
+  /// The underlying shared analysis (topological order, CSR adjacency,
+  /// reach/co-reach bitsets).
+  const GraphAnalysis& analysis() const { return analysis_; }
 
-  std::size_t n_ = 0;
-  // reach_[u] row: bit v set iff u ≺ v (strict reachability).
-  std::vector<std::uint64_t> reach_;
-  std::vector<std::size_t> descendants_;
-  std::vector<std::size_t> ancestors_;
+ private:
+  GraphAnalysis analysis_;
 };
 
 }  // namespace dsslice

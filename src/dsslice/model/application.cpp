@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <sstream>
+#include <utility>
 
 #include "dsslice/graph/algorithms.hpp"
 #include "dsslice/util/check.hpp"
@@ -14,6 +15,56 @@ Application::Application(TaskGraph graph, std::vector<Task> tasks)
       ete_deadline_(tasks_.size(), kTimeInfinity) {
   DSSLICE_REQUIRE(graph_.node_count() == tasks_.size(),
                   "one task per graph node required");
+}
+
+Application::Application(const Application& other)
+    : graph_(other.graph_),
+      tasks_(other.tasks_),
+      ete_deadline_(other.ete_deadline_),
+      analysis_cache_(other.analysis_cache_.load(std::memory_order_acquire)) {}
+
+Application::Application(Application&& other) noexcept
+    : graph_(std::move(other.graph_)),
+      tasks_(std::move(other.tasks_)),
+      ete_deadline_(std::move(other.ete_deadline_)),
+      analysis_cache_(other.analysis_cache_.load(std::memory_order_acquire)) {}
+
+Application& Application::operator=(const Application& other) {
+  if (this != &other) {
+    graph_ = other.graph_;
+    tasks_ = other.tasks_;
+    ete_deadline_ = other.ete_deadline_;
+    analysis_cache_.store(other.analysis_cache_.load(std::memory_order_acquire),
+                          std::memory_order_release);
+  }
+  return *this;
+}
+
+Application& Application::operator=(Application&& other) noexcept {
+  if (this != &other) {
+    graph_ = std::move(other.graph_);
+    tasks_ = std::move(other.tasks_);
+    ete_deadline_ = std::move(other.ete_deadline_);
+    analysis_cache_.store(other.analysis_cache_.load(std::memory_order_acquire),
+                          std::memory_order_release);
+  }
+  return *this;
+}
+
+const GraphAnalysis& Application::analysis() const {
+  auto cached = analysis_cache_.load(std::memory_order_acquire);
+  if (cached == nullptr) {
+    auto built = std::make_shared<const GraphAnalysis>(graph_);
+    std::shared_ptr<const GraphAnalysis> expected;
+    if (analysis_cache_.compare_exchange_strong(expected, built,
+                                                std::memory_order_acq_rel,
+                                                std::memory_order_acquire)) {
+      cached = std::move(built);
+    } else {
+      cached = std::move(expected);  // another thread won the race
+    }
+  }
+  return *cached;
 }
 
 const Task& Application::task(NodeId i) const {

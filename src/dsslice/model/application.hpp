@@ -2,10 +2,13 @@
 // requirements (input arrival times and E-T-E deadlines on output tasks).
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "dsslice/analysis/graph_analysis.hpp"
 #include "dsslice/graph/task_graph.hpp"
 #include "dsslice/model/platform.hpp"
 #include "dsslice/model/task.hpp"
@@ -17,8 +20,27 @@ class Application {
  public:
   Application(TaskGraph graph, std::vector<Task> tasks);
 
+  // The task graph is fixed at construction, so the memoized GraphAnalysis
+  // stays valid for the application's whole lifetime and copies may share
+  // it. The copy/move operations below exist only because the cache slot is
+  // a std::atomic (not copyable); they otherwise behave like the defaults.
+  Application(const Application& other);
+  Application(Application&& other) noexcept;
+  Application& operator=(const Application& other);
+  Application& operator=(Application&& other) noexcept;
+
   const TaskGraph& graph() const { return graph_; }
   std::size_t task_count() const { return tasks_.size(); }
+
+  /// The shared graph analysis (topological order, CSR adjacency, reach /
+  /// co-reach bitsets, parallel-set sizes), built lazily on first use and
+  /// memoized for the lifetime of the application. Thread-safe: concurrent
+  /// first calls race benignly (one result wins, the rest are discarded).
+  /// Requires an acyclic graph, like every consumer of the analysis.
+  /// Invalidation: none needed today — the graph is immutable after
+  /// construction. Any future API that mutates the graph in place must
+  /// reset `analysis_cache_`.
+  const GraphAnalysis& analysis() const;
 
   const Task& task(NodeId i) const;
   Task& mutable_task(NodeId i);
@@ -53,6 +75,8 @@ class Application {
   TaskGraph graph_;
   std::vector<Task> tasks_;
   std::vector<Time> ete_deadline_;   // per node; infinity when not an anchor
+  // Lazily-built memoized analysis; shared between copies (same graph).
+  mutable std::atomic<std::shared_ptr<const GraphAnalysis>> analysis_cache_;
 };
 
 /// Disjoint union of two applications: b's tasks are appended after a's

@@ -4,7 +4,7 @@
 #include <array>
 #include <cmath>
 
-#include "dsslice/graph/algorithms.hpp"
+#include "dsslice/analysis/graph_analysis.hpp"
 #include "dsslice/util/check.hpp"
 
 namespace dsslice {
@@ -38,12 +38,14 @@ std::vector<Window> redistribute_slack(const Application& app,
                                        std::span<const double> est_wcet,
                                        const DispatchControl::View& view,
                                        const std::vector<Window>& windows) {
-  const TaskGraph& g = app.graph();
-  const std::size_t n = g.node_count();
+  const std::size_t n = app.task_count();
   DSSLICE_REQUIRE(est_wcet.size() == n && windows.size() == n,
                   "redistribute_slack size mismatch");
-  const auto order = topological_order(g);
-  DSSLICE_REQUIRE(order.has_value(), "task graph has a cycle");
+  // The re-slice path runs once per deadline miss / processor failure, so it
+  // leans on the application's memoized analysis instead of recomputing the
+  // topological order on every invocation.
+  const GraphAnalysis& analysis = app.analysis();
+  const std::span<const NodeId> order = analysis.topological_order();
 
   std::vector<Window> out = windows;
 
@@ -53,13 +55,13 @@ std::vector<Window> redistribute_slack(const Application& app,
   // allow, never before `now`, and to run for its estimated WCET.
   std::vector<Time> est_finish(n, kTimeZero);
   std::vector<Time> est_start(n, view.now);
-  for (const NodeId v : *order) {
+  for (const NodeId v : order) {
     if (view.started[v] || view.done[v]) {
       est_finish[v] = view.finish[v];
       continue;
     }
     Time s = view.now;
-    for (const NodeId u : g.predecessors(v)) {
+    for (const NodeId u : analysis.predecessors(v)) {
       s = std::max(s, est_finish[u]);
     }
     est_start[v] = s;
@@ -69,16 +71,16 @@ std::vector<Window> redistribute_slack(const Application& app,
   // Backward pass: latest finish that still leaves every downstream task
   // its estimated WCET inside the residual E-T-E budget.
   std::vector<Time> lft(n, kTimeInfinity);
-  for (auto it = order->rbegin(); it != order->rend(); ++it) {
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
     const NodeId v = *it;
     Time l = app.has_ete_deadline(v) ? app.ete_deadline(v) : kTimeInfinity;
-    for (const NodeId s : g.successors(v)) {
+    for (const NodeId s : analysis.successors(v)) {
       l = std::min(l, lft[s] - est_wcet[s]);
     }
     lft[v] = l;
   }
 
-  for (const NodeId v : *order) {
+  for (const NodeId v : order) {
     if (view.started[v] || view.done[v]) {
       continue;  // running/finished work keeps its window
     }

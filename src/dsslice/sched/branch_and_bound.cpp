@@ -2,10 +2,11 @@
 
 #include <algorithm>
 #include <limits>
+#include <span>
 #include <vector>
 
+#include "dsslice/analysis/graph_analysis.hpp"
 #include "dsslice/core/wcet_estimate.hpp"
-#include "dsslice/graph/algorithms.hpp"
 #include "dsslice/util/check.hpp"
 
 namespace dsslice {
@@ -206,9 +207,8 @@ BnbResult branch_and_bound_schedule(const Application& app,
 
   BnbResult result(app.task_count(), platform.processor_count());
   SearchState state(app, assignment, platform, options);
-  const auto topo = topological_order(app.graph());
-  DSSLICE_REQUIRE(topo.has_value(), "requires an acyclic task graph");
-  state.topo_ = *topo;
+  const std::span<const NodeId> topo = app.analysis().topological_order();
+  state.topo_.assign(topo.begin(), topo.end());
 
   const bool found = state.dfs(result);
   result.nodes_explored = state.nodes;

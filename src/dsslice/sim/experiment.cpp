@@ -53,7 +53,8 @@ DeadlineAssignment distribute_for_config(const ExperimentConfig& config,
                                          const Application& app,
                                          const Platform& platform,
                                          std::span<const double> est_wcet,
-                                         std::size_t* slicing_passes) {
+                                         std::size_t* slicing_passes,
+                                         ScenarioScratch* scratch) {
   if (slicing_passes != nullptr) {
     *slicing_passes = 0;
   }
@@ -61,8 +62,12 @@ DeadlineAssignment distribute_for_config(const ExperimentConfig& config,
     SlicingStats stats;
     const DeadlineMetric metric(metric_of(config.technique),
                                 config.metric_params);
+    SlicingOptions options;
+    if (scratch != nullptr) {
+      options.workspace = &scratch->slicing;
+    }
     DeadlineAssignment assignment = run_slicing(
-        app, est_wcet, metric, platform.processor_count(), &stats);
+        app, est_wcet, metric, platform.processor_count(), &stats, options);
     if (slicing_passes != nullptr) {
       *slicing_passes = stats.passes;
     }
@@ -73,7 +78,7 @@ DeadlineAssignment distribute_for_config(const ExperimentConfig& config,
 }
 
 GraphOutcome evaluate_scenario(const ExperimentConfig& config,
-                               std::uint64_t seed) {
+                               std::uint64_t seed, ScenarioScratch* scratch) {
   const Scenario scenario = generate_scenario(config.generator, seed);
   const Application& app = scenario.application;
   const Platform& platform = scenario.platform;
@@ -84,7 +89,7 @@ GraphOutcome evaluate_scenario(const ExperimentConfig& config,
   outcome.task_count = app.task_count();
 
   const DeadlineAssignment assignment = distribute_for_config(
-      config, app, platform, est, &outcome.slicing_passes);
+      config, app, platform, est, &outcome.slicing_passes, scratch);
   outcome.min_laxity = min_laxity(assignment, est);
 
   if (config.algorithm == SchedulerAlgorithm::kPreemptiveEdf) {

@@ -15,6 +15,7 @@
 
 #include "dsslice/baselines/distribution_registry.hpp"
 #include "dsslice/core/metrics.hpp"
+#include "dsslice/core/slicing.hpp"
 #include "dsslice/core/wcet_estimate.hpp"
 #include "dsslice/gen/generator_config.hpp"
 #include "dsslice/sched/dispatch_scheduler.hpp"
@@ -70,19 +71,30 @@ struct ExperimentResult {
   std::string summary(const std::string& label) const;
 };
 
+/// Reusable per-worker scratch for batch evaluation. Passing one instance to
+/// consecutive evaluate_scenario calls on the same thread keeps the slicing
+/// hot path allocation-free (buffers are recycled between scenarios).
+struct ScenarioScratch {
+  SlicingWorkspace slicing;
+};
+
 /// Runs the configured deadline-distribution technique (slicing or direct)
 /// over one scenario. When `slicing_passes` is non-null it receives the
-/// slicer's pass count (0 for non-slicing techniques). Shared by
+/// slicer's pass count (0 for non-slicing techniques). `scratch`, when
+/// given, supplies reusable buffers for the slicing techniques. Shared by
 /// evaluate_scenario and the robustness harness.
 DeadlineAssignment distribute_for_config(const ExperimentConfig& config,
                                          const Application& app,
                                          const Platform& platform,
                                          std::span<const double> est_wcet,
-                                         std::size_t* slicing_passes = nullptr);
+                                         std::size_t* slicing_passes = nullptr,
+                                         ScenarioScratch* scratch = nullptr);
 
 /// Evaluates a single already-generated scenario under the configuration
 /// (the per-graph unit of work; exposed for tests and custom drivers).
+/// `scratch` is optional reusable per-thread scratch (see ScenarioScratch).
 GraphOutcome evaluate_scenario(const ExperimentConfig& config,
-                               std::uint64_t seed);
+                               std::uint64_t seed,
+                               ScenarioScratch* scratch = nullptr);
 
 }  // namespace dsslice

@@ -1,5 +1,6 @@
 #include "dsslice/sim/runner.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <vector>
 
@@ -17,16 +18,22 @@ ExperimentResult run_batch(
   const auto t0 = std::chrono::steady_clock::now();
 
   std::vector<GraphOutcome> outcomes(count);
-  const auto body = [&](std::size_t k) {
-    outcomes[k] =
-        evaluate_scenario(config, derive_seed(config.generator.base_seed, k));
+  // Each worker thread keeps its own ScenarioScratch so the slicing buffers
+  // are recycled across every scenario it evaluates; chunking amortizes the
+  // dispatch overhead while still load-balancing uneven graph costs.
+  const auto evaluate_range = [&](std::size_t begin, std::size_t end) {
+    thread_local ScenarioScratch scratch;
+    for (std::size_t k = begin; k < end; ++k) {
+      outcomes[k] = evaluate_scenario(
+          config, derive_seed(config.generator.base_seed, k), &scratch);
+    }
   };
   if (pool != nullptr) {
-    parallel_for(*pool, count, body);
+    const std::size_t grain = std::clamp<std::size_t>(
+        count / (8 * std::max<std::size_t>(1, pool->size())), 1, 64);
+    parallel_for(*pool, count, grain, evaluate_range);
   } else {
-    for (std::size_t k = 0; k < count; ++k) {
-      body(k);
-    }
+    evaluate_range(0, count);
   }
 
   ExperimentResult result;

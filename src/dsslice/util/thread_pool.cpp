@@ -79,14 +79,26 @@ void ThreadPool::worker_loop() {
 
 void parallel_for(ThreadPool& pool, std::size_t count,
                   const std::function<void(std::size_t)>& body) {
+  parallel_for(pool, count, 1,
+               [&body](std::size_t begin, std::size_t end) {
+                 for (std::size_t i = begin; i < end; ++i) {
+                   body(i);
+                 }
+               });
+}
+
+void parallel_for(ThreadPool& pool, std::size_t count, std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& body) {
   if (count == 0) {
     return;
   }
+  DSSLICE_REQUIRE(grain >= 1, "parallel_for grain must be at least 1");
+  const std::size_t chunks = (count + grain - 1) / grain;
   // For tiny batches, skip the pool entirely: determinism is unaffected and
   // the dispatch overhead would dominate.
-  if (count == 1 || pool.size() == 1) {
-    for (std::size_t i = 0; i < count; ++i) {
-      body(i);
+  if (chunks == 1 || pool.size() == 1) {
+    for (std::size_t begin = 0; begin < count; begin += grain) {
+      body(begin, std::min(count, begin + grain));
     }
     return;
   }
@@ -96,7 +108,7 @@ void parallel_for(ThreadPool& pool, std::size_t count,
   std::exception_ptr first_error;
   std::mutex error_mutex;
 
-  const std::size_t lanes = std::min(pool.size(), count);
+  const std::size_t lanes = std::min(pool.size(), chunks);
   std::atomic<std::size_t> done_lanes{0};
   std::mutex done_mutex;
   std::condition_variable done_cv;
@@ -104,12 +116,14 @@ void parallel_for(ThreadPool& pool, std::size_t count,
   for (std::size_t lane = 0; lane < lanes; ++lane) {
     pool.submit([&] {
       for (;;) {
-        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= count || failed.load(std::memory_order_relaxed)) {
+        const std::size_t k = next.fetch_add(1, std::memory_order_relaxed);
+        if (k >= chunks || failed.load(std::memory_order_relaxed)) {
           break;
         }
+        const std::size_t begin = k * grain;
+        const std::size_t end = std::min(count, begin + grain);
         try {
-          body(i);
+          body(begin, end);
         } catch (...) {
           std::lock_guard lock(error_mutex);
           if (!failed.exchange(true)) {
