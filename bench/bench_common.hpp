@@ -7,10 +7,30 @@
 
 #include <cstdio>
 #include <string>
+#include <thread>
 
 #include "dsslice/dsslice.hpp"
 
 namespace dsslice::bench {
+
+/// JSON object describing the measurement context: worker thread count,
+/// hardware concurrency, compiler, and build mode. Embedded in the perf
+/// JSON reports (BENCH_*.json) so committed numbers carry their provenance.
+inline std::string machine_json(std::size_t threads) {
+  std::string out = "{\"threads\": " + std::to_string(threads);
+  out += ", \"hardware_concurrency\": " +
+         std::to_string(std::thread::hardware_concurrency());
+#if defined(__VERSION__)
+  out += ", \"compiler\": \"" + std::string(__VERSION__) + "\"";
+#endif
+#if defined(NDEBUG)
+  out += ", \"build\": \"release\"";
+#else
+  out += ", \"build\": \"debug\"";
+#endif
+  out += "}";
+  return out;
+}
 
 /// Registers the flags every bench shares.
 inline CliParser make_parser(const std::string& name,
@@ -19,6 +39,7 @@ inline CliParser make_parser(const std::string& name,
   p.add_flag("graphs", "1024", "task graphs per experiment point (paper: 1024)");
   p.add_flag("seed", "20250707", "base seed for workload generation");
   p.add_flag("threads", "0", "worker threads (0 = hardware concurrency)");
+  p.add_flag("grain", "0", "scenarios per parallel chunk (0 = automatic)");
   p.add_flag("csv", "", "write the sweep as CSV to this path");
   p.add_bool_flag("verbose", "progress on stderr");
   return p;
@@ -35,6 +56,10 @@ inline ExperimentConfig base_config(const CliParser& cli) {
 }
 
 inline ThreadPool make_pool(const CliParser& cli) {
+  // The chunk-size override rides along with pool creation so every bench
+  // picks up --grain without further plumbing (results are grain-invariant;
+  // only throughput changes).
+  set_experiment_grain(static_cast<std::size_t>(cli.get_int("grain")));
   return ThreadPool(static_cast<std::size_t>(cli.get_int("threads")));
 }
 
@@ -48,6 +73,11 @@ inline void report(const std::string& title, const SweepResult& sweep,
   std::fputs(format_sweep_table(sweep).c_str(), stdout);
   std::fputs("\n", stdout);
   std::fputs(format_sweep_chart(sweep).c_str(), stdout);
+  if (sweep.scenarios > 0 && sweep.wall_seconds > 0.0) {
+    std::printf("\n%zu scenarios in %.2f s (%.0f scenarios/sec)\n",
+                sweep.scenarios, sweep.wall_seconds,
+                sweep.scenarios_per_second());
+  }
   const std::string csv_path = cli.get_string("csv");
   if (!csv_path.empty()) {
     if (write_text_file(csv_path, to_csv(sweep))) {

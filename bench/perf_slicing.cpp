@@ -27,6 +27,8 @@
 
 #include "dsslice/dsslice.hpp"
 
+#include "bench_common.hpp"
+
 namespace {
 
 using namespace dsslice;
@@ -373,6 +375,7 @@ std::string to_json(const std::vector<SizeReport>& reports,
   std::string out = "{\n";
   out += "  \"benchmark\": \"slicing-hot-path\",\n";
   out += "  \"processors\": " + std::to_string(processors) + ",\n";
+  out += "  \"machine\": " + bench::machine_json(1) + ",\n";
   out += "  \"metric_unit\": {\"build\": \"us\", \"weights\": \"us/call\", "
          "\"slicing\": \"scenarios/sec\"},\n";
   out += "  \"sizes\": [\n";

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Performance benchmark driver: Release build + the slicing hot-path harness.
-# Writes BENCH_slicing.json at the repo root (see docs/PERFORMANCE.md for how
-# to read it). Extra arguments are forwarded to perf_slicing, e.g.
+# Performance benchmark driver: Release build + the two hot-path harnesses.
+# Writes BENCH_slicing.json and BENCH_scheduling.json at the repo root (see
+# docs/PERFORMANCE.md for how to read them). Extra arguments are forwarded to
+# both harnesses, e.g.
 #   scripts/bench.sh --smoke
 #   scripts/bench.sh --processors 8 --min-ms 500
 set -euo pipefail
@@ -13,7 +14,11 @@ jobs="$(nproc 2>/dev/null || echo 4)"
 
 echo "==> configure [default]"
 cmake --preset default
-echo "==> build [perf_slicing]"
-cmake --build --preset default -j "$jobs" --target perf_slicing
-echo "==> run"
+echo "==> build [perf_slicing perf_scheduling]"
+cmake --build --preset default -j "$jobs" --target perf_slicing \
+  --target perf_scheduling
+echo "==> run [perf_slicing]"
 ./build/bench/perf_slicing --json "$root/BENCH_slicing.json" "$@"
+echo "==> run [perf_scheduling]"
+./build/bench/perf_scheduling --json "$root/BENCH_scheduling.json" \
+  --min-ms 800 "$@"

@@ -17,9 +17,16 @@ for preset in default sanitize; do
   ctest --preset "$preset" -j "$jobs"
 done
 
-# Smoke pass of the perf harness (tiny sizes): catches regressions in the
-# bench itself and asserts the cached hot path builds zero analyses.
+# Smoke pass of the perf harnesses (tiny sizes): catches regressions in the
+# benches themselves and asserts the cached hot paths build zero analyses /
+# grow zero scheduler buffers. perf_scheduling also re-checks bit-identity
+# against the legacy schedulers, so it runs under both presets — the
+# sanitize build would catch any UB the equivalence relies on.
 echo "==> bench smoke [perf_slicing]"
 ./build/bench/perf_slicing --smoke
+echo "==> bench smoke [perf_scheduling, default]"
+./build/bench/perf_scheduling --smoke
+echo "==> bench smoke [perf_scheduling, sanitize]"
+./build-sanitize/bench/perf_scheduling --smoke
 
 echo "All checks passed."

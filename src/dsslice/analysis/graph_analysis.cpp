@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <deque>
+#include <unordered_map>
 
 #include "dsslice/util/check.hpp"
 
@@ -27,17 +28,38 @@ GraphAnalysis::GraphAnalysis(const TaskGraph& g)
       parallel_size_(n_, 0) {
   g_construction_count.fetch_add(1, std::memory_order_relaxed);
 
-  // CSR adjacency in both directions, preserving TaskGraph's per-node order.
+  // CSR adjacency in both directions, preserving TaskGraph's per-node order,
+  // with the arc payloads (message sizes) and arc indices flattened
+  // alongside so hot paths never fall back to per-arc linear searches.
+  std::unordered_map<std::uint64_t, std::uint32_t> arc_index;
+  arc_index.reserve(g.arc_count());
+  const auto& arcs = g.arcs();
+  for (std::size_t k = 0; k < arcs.size(); ++k) {
+    arc_index.emplace(
+        (static_cast<std::uint64_t>(arcs[k].from) << 32) | arcs[k].to,
+        static_cast<std::uint32_t>(k));
+  }
   succ_data_.reserve(g.arc_count());
   pred_data_.reserve(g.arc_count());
+  succ_items_.reserve(g.arc_count());
+  pred_items_.reserve(g.arc_count());
+  pred_arc_.reserve(g.arc_count());
   for (NodeId v = 0; v < n_; ++v) {
     succ_off_[v] = succ_data_.size();
-    for (const NodeId w : g.successors(v)) {
-      succ_data_.push_back(w);
+    const auto succ = g.successors(v);
+    const auto items = g.successor_items(v);
+    for (std::size_t k = 0; k < succ.size(); ++k) {
+      succ_data_.push_back(succ[k]);
+      succ_items_.push_back(items[k]);
     }
     pred_off_[v] = pred_data_.size();
     for (const NodeId u : g.predecessors(v)) {
       pred_data_.push_back(u);
+      const auto it =
+          arc_index.find((static_cast<std::uint64_t>(u) << 32) | v);
+      DSSLICE_CHECK(it != arc_index.end(), "predecessor without an arc");
+      pred_arc_.push_back(it->second);
+      pred_items_.push_back(arcs[it->second].message_items);
     }
   }
   succ_off_[n_] = succ_data_.size();

@@ -59,6 +59,30 @@ class GraphAnalysis {
     return {pred_data_.data() + pred_off_[v], pred_off_[v + 1] - pred_off_[v]};
   }
 
+  /// Message sizes aligned with the CSR adjacency: successor_items(v)[k] is
+  /// the payload of the arc v → successors(v)[k] (and symmetrically for
+  /// predecessors). Replaces TaskGraph::message_items' per-call linear
+  /// search on the scheduler hot paths.
+  std::span<const double> successor_items(NodeId v) const {
+    return {succ_items_.data() + succ_off_[v], succ_off_[v + 1] - succ_off_[v]};
+  }
+  std::span<const double> predecessor_items(NodeId v) const {
+    return {pred_items_.data() + pred_off_[v], pred_off_[v + 1] - pred_off_[v]};
+  }
+
+  /// For each in-arc predecessors(v)[k], the index of that arc in
+  /// TaskGraph::arcs() — lets per-arc side tables (e.g. injected message
+  /// delay factors) be flattened onto the predecessor CSR once per run.
+  std::span<const std::uint32_t> predecessor_arc_indices(NodeId v) const {
+    return {pred_arc_.data() + pred_off_[v], pred_off_[v + 1] - pred_off_[v]};
+  }
+
+  /// Global base index of v's predecessor edges inside the flat CSR arrays
+  /// (predecessors(v)[k] lives at flat index predecessor_offset(v) + k).
+  std::size_t predecessor_offset(NodeId v) const { return pred_off_[v]; }
+  /// Total number of arcs (== TaskGraph::arc_count()).
+  std::size_t arc_count() const { return pred_data_.size(); }
+
   /// True iff v is reachable from u via one or more arcs (irreflexive).
   bool reaches(NodeId u, NodeId v) const {
     return (reach_[u * words_ + v / 64] >> (v % 64)) & 1;
@@ -133,6 +157,9 @@ class GraphAnalysis {
   std::vector<NodeId> succ_data_;
   std::vector<std::size_t> pred_off_;
   std::vector<NodeId> pred_data_;
+  std::vector<double> succ_items_;
+  std::vector<double> pred_items_;
+  std::vector<std::uint32_t> pred_arc_;
   std::vector<std::uint64_t> reach_;
   std::vector<std::uint64_t> coreach_;
   std::vector<std::size_t> descendants_;

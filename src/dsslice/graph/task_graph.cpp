@@ -42,6 +42,11 @@ std::span<const NodeId> TaskGraph::predecessors(NodeId v) const {
   return pred_[v];
 }
 
+std::span<const double> TaskGraph::successor_items(NodeId v) const {
+  require_node(v);
+  return succ_items_[v];
+}
+
 bool TaskGraph::has_arc(NodeId from, NodeId to) const {
   require_node(from);
   require_node(to);

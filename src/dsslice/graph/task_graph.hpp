@@ -55,6 +55,10 @@ class TaskGraph {
   /// Message size on an existing arc; nullopt when the arc does not exist.
   std::optional<double> message_items(NodeId from, NodeId to) const;
 
+  /// Message sizes of v's out-arcs, parallel to successors(v) — O(1) access
+  /// for consumers that walk the adjacency (no per-arc linear search).
+  std::span<const double> successor_items(NodeId v) const;
+
   /// All arcs in insertion order.
   const std::vector<Arc>& arcs() const { return arcs_; }
 

@@ -1,5 +1,6 @@
 #include "dsslice/robust/robustness_harness.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <sstream>
@@ -64,7 +65,8 @@ std::string RobustnessResult::summary(const std::string& label) const {
 
 RobustnessOutcome evaluate_robust_scenario(const RobustnessConfig& config,
                                            std::uint64_t workload_seed,
-                                           std::uint64_t fault_seed) {
+                                           std::uint64_t fault_seed,
+                                           ScenarioScratch* scratch) {
   const Scenario scenario = generate_scenario(config.base.generator,
                                               workload_seed);
   const Application& app = scenario.application;
@@ -72,7 +74,7 @@ RobustnessOutcome evaluate_robust_scenario(const RobustnessConfig& config,
 
   const std::vector<double> est = estimate_wcets(app, config.base.wcet_strategy);
   const DeadlineAssignment assignment =
-      distribute_for_config(config.base, app, platform, est);
+      distribute_for_config(config.base, app, platform, est, nullptr, scratch);
 
   FaultSpec spec = config.faults;
   spec.seed = fault_seed;
@@ -82,8 +84,14 @@ RobustnessOutcome evaluate_robust_scenario(const RobustnessConfig& config,
   DispatchTelemetry telemetry;
   DispatchOptions options;
   options.abort_on_miss = false;
-  EdfDispatchScheduler(options).run(app, assignment, platform,
-                                    &trace.conditions, &engine, &telemetry);
+  const EdfDispatchScheduler scheduler(options);
+  if (scratch != nullptr) {
+    scheduler.run_into(scratch->sched_result, scratch->sched, app, assignment,
+                       platform, &trace.conditions, &engine, &telemetry);
+  } else {
+    scheduler.run(app, assignment, platform, &trace.conditions, &engine,
+                  &telemetry);
+  }
 
   RobustnessOutcome outcome;
   for (NodeId v = 0; v < app.task_count(); ++v) {
@@ -112,17 +120,23 @@ RobustnessResult run_robustness_batch(const RobustnessConfig& config,
   const auto t0 = std::chrono::steady_clock::now();
 
   std::vector<RobustnessOutcome> outcomes(count);
-  const auto body = [&](std::size_t k) {
-    outcomes[k] = evaluate_robust_scenario(
-        config, derive_seed(config.base.generator.base_seed, k),
-        derive_seed(config.faults.seed, k));
+  // Chunked like run_experiment: each worker keeps one ScenarioScratch, so
+  // the slicing and scheduling buffers are recycled across every faulted
+  // scenario it evaluates.
+  const auto evaluate_range = [&](std::size_t begin, std::size_t end) {
+    thread_local ScenarioScratch scratch;
+    for (std::size_t k = begin; k < end; ++k) {
+      outcomes[k] = evaluate_robust_scenario(
+          config, derive_seed(config.base.generator.base_seed, k),
+          derive_seed(config.faults.seed, k), &scratch);
+    }
   };
   if (pool != nullptr) {
-    parallel_for(*pool, count, body);
+    const std::size_t grain = std::clamp<std::size_t>(
+        count / (8 * std::max<std::size_t>(1, pool->size())), 1, 64);
+    parallel_for(*pool, count, grain, evaluate_range);
   } else {
-    for (std::size_t k = 0; k < count; ++k) {
-      body(k);
-    }
+    evaluate_range(0, count);
   }
 
   RobustnessResult result;
@@ -164,6 +178,8 @@ SweepResult sweep_overrun_factor(
       for (const double factor : factors) {
         config.faults.overrun_factor = factor;
         const RobustnessResult result = run_robustness(config, pool);
+        sweep.scenarios += config.base.generator.graph_count;
+        sweep.wall_seconds += result.wall_seconds;
         series.success_ratio.push_back(result.ete_met.ratio());
         series.ci95.push_back(result.ete_met.ci95_halfwidth());
         series.mean_min_laxity.push_back(result.slice_misses.mean());

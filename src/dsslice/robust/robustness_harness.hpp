@@ -72,9 +72,11 @@ struct RobustnessResult {
 /// The per-graph unit of work: generate scenario `workload_seed`, slice
 /// nominally, realize the fault spec under `fault_seed`, dispatch with the
 /// configured recovery policy. Exposed for tests and custom drivers.
+/// `scratch` is optional reusable per-thread scratch (see ScenarioScratch).
 RobustnessOutcome evaluate_robust_scenario(const RobustnessConfig& config,
                                            std::uint64_t workload_seed,
-                                           std::uint64_t fault_seed);
+                                           std::uint64_t fault_seed,
+                                           ScenarioScratch* scratch = nullptr);
 
 /// Runs base.generator.graph_count faulted task sets on the pool and
 /// aggregates in index order (deterministic reduction, like

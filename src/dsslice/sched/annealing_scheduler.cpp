@@ -4,7 +4,9 @@
 #include <cmath>
 #include <limits>
 
+#include "dsslice/analysis/graph_analysis.hpp"
 #include "dsslice/gen/rng.hpp"
+#include "dsslice/sched/scheduler_workspace.hpp"
 #include "dsslice/util/check.hpp"
 
 namespace dsslice {
@@ -12,8 +14,21 @@ namespace dsslice {
 SchedulerResult schedule_with_fixed_mapping(
     const Application& app, const DeadlineAssignment& assignment,
     const Platform& platform, const std::vector<ProcessorId>& mapping) {
-  const TaskGraph& g = app.graph();
-  const std::size_t n = g.node_count();
+  SchedulerWorkspace ws;
+  SchedulerResult result;
+  schedule_with_fixed_mapping_into(result, ws, app, assignment, platform,
+                                   mapping);
+  return result;
+}
+
+void schedule_with_fixed_mapping_into(SchedulerResult& result,
+                                      SchedulerWorkspace& ws,
+                                      const Application& app,
+                                      const DeadlineAssignment& assignment,
+                                      const Platform& platform,
+                                      std::span<const ProcessorId> mapping) {
+  const GraphAnalysis& ga = app.analysis();
+  const std::size_t n = ga.node_count();
   const std::size_t m = platform.processor_count();
   DSSLICE_REQUIRE(assignment.windows.size() == n, "assignment size mismatch");
   DSSLICE_REQUIRE(mapping.size() == n, "mapping size mismatch");
@@ -24,47 +39,43 @@ SchedulerResult schedule_with_fixed_mapping(
                         " mapped to an ineligible processor class");
   }
 
-  SchedulerResult result{Schedule(n, m), false, std::nullopt, "", {}};
+  reset_scheduler_result(result, n, m);
   Schedule& schedule = result.schedule;
 
-  std::vector<std::size_t> unscheduled_preds(n);
-  std::vector<NodeId> ready;
+  const auto* shared_bus = dynamic_cast<const SharedBus*>(&platform.network());
+  const Time bus_rate =
+      shared_bus != nullptr ? shared_bus->per_item_delay() : kTimeZero;
+
+  // Same EDF selection rule as EdfListScheduler (deadline, arrival, id) so
+  // a fixed mapping taken from a greedy schedule replays it exactly; the
+  // heap pops the identical minimum the legacy linear scan found.
+  const std::size_t heap_cap = ws.ready.capacity();
+  ws.ready.reset(assignment.windows);
+  ws.size(ws.pred_count, n);
   for (NodeId v = 0; v < n; ++v) {
-    unscheduled_preds[v] = g.in_degree(v);
-    if (unscheduled_preds[v] == 0) {
-      ready.push_back(v);
+    ws.pred_count[v] = ga.predecessors(v).size();
+    if (ws.pred_count[v] == 0) {
+      ws.ready.push(v);
     }
   }
 
   bool missed = false;
-  while (!ready.empty()) {
-    // Same EDF selection rule as EdfListScheduler (deadline, arrival, id)
-    // so a fixed mapping taken from a greedy schedule replays it exactly.
-    std::size_t pick = 0;
-    for (std::size_t k = 1; k < ready.size(); ++k) {
-      const Window& a = assignment.windows[ready[k]];
-      const Window& b = assignment.windows[ready[pick]];
-      if (a.deadline < b.deadline ||
-          (a.deadline == b.deadline &&
-           (a.arrival < b.arrival ||
-            (a.arrival == b.arrival && ready[k] < ready[pick])))) {
-        pick = k;
-      }
-    }
-    const NodeId v = ready[pick];
-    ready[pick] = ready.back();
-    ready.pop_back();
+  while (!ws.ready.empty()) {
+    const NodeId v = ws.ready.pop();
 
     const ProcessorId p = mapping[v];
     const double c = app.task(v).wcet(platform.class_of(p));
     Time bound =
         std::max(assignment.windows[v].arrival, schedule.processor_available(p));
-    for (const NodeId u : g.predecessors(v)) {
-      const ScheduledTask& pe = schedule.entry(u);
-      const double items = g.message_items(u, v).value_or(0.0);
-      bound = std::max(bound,
-                       pe.finish + platform.comm_delay(pe.processor, p,
-                                                       items));
+    const auto preds = ga.predecessors(v);
+    const auto pitems = ga.predecessor_items(v);
+    for (std::size_t k = 0; k < preds.size(); ++k) {
+      const ScheduledTask& pe = schedule.entry(preds[k]);
+      const Time d = shared_bus != nullptr
+                         ? (pe.processor == p ? kTimeZero
+                                              : pitems[k] * bus_rate)
+                         : platform.comm_delay(pe.processor, p, pitems[k]);
+      bound = std::max(bound, pe.finish + d);
     }
     const Time finish = bound + c;
     if (finish > assignment.windows[v].deadline + 1e-9) {
@@ -76,14 +87,14 @@ SchedulerResult schedule_with_fixed_mapping(
       }
     }
     schedule.place(v, p, bound, finish);
-    for (const NodeId s : g.successors(v)) {
-      if (--unscheduled_preds[s] == 0) {
-        ready.push_back(s);
+    for (const NodeId s : ga.successors(v)) {
+      if (--ws.pred_count[s] == 0) {
+        ws.ready.push(s);
       }
     }
   }
+  ws.note_growth(heap_cap, ws.ready.capacity());
   result.success = schedule.complete() && !missed;
-  return result;
 }
 
 namespace {
@@ -104,7 +115,8 @@ double energy_of(const SchedulerResult& result,
 AnnealingResult anneal_schedule(const Application& app,
                                 const DeadlineAssignment& assignment,
                                 const Platform& platform,
-                                const AnnealingOptions& options) {
+                                const AnnealingOptions& options,
+                                SchedulerWorkspace* ws) {
   const std::size_t n = app.task_count();
   const std::size_t m = platform.processor_count();
   DSSLICE_REQUIRE(options.iterations >= 1, "need at least one iteration");
@@ -113,24 +125,29 @@ AnnealingResult anneal_schedule(const Application& app,
   DSSLICE_REQUIRE(options.initial_temperature > 0.0,
                   "initial temperature must be positive");
 
+  SchedulerWorkspace local_ws;
+  SchedulerWorkspace& w = ws != nullptr ? *ws : local_ws;
+
   // Seed mapping: the greedy EDF list schedule in lateness mode (always
   // complete), which also seeds the incumbent energy.
   SchedulerOptions greedy_options;
   greedy_options.abort_on_miss = false;
-  const SchedulerResult greedy =
-      EdfListScheduler(greedy_options).run(app, assignment, platform);
-  DSSLICE_REQUIRE(greedy.schedule.complete(),
-                  "greedy seed schedule failed: " + greedy.failure_reason);
+  EdfListScheduler(greedy_options)
+      .run_into(w.seed_result, w, app, assignment, platform);
+  DSSLICE_REQUIRE(w.seed_result.schedule.complete(),
+                  "greedy seed schedule failed: " +
+                      w.seed_result.failure_reason);
 
-  std::vector<ProcessorId> current(n);
+  w.size(w.current_mapping, n);
   for (NodeId v = 0; v < n; ++v) {
-    current[v] = greedy.schedule.entry(v).processor;
+    w.current_mapping[v] = w.seed_result.schedule.entry(v).processor;
   }
 
   AnnealingResult best(n, m);
-  best.mapping = current;
-  best.result = schedule_with_fixed_mapping(app, assignment, platform,
-                                            current);
+  best.mapping.assign(w.current_mapping.begin(), w.current_mapping.end());
+  schedule_with_fixed_mapping_into(w.trial_result, w, app, assignment,
+                                   platform, w.current_mapping);
+  best.result = w.trial_result;
   best.energy = energy_of(best.result, assignment);
 
   double current_energy = best.energy;
@@ -141,35 +158,41 @@ AnnealingResult anneal_schedule(const Application& app,
     // Neighbour: move one random task to another eligible processor.
     const auto v = static_cast<NodeId>(
         rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
-    std::vector<ProcessorId> candidates;
+    w.eligible_targets.clear();
     for (ProcessorId p = 0; p < m; ++p) {
-      if (p != current[v] && app.task(v).eligible(platform.class_of(p))) {
-        candidates.push_back(p);
+      if (p != w.current_mapping[v] &&
+          app.task(v).eligible(platform.class_of(p))) {
+        w.push(w.eligible_targets, p);
       }
     }
-    if (candidates.empty()) {
+    if (w.eligible_targets.empty()) {
       temperature *= options.cooling;
       continue;  // task is pinned by eligibility
     }
-    const ProcessorId target = candidates[static_cast<std::size_t>(
-        rng.uniform_int(0, static_cast<std::int64_t>(candidates.size()) - 1))];
+    const ProcessorId target = w.eligible_targets[static_cast<std::size_t>(
+        rng.uniform_int(0,
+                        static_cast<std::int64_t>(w.eligible_targets.size()) -
+                            1))];
 
-    std::vector<ProcessorId> neighbour = current;
-    neighbour[v] = target;
-    const SchedulerResult trial =
-        schedule_with_fixed_mapping(app, assignment, platform, neighbour);
-    const double trial_energy = energy_of(trial, assignment);
+    w.size(w.neighbour_mapping, n);
+    std::copy(w.current_mapping.begin(), w.current_mapping.end(),
+              w.neighbour_mapping.begin());
+    w.neighbour_mapping[v] = target;
+    schedule_with_fixed_mapping_into(w.trial_result, w, app, assignment,
+                                     platform, w.neighbour_mapping);
+    const double trial_energy = energy_of(w.trial_result, assignment);
 
     const double delta = trial_energy - current_energy;
     const bool accept =
         delta < 0.0 || rng.next_double() < std::exp(-delta / temperature);
     if (accept) {
-      current = std::move(neighbour);
+      std::swap(w.current_mapping, w.neighbour_mapping);
       current_energy = trial_energy;
       if (trial_energy < best.energy) {
         best.energy = trial_energy;
-        best.mapping = current;
-        best.result = trial;
+        best.mapping.assign(w.current_mapping.begin(),
+                            w.current_mapping.end());
+        best.result = w.trial_result;
         ++best.improvements;
       }
     }

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "dsslice/model/application.hpp"
@@ -25,6 +26,8 @@
 
 namespace dsslice {
 
+class SchedulerWorkspace;
+
 /// List-schedules the application with every task pinned to the given
 /// processor (strict locality): EDF order, append placement, honouring
 /// windows and communication. Tasks must be eligible on their mapped
@@ -32,6 +35,16 @@ namespace dsslice {
 SchedulerResult schedule_with_fixed_mapping(
     const Application& app, const DeadlineAssignment& assignment,
     const Platform& platform, const std::vector<ProcessorId>& mapping);
+
+/// Allocation-free variant of schedule_with_fixed_mapping: writes the
+/// (bit-identical) result into `result`, reusing `ws` buffers — the inner
+/// loop of the annealing search.
+void schedule_with_fixed_mapping_into(SchedulerResult& result,
+                                      SchedulerWorkspace& ws,
+                                      const Application& app,
+                                      const DeadlineAssignment& assignment,
+                                      const Platform& platform,
+                                      std::span<const ProcessorId> mapping);
 
 struct AnnealingOptions {
   std::size_t iterations = 2000;
@@ -56,10 +69,13 @@ struct AnnealingResult {
 
 /// Anneals the task→processor mapping starting from the greedy EDF
 /// placement. The best-ever mapping is returned (the walk itself may end
-/// somewhere worse).
+/// somewhere worse). `ws` (optional) supplies reusable buffers for the
+/// per-iteration replays — with it, the search loop stops allocating once
+/// warmed up (improvements still copy into the returned best).
 AnnealingResult anneal_schedule(const Application& app,
                                 const DeadlineAssignment& assignment,
                                 const Platform& platform,
-                                const AnnealingOptions& options = {});
+                                const AnnealingOptions& options = {},
+                                SchedulerWorkspace* ws = nullptr);
 
 }  // namespace dsslice

@@ -7,6 +7,7 @@
 
 #include "dsslice/analysis/graph_analysis.hpp"
 #include "dsslice/core/wcet_estimate.hpp"
+#include "dsslice/sched/scheduler_workspace.hpp"
 #include "dsslice/util/check.hpp"
 
 namespace dsslice {
@@ -30,33 +31,44 @@ struct SearchState {
   const DeadlineAssignment& assignment;
   const Platform& platform;
   const BnbOptions& options;
+  const GraphAnalysis& ga;
+  SchedulerWorkspace& ws;
 
-  std::vector<double> min_wcet;          // fastest eligible class per task
-  std::vector<std::size_t> preds_left;   // unscheduled predecessor count
-  std::vector<bool> scheduled;
-  std::vector<Time> finish;
-  std::vector<ProcessorId> placed_on;
-  std::vector<Time> avail;               // per-processor available time
   std::size_t remaining = 0;
   std::size_t nodes = 0;
+  std::size_t depth = 0;
   bool node_limit_hit = false;
 
   SearchState(const Application& a, const DeadlineAssignment& da,
-              const Platform& p, const BnbOptions& o)
+              const Platform& p, const BnbOptions& o, SchedulerWorkspace& w)
       : app(a),
         assignment(da),
         platform(p),
         options(o),
-        min_wcet(estimate_wcets(a, WcetEstimation::kMin)),
-        preds_left(a.task_count()),
-        scheduled(a.task_count(), false),
-        finish(a.task_count(), kTimeZero),
-        placed_on(a.task_count(), 0),
-        avail(p.processor_count(), kTimeZero),
+        ga(a.analysis()),
+        ws(w),
         remaining(a.task_count()) {
-    const TaskGraph& g = a.graph();
-    for (NodeId v = 0; v < a.task_count(); ++v) {
-      preds_left[v] = g.in_degree(v);
+    const std::size_t n = a.task_count();
+    // min_wcet: fastest eligible class per task. estimate_wcets returns a
+    // fresh vector; copy into the workspace buffer so repeated searches
+    // reuse its capacity (one transient allocation per search, outside the
+    // descent).
+    const std::vector<double> est = estimate_wcets(a, WcetEstimation::kMin);
+    ws.size(ws.min_wcet, n);
+    std::copy(est.begin(), est.end(), ws.min_wcet.begin());
+    ws.size(ws.preds_left, n);
+    ws.fill(ws.bnb_scheduled, n, char{0});
+    ws.fill(ws.bnb_finish, n, kTimeZero);
+    ws.fill(ws.bnb_placed_on, n, ProcessorId{0});
+    ws.fill(ws.bnb_avail, p.processor_count(), kTimeZero);
+    ws.size(ws.lb_finish, n);
+    // Per-depth buffer pools, sized up front: the descent never exceeds one
+    // frame per task, and growing the pool mid-recursion would invalidate
+    // the parent frames' references into it.
+    ws.size(ws.bnb_ready_pool, n + 1);
+    ws.size(ws.bnb_option_pool, n + 1);
+    for (NodeId v = 0; v < n; ++v) {
+      ws.preds_left[v] = ga.predecessors(v).size();
     }
   }
 
@@ -64,27 +76,23 @@ struct SearchState {
   /// able to finish by its deadline ignoring processor contention, using
   /// its fastest class and the actual finish times of scheduled
   /// predecessors (with zero message cost — a valid lower bound).
-  bool bound_ok() const {
-    const TaskGraph& g = app.graph();
-    std::vector<Time> lb_finish(app.task_count(), kTimeZero);
-    for (const NodeId v : topo_) {
-      if (scheduled[v]) {
-        lb_finish[v] = finish[v];
+  bool bound_ok() {
+    for (const NodeId v : ga.topological_order()) {
+      if (ws.bnb_scheduled[v]) {
+        ws.lb_finish[v] = ws.bnb_finish[v];
         continue;
       }
       Time start = assignment.windows[v].arrival;
-      for (const NodeId u : g.predecessors(v)) {
-        start = std::max(start, lb_finish[u]);
+      for (const NodeId u : ga.predecessors(v)) {
+        start = std::max(start, ws.lb_finish[u]);
       }
-      lb_finish[v] = start + min_wcet[v];
-      if (lb_finish[v] > assignment.windows[v].deadline + 1e-9) {
+      ws.lb_finish[v] = start + ws.min_wcet[v];
+      if (ws.lb_finish[v] > assignment.windows[v].deadline + 1e-9) {
         return false;
       }
     }
     return true;
   }
-
-  std::vector<NodeId> topo_;
 
   bool dfs(BnbResult& result) {
     if (node_limit_hit) {
@@ -97,8 +105,9 @@ struct SearchState {
     if (remaining == 0) {
       // Commit the found schedule.
       for (NodeId v = 0; v < app.task_count(); ++v) {
-        result.schedule.place(v, placed_on[v],
-                              finish[v] - actual_wcet(v), finish[v]);
+        result.schedule.place(v, ws.bnb_placed_on[v],
+                              ws.bnb_finish[v] - actual_wcet(v),
+                              ws.bnb_finish[v]);
       }
       return true;
     }
@@ -106,10 +115,16 @@ struct SearchState {
       return false;
     }
 
+    // Per-depth buffer pools: each recursion level owns one ready list and
+    // one option list, so the whole descent reuses at most `n` vectors for
+    // the life of the workspace instead of allocating two per node.
+    std::vector<NodeId>& ready = ws.bnb_ready_pool[depth];
+    std::vector<BnbOption>& options_list = ws.bnb_option_pool[depth];
+
     // Ready tasks in EDF order (good first descent).
-    std::vector<NodeId> ready;
+    ready.clear();
     for (NodeId v = 0; v < app.task_count(); ++v) {
-      if (!scheduled[v] && preds_left[v] == 0) {
+      if (!ws.bnb_scheduled[v] && ws.preds_left[v] == 0) {
         ready.push_back(v);
       }
     }
@@ -119,26 +134,23 @@ struct SearchState {
       return da != db ? da < db : a < b;
     });
 
-    const TaskGraph& g = app.graph();
     for (const NodeId v : ready) {
       const Task& task = app.task(v);
+      const auto preds = ga.predecessors(v);
+      const auto pitems = ga.predecessor_items(v);
       // Distinct processor options: collapse symmetric processors.
-      struct Option {
-        ProcessorId proc;
-        Time start;
-        Time finishing;
-      };
-      std::vector<Option> options_list;
+      options_list.clear();
       for (ProcessorId p = 0; p < platform.processor_count(); ++p) {
         const ProcessorClassId e = platform.class_of(p);
         if (!task.eligible(e)) {
           continue;
         }
-        Time bound = std::max(assignment.windows[v].arrival, avail[p]);
-        for (const NodeId u : g.predecessors(v)) {
-          const double items = g.message_items(u, v).value_or(0.0);
-          bound = std::max(bound, finish[u] + platform.comm_delay(
-                                                  placed_on[u], p, items));
+        Time bound = std::max(assignment.windows[v].arrival, ws.bnb_avail[p]);
+        for (std::size_t k = 0; k < preds.size(); ++k) {
+          bound = std::max(
+              bound, ws.bnb_finish[preds[k]] +
+                         platform.comm_delay(ws.bnb_placed_on[preds[k]], p,
+                                             pitems[k]));
         }
         const Time end = bound + task.wcet(e);
         if (end > assignment.windows[v].deadline + 1e-9) {
@@ -146,40 +158,43 @@ struct SearchState {
         }
         // Symmetry: identical (start, finish) options are interchangeable.
         const bool duplicate = std::any_of(
-            options_list.begin(), options_list.end(), [&](const Option& o) {
+            options_list.begin(), options_list.end(), [&](const BnbOption& o) {
               return o.start == bound && o.finishing == end;
             });
         if (!duplicate) {
-          options_list.push_back(Option{p, bound, end});
+          options_list.push_back(BnbOption{p, bound, end});
         }
       }
       std::sort(options_list.begin(), options_list.end(),
-                [](const Option& a, const Option& b) {
+                [](const BnbOption& a, const BnbOption& b) {
                   return a.finishing != b.finishing
                              ? a.finishing < b.finishing
                              : a.proc < b.proc;
                 });
-      for (const Option& o : options_list) {
+      for (const BnbOption& o : options_list) {
         // Apply.
-        scheduled[v] = true;
-        finish[v] = o.finishing;
-        placed_on[v] = o.proc;
-        const Time saved_avail = avail[o.proc];
-        avail[o.proc] = o.finishing;
-        for (const NodeId s : g.successors(v)) {
-          --preds_left[s];
+        ws.bnb_scheduled[v] = 1;
+        ws.bnb_finish[v] = o.finishing;
+        ws.bnb_placed_on[v] = o.proc;
+        const Time saved_avail = ws.bnb_avail[o.proc];
+        ws.bnb_avail[o.proc] = o.finishing;
+        for (const NodeId s : ga.successors(v)) {
+          --ws.preds_left[s];
         }
         --remaining;
 
-        if (dfs(result)) {
+        ++depth;
+        const bool found = dfs(result);
+        --depth;
+        if (found) {
           return true;
         }
 
         // Undo.
-        scheduled[v] = false;
-        avail[o.proc] = saved_avail;
-        for (const NodeId s : g.successors(v)) {
-          ++preds_left[s];
+        ws.bnb_scheduled[v] = 0;
+        ws.bnb_avail[o.proc] = saved_avail;
+        for (const NodeId s : ga.successors(v)) {
+          ++ws.preds_left[s];
         }
         ++remaining;
         if (node_limit_hit) {
@@ -191,7 +206,7 @@ struct SearchState {
   }
 
   double actual_wcet(NodeId v) const {
-    return app.task(v).wcet(platform.class_of(placed_on[v]));
+    return app.task(v).wcet(platform.class_of(ws.bnb_placed_on[v]));
   }
 };
 
@@ -200,15 +215,16 @@ struct SearchState {
 BnbResult branch_and_bound_schedule(const Application& app,
                                     const DeadlineAssignment& assignment,
                                     const Platform& platform,
-                                    const BnbOptions& options) {
+                                    const BnbOptions& options,
+                                    SchedulerWorkspace* ws) {
   DSSLICE_REQUIRE(assignment.windows.size() == app.task_count(),
                   "assignment size mismatch");
   DSSLICE_REQUIRE(options.max_nodes >= 1, "need a positive node budget");
 
   BnbResult result(app.task_count(), platform.processor_count());
-  SearchState state(app, assignment, platform, options);
-  const std::span<const NodeId> topo = app.analysis().topological_order();
-  state.topo_.assign(topo.begin(), topo.end());
+  SchedulerWorkspace local_ws;
+  SearchState state(app, assignment, platform, options,
+                    ws != nullptr ? *ws : local_ws);
 
   const bool found = state.dfs(result);
   result.nodes_explored = state.nodes;

@@ -55,10 +55,16 @@ struct BnbResult {
       : schedule(tasks, processors) {}
 };
 
-/// Searches for any schedule meeting every execution window.
+class SchedulerWorkspace;
+
+/// Searches for any schedule meeting every execution window. `ws`
+/// (optional) supplies reusable buffers for the search state and the
+/// per-depth ready/option lists, removing all per-node allocations from
+/// the descent.
 BnbResult branch_and_bound_schedule(const Application& app,
                                     const DeadlineAssignment& assignment,
                                     const Platform& platform,
-                                    const BnbOptions& options = {});
+                                    const BnbOptions& options = {},
+                                    SchedulerWorkspace* ws = nullptr);
 
 }  // namespace dsslice

@@ -3,9 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <unordered_map>
 #include <vector>
 
+#include "dsslice/analysis/graph_analysis.hpp"
+#include "dsslice/sched/scheduler_workspace.hpp"
 #include "dsslice/util/check.hpp"
 
 namespace dsslice {
@@ -37,10 +38,7 @@ EdfDispatchScheduler::EdfDispatchScheduler(DispatchOptions options)
 namespace {
 
 constexpr double kEps = 1e-9;
-
-std::uint64_t arc_key(NodeId u, NodeId v) {
-  return (static_cast<std::uint64_t>(u) << 32) | v;
-}
+constexpr Time kNoBound = -std::numeric_limits<Time>::infinity();
 
 }  // namespace
 
@@ -56,8 +54,23 @@ SchedulerResult EdfDispatchScheduler::run(const Application& app,
                                           const DispatchConditions* conditions,
                                           DispatchControl* control,
                                           DispatchTelemetry* telemetry) const {
-  const TaskGraph& g = app.graph();
-  const std::size_t n = g.node_count();
+  SchedulerWorkspace ws;
+  SchedulerResult result;
+  run_into(result, ws, app, assignment, platform, conditions, control,
+           telemetry);
+  return result;
+}
+
+void EdfDispatchScheduler::run_into(SchedulerResult& result,
+                                    SchedulerWorkspace& ws,
+                                    const Application& app,
+                                    const DeadlineAssignment& assignment,
+                                    const Platform& platform,
+                                    const DispatchConditions* conditions,
+                                    DispatchControl* control,
+                                    DispatchTelemetry* telemetry) const {
+  const GraphAnalysis& ga = app.analysis();
+  const std::size_t n = ga.node_count();
   const std::size_t m = platform.processor_count();
   DSSLICE_REQUIRE(assignment.windows.size() == n, "assignment size mismatch");
   if (conditions != nullptr) {
@@ -68,52 +81,66 @@ SchedulerResult EdfDispatchScheduler::run(const Application& app,
                         conditions->wcet_addend.size() == n,
                     "wcet_addend size mismatch");
     DSSLICE_REQUIRE(conditions->arc_delay_factor.empty() ||
-                        conditions->arc_delay_factor.size() == g.arc_count(),
+                        conditions->arc_delay_factor.size() == ga.arc_count(),
                     "arc_delay_factor size mismatch");
     DSSLICE_REQUIRE(conditions->processor_down_at.empty() ||
                         conditions->processor_down_at.size() == m,
                     "processor_down_at size mismatch");
   }
 
-  SchedulerResult result{Schedule(n, m), false, std::nullopt, "", {}};
+  reset_scheduler_result(result, n, m);
 
   // Mutable dispatch state (struct-of-arrays so DispatchControl can observe
-  // it through cheap spans).
-  std::vector<Window> windows = assignment.windows;
-  std::vector<std::size_t> preds_left(n, 0);
-  std::vector<char> started(n, 0), done(n, 0), lost(n, 0);
-  std::vector<Time> start_time(n, kTimeZero);
-  std::vector<Time> finish(n, kTimeInfinity);
-  std::vector<ProcessorId> proc_of(n, 0);
-  std::vector<ProcessorId> pinned(n, kUnpinnedProcessor);
-  std::vector<Time> busy_until(m, kTimeZero);
+  // it through cheap spans), all held in the workspace.
+  ws.size(ws.windows, n);
+  std::copy(assignment.windows.begin(), assignment.windows.end(),
+            ws.windows.begin());
+  std::vector<Window>& windows = ws.windows;
+  ws.size(ws.preds_left, n);
+  ws.fill(ws.started, n, char{0});
+  ws.fill(ws.done, n, char{0});
+  ws.fill(ws.lost, n, char{0});
+  ws.fill(ws.start_time, n, kTimeZero);
+  ws.fill(ws.finish, n, kTimeInfinity);
+  ws.fill(ws.proc_of, n, ProcessorId{0});
+  ws.fill(ws.pinned, n, kUnpinnedProcessor);
+  ws.fill(ws.busy_until, m, kTimeZero);
   std::size_t remaining = n;
   for (NodeId v = 0; v < n; ++v) {
-    preds_left[v] = g.in_degree(v);
+    ws.preds_left[v] = ga.predecessors(v).size();
   }
 
   // Per-processor timing: the *planned* availability window comes from the
   // platform (the dispatcher refuses work it knows cannot finish in time),
   // whereas injected failures are unforeseen — work is accepted and killed.
-  std::vector<Time> known_from(m, kTimeZero), known_until(m, kTimeInfinity);
-  std::vector<Time> surprise_down(m, kTimeInfinity);
-  std::vector<char> failure_handled(m, 0);
+  ws.size(ws.known_from, m);
+  ws.size(ws.known_until, m);
+  ws.fill(ws.surprise_down, m, kTimeInfinity);
+  ws.fill(ws.failure_handled, m, char{0});
   for (ProcessorId p = 0; p < m; ++p) {
-    known_from[p] = platform.processor(p).available_from;
-    known_until[p] = platform.processor(p).available_until;
+    ws.known_from[p] = platform.processor(p).available_from;
+    ws.known_until[p] = platform.processor(p).available_until;
     if (conditions != nullptr && !conditions->processor_down_at.empty()) {
-      surprise_down[p] = conditions->processor_down_at[p];
+      ws.surprise_down[p] = conditions->processor_down_at[p];
     }
   }
-  std::vector<Time> down_at(m, kTimeInfinity);  // effective halt, for views
+  ws.size(ws.down_at, m);  // effective halt, for views
   for (ProcessorId p = 0; p < m; ++p) {
-    down_at[p] = std::min(known_until[p], surprise_down[p]);
+    ws.down_at[p] = std::min(ws.known_until[p], ws.surprise_down[p]);
   }
   bool any_failure = false;
 
-  // Actual execution time of v on class e under the injected conditions.
-  const auto actual_wcet = [&](NodeId v, ProcessorClassId e) {
-    double c = app.task(v).wcet(e);
+  // The candidate loops below run once per (ready task, processor) per
+  // event; cache Platform::class_of so eligibility checks are direct reads
+  // of the public wcet table instead of two out-of-line calls.
+  ws.size(ws.proc_class, m);
+  for (ProcessorId p = 0; p < m; ++p) {
+    ws.proc_class[p] = platform.class_of(p);
+  }
+
+  // Actual execution time of v, given its nominal wcet on the chosen class,
+  // under the injected conditions.
+  const auto adjust_wcet = [&](NodeId v, double c) {
     if (conditions != nullptr) {
       if (!conditions->wcet_factor.empty()) {
         c *= conditions->wcet_factor[v];
@@ -126,27 +153,16 @@ SchedulerResult EdfDispatchScheduler::run(const Application& app,
     return c;
   };
 
-  // Per-arc message-delay multiplier (identity when not injected).
-  std::unordered_map<std::uint64_t, double> arc_factor;
-  if (conditions != nullptr && !conditions->arc_delay_factor.empty()) {
-    const auto& arcs = g.arcs();
-    arc_factor.reserve(arcs.size());
-    for (std::size_t k = 0; k < arcs.size(); ++k) {
-      arc_factor.emplace(arc_key(arcs[k].from, arcs[k].to),
-                         conditions->arc_delay_factor[k]);
-    }
-  }
-  const auto comm_delay = [&](NodeId u, NodeId v, ProcessorId src,
-                              ProcessorId dst, double items) {
-    Time d = platform.comm_delay(src, dst, items);
-    if (!arc_factor.empty()) {
-      const auto it = arc_factor.find(arc_key(u, v));
-      if (it != arc_factor.end()) {
-        d *= it->second;
-      }
-    }
-    return d;
-  };
+  // Per-arc message-delay multipliers come pre-flattened in graph arc order;
+  // GraphAnalysis::predecessor_arc_indices maps each in-edge straight to its
+  // factor — no hash map on the hot path.
+  const double* arc_factor =
+      conditions != nullptr && !conditions->arc_delay_factor.empty()
+          ? conditions->arc_delay_factor.data()
+          : nullptr;
+  const auto* shared_bus = dynamic_cast<const SharedBus*>(&platform.network());
+  const Time bus_rate =
+      shared_bus != nullptr ? shared_bus->per_item_delay() : kTimeZero;
 
   if (telemetry != nullptr) {
     *telemetry = DispatchTelemetry{};
@@ -157,23 +173,77 @@ SchedulerResult EdfDispatchScheduler::run(const Application& app,
     result.success = false;
     result.failed_task = v;
     result.failure_reason = std::move(reason);
-    return result;
   };
 
   const auto make_view = [&](Time now) {
-    return DispatchControl::View{app,      platform, now,        started,
-                                 done,     finish,   busy_until, down_at};
+    return DispatchControl::View{app,     platform,  now,
+                                 ws.started, ws.done, ws.finish,
+                                 ws.busy_until, ws.down_at};
   };
 
   // Earliest time the data of ready task v is available on processor p.
+  // Identical arithmetic to run(): nominal delay × injected factor, with the
+  // SharedBus delay inlined (0 co-located, items × per-item otherwise).
   const auto data_ready = [&](NodeId v, ProcessorId p) {
     Time ready = kTimeZero;
-    for (const NodeId u : g.predecessors(v)) {
-      const double items = g.message_items(u, v).value_or(0.0);
-      ready = std::max(ready,
-                       finish[u] + comm_delay(u, v, proc_of[u], p, items));
+    const auto preds = ga.predecessors(v);
+    const auto pitems = ga.predecessor_items(v);
+    const auto parcs = ga.predecessor_arc_indices(v);
+    for (std::size_t k = 0; k < preds.size(); ++k) {
+      const NodeId u = preds[k];
+      Time d = shared_bus != nullptr
+                   ? (ws.proc_of[u] == p ? kTimeZero : pitems[k] * bus_rate)
+                   : platform.comm_delay(ws.proc_of[u], p, pitems[k]);
+      if (arc_factor != nullptr) {
+        d *= arc_factor[parcs[k]];
+      }
+      ready = std::max(ready, ws.finish[u] + d);
     }
     return ready;
+  };
+
+  // Shared-bus fast path for data_ready: the cross-processor contribution
+  // finish_u + items × rate × factor does not depend on the destination, so
+  // the two largest contributions from *distinct* source processors plus a
+  // per-processor co-located maximum answer data_ready(v, ·) in O(1) per
+  // processor after an O(preds + m) prime. Pure exact max-combining over
+  // the identical per-predecessor doubles, hence bit-identical to the loop
+  // above (same trick as edf_list_scheduler.cpp). Predecessor finishes are
+  // final once preds_left[v] == 0 (done tasks are never killed), so a prime
+  // stays valid for the whole scan over processors.
+  Time dr_cross1 = kNoBound, dr_cross2 = kNoBound;
+  ProcessorId dr_cross1_proc = 0;
+  const auto prime_data_ready = [&](NodeId v) {
+    dr_cross1 = dr_cross2 = kNoBound;
+    dr_cross1_proc = 0;
+    ws.fill(ws.local_pred_bound, m, kNoBound);
+    const auto preds = ga.predecessors(v);
+    const auto pitems = ga.predecessor_items(v);
+    const auto parcs = ga.predecessor_arc_indices(v);
+    for (std::size_t k = 0; k < preds.size(); ++k) {
+      const NodeId u = preds[k];
+      const ProcessorId up = ws.proc_of[u];
+      Time d = pitems[k] * bus_rate;
+      if (arc_factor != nullptr) {
+        d *= arc_factor[parcs[k]];
+      }
+      const Time contrib = ws.finish[u] + d;
+      if (contrib > dr_cross1) {
+        if (up != dr_cross1_proc) {
+          dr_cross2 = dr_cross1;  // dethroned max is from another processor
+        }
+        dr_cross1 = contrib;
+        dr_cross1_proc = up;
+      } else if (up != dr_cross1_proc && contrib > dr_cross2) {
+        dr_cross2 = contrib;
+      }
+      ws.local_pred_bound[up] =
+          std::max(ws.local_pred_bound[up], ws.finish[u]);
+    }
+  };
+  const auto primed_data_ready = [&](ProcessorId p) {
+    const Time cross = p == dr_cross1_proc ? dr_cross2 : dr_cross1;
+    return std::max(kTimeZero, std::max(cross, ws.local_pred_bound[p]));
   };
 
   bool missed = false;
@@ -191,36 +261,36 @@ SchedulerResult EdfDispatchScheduler::run(const Application& app,
     // processor, kill the task in flight, and let the recovery hook decide
     // which victims re-enter the dispatch queue.
     for (ProcessorId p = 0; p < m; ++p) {
-      if (failure_handled[p] || surprise_down[p] > now + kEps) {
+      if (ws.failure_handled[p] || ws.surprise_down[p] > now + kEps) {
         continue;
       }
-      failure_handled[p] = 1;
+      ws.failure_handled[p] = 1;
       any_failure = true;
       std::vector<NodeId> victims;
       for (NodeId v = 0; v < n; ++v) {
-        if (started[v] && !done[v] && proc_of[v] == p &&
-            finish[v] > surprise_down[p] + kEps) {
+        if (ws.started[v] && !ws.done[v] && ws.proc_of[v] == p &&
+            ws.finish[v] > ws.surprise_down[p] + kEps) {
           victims.push_back(v);
-          started[v] = 0;
-          finish[v] = kTimeInfinity;
-          lost[v] = 1;
+          ws.started[v] = 0;
+          ws.finish[v] = kTimeInfinity;
+          ws.lost[v] = 1;
           if (telemetry != nullptr) {
             telemetry->killed.push_back(v);
           }
         }
       }
-      busy_until[p] = std::min(busy_until[p], surprise_down[p]);
+      ws.busy_until[p] = std::min(ws.busy_until[p], ws.surprise_down[p]);
       std::vector<NodeId> revived;
       if (control != nullptr) {
         const auto view = make_view(now);
         revived = control->on_processor_failure(view, p, victims, windows,
-                                                pinned);
+                                                ws.pinned);
       }
       for (const NodeId r : revived) {
         DSSLICE_CHECK(std::find(victims.begin(), victims.end(), r) !=
                           victims.end(),
                       "control revived a task that was not a victim");
-        lost[r] = 0;
+        ws.lost[r] = 0;
         if (telemetry != nullptr) {
           ++telemetry->restarts;
         }
@@ -229,19 +299,20 @@ SchedulerResult EdfDispatchScheduler::run(const Application& app,
 
     // Complete tasks whose finish time has been reached.
     for (NodeId v = 0; v < n; ++v) {
-      if (started[v] && !done[v] && finish[v] <= now + kEps) {
-        done[v] = 1;
+      if (ws.started[v] && !ws.done[v] && ws.finish[v] <= now + kEps) {
+        ws.done[v] = 1;
         --remaining;
-        result.schedule.place(v, proc_of[v], start_time[v], finish[v]);
+        result.schedule.place(v, ws.proc_of[v], ws.start_time[v],
+                              ws.finish[v]);
         if (telemetry != nullptr) {
-          telemetry->completion[v] = finish[v];
+          telemetry->completion[v] = ws.finish[v];
         }
-        const bool late = finish[v] > windows[v].deadline + kEps;
+        const bool late = ws.finish[v] > windows[v].deadline + kEps;
         if (late) {
           missed = true;
           if (telemetry != nullptr) {
             telemetry->misses.push_back(
-                TaskMissEvent{v, finish[v], windows[v].deadline});
+                TaskMissEvent{v, ws.finish[v], windows[v].deadline});
           }
           if (options_.abort_on_miss) {
             return fail(v, "task " + app.task(v).name +
@@ -253,8 +324,8 @@ SchedulerResult EdfDispatchScheduler::run(const Application& app,
                 "task " + app.task(v).name + " missed its deadline";
           }
         }
-        for (const NodeId s : g.successors(v)) {
-          --preds_left[s];
+        for (const NodeId s : ga.successors(v)) {
+          --ws.preds_left[s];
         }
         if (control != nullptr) {
           const auto view = make_view(now);
@@ -275,8 +346,8 @@ SchedulerResult EdfDispatchScheduler::run(const Application& app,
       double best_wcet = 0.0;
       Time best_deadline = kTimeInfinity;
       for (NodeId v = 0; v < n; ++v) {
-        if (started[v] || done[v] || lost[v] || preds_left[v] != 0 ||
-            windows[v].arrival > now + kEps) {
+        if (ws.started[v] || ws.done[v] || ws.lost[v] ||
+            ws.preds_left[v] != 0 || windows[v].arrival > now + kEps) {
           continue;
         }
         const Time deadline = windows[v].deadline;
@@ -288,25 +359,38 @@ SchedulerResult EdfDispatchScheduler::run(const Application& app,
         ProcessorId chosen = 0;
         double chosen_wcet = 0.0;
         bool found = false;
+        const Task& task = app.task(v);
+        const double* wcets = task.wcet_by_class.data();
+        const std::size_t class_count = task.wcet_by_class.size();
+        bool primed = false;  // prime lazily: most candidates reject earlier
         for (ProcessorId p = 0; p < m; ++p) {
-          if (busy_until[p] > now + kEps) {
+          if (ws.busy_until[p] > now + kEps) {
             continue;
           }
-          if (pinned[v] != kUnpinnedProcessor && pinned[v] != p) {
+          if (ws.pinned[v] != kUnpinnedProcessor && ws.pinned[v] != p) {
             continue;
           }
-          if (now + kEps < known_from[p] || now + kEps >= surprise_down[p]) {
+          if (now + kEps < ws.known_from[p] ||
+              now + kEps >= ws.surprise_down[p]) {
             continue;  // not yet up / observed dead
           }
-          const Task& task = app.task(v);
-          if (!task.eligible(platform.class_of(p))) {
-            continue;
+          const ProcessorClassId e = ws.proc_class[p];
+          if (e >= class_count || wcets[e] < 0.0) {
+            continue;  // Task::eligible, as direct reads
           }
-          const double c = actual_wcet(v, platform.class_of(p));
-          if (now + c > known_until[p] + kEps) {
+          const double c = adjust_wcet(v, wcets[e]);
+          if (now + c > ws.known_until[p] + kEps) {
             continue;  // would outlive the planned availability window
           }
-          if (data_ready(v, p) > now + kEps) {
+          if (shared_bus != nullptr) {
+            if (!primed) {
+              prime_data_ready(v);
+              primed = true;
+            }
+            if (primed_data_ready(p) > now + kEps) {
+              continue;
+            }
+          } else if (data_ready(v, p) > now + kEps) {
             continue;
           }
           if (!found || c < chosen_wcet) {
@@ -331,11 +415,11 @@ SchedulerResult EdfDispatchScheduler::run(const Application& app,
       if (best >= n) {
         break;  // nothing dispatchable right now
       }
-      started[best] = 1;
-      proc_of[best] = best_proc;
-      start_time[best] = now;
-      finish[best] = now + best_wcet;
-      busy_until[best_proc] = finish[best];
+      ws.started[best] = 1;
+      ws.proc_of[best] = best_proc;
+      ws.start_time[best] = now;
+      ws.finish[best] = now + best_wcet;
+      ws.busy_until[best_proc] = ws.finish[best];
     }
 
     // Advance to the next event: a completion, an unforeseen failure, a
@@ -343,16 +427,16 @@ SchedulerResult EdfDispatchScheduler::run(const Application& app,
     // processor.
     Time next = kTimeInfinity;
     for (ProcessorId p = 0; p < m; ++p) {
-      if (busy_until[p] > now + kEps) {
-        next = std::min(next, busy_until[p]);
+      if (ws.busy_until[p] > now + kEps) {
+        next = std::min(next, ws.busy_until[p]);
       }
-      if (!failure_handled[p] && surprise_down[p] < kTimeInfinity &&
-          surprise_down[p] > now + kEps) {
-        next = std::min(next, surprise_down[p]);
+      if (!ws.failure_handled[p] && ws.surprise_down[p] < kTimeInfinity &&
+          ws.surprise_down[p] > now + kEps) {
+        next = std::min(next, ws.surprise_down[p]);
       }
     }
     for (NodeId v = 0; v < n; ++v) {
-      if (started[v] || done[v] || lost[v] || preds_left[v] != 0) {
+      if (ws.started[v] || ws.done[v] || ws.lost[v] || ws.preds_left[v] != 0) {
         continue;
       }
       const Time arrival = windows[v].arrival;
@@ -361,23 +445,36 @@ SchedulerResult EdfDispatchScheduler::run(const Application& app,
         continue;
       }
       const Task& task = app.task(v);
+      const double* wcets = task.wcet_by_class.data();
+      const std::size_t class_count = task.wcet_by_class.size();
       bool any_eligible = false;
+      bool primed = false;
       for (ProcessorId p = 0; p < m; ++p) {
-        if (!task.eligible(platform.class_of(p))) {
-          continue;
+        const ProcessorClassId e = ws.proc_class[p];
+        if (e >= class_count || wcets[e] < 0.0) {
+          continue;  // Task::eligible, as direct reads
         }
         any_eligible = true;
-        if (now + kEps >= surprise_down[p]) {
+        if (now + kEps >= ws.surprise_down[p]) {
           continue;  // dead processor generates no future events
         }
-        if (pinned[v] != kUnpinnedProcessor && pinned[v] != p) {
+        if (ws.pinned[v] != kUnpinnedProcessor && ws.pinned[v] != p) {
           continue;
         }
-        if (now + kEps < known_from[p]) {
-          next = std::min(next, known_from[p]);
+        if (now + kEps < ws.known_from[p]) {
+          next = std::min(next, ws.known_from[p]);
           continue;
         }
-        const Time ready = data_ready(v, p);
+        Time ready;
+        if (shared_bus != nullptr) {
+          if (!primed) {
+            prime_data_ready(v);
+            primed = true;
+          }
+          ready = primed_data_ready(p);
+        } else {
+          ready = data_ready(v, p);
+        }
         if (ready > now + kEps) {
           next = std::min(next, ready);
         }
@@ -406,7 +503,7 @@ SchedulerResult EdfDispatchScheduler::run(const Application& app,
     std::size_t stranded = 0;
     NodeId first = 0;
     for (NodeId v = 0; v < n; ++v) {
-      if (!done[v]) {
+      if (!ws.done[v]) {
         if (stranded++ == 0) {
           first = v;
         }
@@ -421,7 +518,6 @@ SchedulerResult EdfDispatchScheduler::run(const Application& app,
   }
 
   result.success = !missed && result.schedule.complete();
-  return result;
 }
 
 }  // namespace dsslice

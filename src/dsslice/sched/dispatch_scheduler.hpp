@@ -132,6 +132,8 @@ class DispatchControl {
       std::vector<Window>& windows, std::vector<ProcessorId>& pinned);
 };
 
+class SchedulerWorkspace;
+
 class EdfDispatchScheduler {
  public:
   explicit EdfDispatchScheduler(DispatchOptions options = {});
@@ -155,6 +157,18 @@ class EdfDispatchScheduler {
                       const DispatchConditions* conditions,
                       DispatchControl* control = nullptr,
                       DispatchTelemetry* telemetry = nullptr) const;
+
+  /// Allocation-free variant for hot loops: writes the (bit-identical)
+  /// result into `result`, reusing its storage and `ws` buffers. The
+  /// epsilon-tolerant scan orders of run() are preserved exactly; only
+  /// constant factors change (flat per-arc delay factors instead of a hash
+  /// map, cached adjacency, devirtualized shared-bus delays).
+  void run_into(SchedulerResult& result, SchedulerWorkspace& ws,
+                const Application& app, const DeadlineAssignment& assignment,
+                const Platform& platform,
+                const DispatchConditions* conditions = nullptr,
+                DispatchControl* control = nullptr,
+                DispatchTelemetry* telemetry = nullptr) const;
 
   const DispatchOptions& options() const { return options_; }
 

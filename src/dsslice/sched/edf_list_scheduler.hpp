@@ -70,6 +70,8 @@ struct SchedulerResult {
   std::vector<BusTransfer> bus_transfers;
 };
 
+class SchedulerWorkspace;
+
 class EdfListScheduler {
  public:
   explicit EdfListScheduler(SchedulerOptions options = {});
@@ -86,6 +88,15 @@ class EdfListScheduler {
                       const DeadlineAssignment& assignment,
                       const Platform& platform,
                       const ResourceModel* resources = nullptr) const;
+
+  /// Allocation-free variant for hot loops: writes the (bit-identical)
+  /// result into `result`, reusing its storage and `ws`'s buffers. After a
+  /// warm-up call of the same scenario shape, repeat calls perform zero
+  /// scheduler-state allocations (see SchedulerWorkspace::grow_events).
+  void run_into(SchedulerResult& result, SchedulerWorkspace& ws,
+                const Application& app, const DeadlineAssignment& assignment,
+                const Platform& platform,
+                const ResourceModel* resources = nullptr) const;
 
   const SchedulerOptions& options() const { return options_; }
 

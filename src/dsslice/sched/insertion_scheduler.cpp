@@ -10,14 +10,16 @@ Time ProcessorTimeline::earliest_fit(Time earliest_bound,
                                      Time duration) const {
   DSSLICE_REQUIRE(duration >= 0.0, "negative duration");
   Time candidate = earliest_bound;
-  for (const Interval& iv : busy_) {
-    if (iv.finish <= candidate) {
-      continue;  // interval entirely before the candidate slot
+  // Intervals are sorted and disjoint, so finishes are sorted too: skip
+  // everything that ends at or before the candidate in O(log intervals).
+  auto it = std::partition_point(
+      busy_.begin(), busy_.end(),
+      [&](const Interval& iv) { return iv.finish <= candidate; });
+  for (; it != busy_.end(); ++it) {
+    if (it->start >= candidate + duration) {
+      return candidate;  // the gap before *it fits
     }
-    if (iv.start >= candidate + duration) {
-      return candidate;  // the gap before iv fits
-    }
-    candidate = std::max(candidate, iv.finish);
+    candidate = std::max(candidate, it->finish);
   }
   return candidate;  // after the last interval
 }
@@ -28,14 +30,29 @@ void ProcessorTimeline::occupy(Time start, Time duration) {
   const auto pos = std::lower_bound(
       busy_.begin(), busy_.end(), iv,
       [](const Interval& a, const Interval& b) { return a.start < b.start; });
+  bool merge_prev = false;
+  bool merge_next = false;
   if (pos != busy_.begin()) {
     DSSLICE_CHECK(std::prev(pos)->finish <= iv.start,
                   "overlapping busy interval");
+    merge_prev = std::prev(pos)->finish == iv.start;
   }
   if (pos != busy_.end()) {
     DSSLICE_CHECK(iv.finish <= pos->start, "overlapping busy interval");
+    merge_next = iv.finish == pos->start;
   }
-  busy_.insert(pos, iv);
+  // Coalesce with the abutting neighbours: free space — and therefore every
+  // earliest_fit answer — is unchanged, but the list stays short.
+  if (merge_prev && merge_next) {
+    std::prev(pos)->finish = pos->finish;
+    busy_.erase(pos);
+  } else if (merge_prev) {
+    std::prev(pos)->finish = iv.finish;
+  } else if (merge_next) {
+    pos->start = iv.start;
+  } else {
+    busy_.insert(pos, iv);
+  }
 }
 
 Time ProcessorTimeline::last_finish() const {

@@ -3,8 +3,12 @@
 // The paper's baseline list scheduler appends tasks after the processor's
 // last finish time. The insertion variant (§7.3 "other scheduling policies")
 // may also place a task into an earlier idle gap, which can only improve the
-// start time. ProcessorTimeline keeps the busy intervals sorted and answers
-// "earliest start ≥ bound that fits a duration" queries in O(intervals).
+// start time. ProcessorTimeline keeps the busy intervals sorted and
+// coalesced (abutting intervals are merged on occupy, so the list length is
+// bounded by the number of idle gaps, not the number of placements), and
+// answers "earliest start ≥ bound that fits a duration" queries by binary
+// searching to the first interval that can interfere with the bound and
+// scanning gaps from there.
 #pragma once
 
 #include <vector>
@@ -20,20 +24,32 @@ class ProcessorTimeline {
   Time earliest_fit(Time earliest_bound, Time duration) const;
 
   /// Marks [start, start + duration) busy. The interval must not overlap
-  /// existing ones (callers must use earliest_fit-derived starts).
+  /// existing ones (callers must use earliest_fit-derived starts). Abutting
+  /// intervals are merged, which leaves the answer of every earliest_fit
+  /// query unchanged.
   void occupy(Time start, Time duration);
 
   /// Latest busy finish time (kTimeZero when idle).
   Time last_finish() const;
 
+  /// Number of maximal busy intervals (abutting placements coalesce).
   std::size_t interval_count() const { return busy_.size(); }
+
+  /// Forgets every busy interval but keeps the storage (workspace reuse).
+  void clear() { busy_.clear(); }
+
+  /// Becomes a copy of `other`, reusing this timeline's storage.
+  void assign(const ProcessorTimeline& other) { busy_ = other.busy_; }
+
+  /// Heap capacity of the interval list, for allocation-tracking callers.
+  std::size_t interval_capacity() const { return busy_.capacity(); }
 
  private:
   struct Interval {
     Time start;
     Time finish;
   };
-  // Sorted by start; non-overlapping.
+  // Sorted by start; non-overlapping, non-abutting.
   std::vector<Interval> busy_;
 };
 

@@ -5,6 +5,8 @@
 #include <limits>
 #include <vector>
 
+#include "dsslice/analysis/graph_analysis.hpp"
+#include "dsslice/sched/scheduler_workspace.hpp"
 #include "dsslice/util/check.hpp"
 #include "dsslice/util/string_util.hpp"
 
@@ -18,48 +20,67 @@ namespace {
 constexpr double kEps = 1e-9;
 constexpr ProcessorId kUnbound = static_cast<ProcessorId>(-1);
 
-struct TaskRun {
-  bool released = false;
-  bool completed = false;
-  Time release = kTimeZero;
-  double remaining = 0.0;
-  ProcessorId processor = kUnbound;
-  std::size_t preds_left = 0;
-};
-
 }  // namespace
 
 PreemptiveResult PreemptiveEdfScheduler::run(
     const Application& app, const DeadlineAssignment& assignment,
     const Platform& platform) const {
-  const TaskGraph& g = app.graph();
-  const std::size_t n = g.node_count();
+  SchedulerWorkspace ws;
+  PreemptiveResult result;
+  run_into(result, ws, app, assignment, platform);
+  return result;
+}
+
+void PreemptiveEdfScheduler::run_into(PreemptiveResult& result,
+                                      SchedulerWorkspace& ws,
+                                      const Application& app,
+                                      const DeadlineAssignment& assignment,
+                                      const Platform& platform) const {
+  const GraphAnalysis& ga = app.analysis();
+  const std::size_t n = ga.node_count();
   const std::size_t m = platform.processor_count();
   DSSLICE_REQUIRE(assignment.windows.size() == n, "assignment size mismatch");
 
-  PreemptiveResult result;
-  result.completion.assign(n, kTimeZero);
-  result.processor_of.assign(n, kUnbound);
+  result.success = false;
+  result.failed_task.reset();
+  result.failure_reason.clear();
+  result.preemptions = 0;
+  result.slices.clear();
+  ws.fill(result.completion, n, kTimeZero);
+  ws.fill(result.processor_of, n, kUnbound);
 
-  std::vector<TaskRun> run(n);
+  // Task state (struct-of-arrays in the workspace; formerly a TaskRun
+  // vector allocated per call).
+  ws.fill(ws.task_released, n, char{0});
+  ws.fill(ws.task_completed, n, char{0});
+  ws.fill(ws.task_release, n, kTimeZero);
+  ws.fill(ws.task_remaining, n, 0.0);
+  ws.fill(ws.task_processor, n, kUnbound);
+  ws.size(ws.task_preds_left, n);
   // Per-processor state: currently running task (or n), its dispatch time,
   // queue of released-but-not-running bound tasks, and total bound backlog.
-  std::vector<NodeId> running(m, static_cast<NodeId>(n));
-  std::vector<Time> dispatched_at(m, kTimeZero);
-  std::vector<std::vector<NodeId>> ready(m);
-  std::vector<double> backlog(m, 0.0);
+  ws.fill(ws.running, m, static_cast<NodeId>(n));
+  ws.fill(ws.dispatched_at, m, kTimeZero);
+  ws.size(ws.ready_on, m);
+  for (auto& q : ws.ready_on) {
+    q.clear();
+  }
+  ws.fill(ws.backlog, m, 0.0);
+
+  const auto* shared_bus = dynamic_cast<const SharedBus*>(&platform.network());
+  const Time bus_rate =
+      shared_bus != nullptr ? shared_bus->per_item_delay() : kTimeZero;
 
   const auto fail = [&](NodeId v, std::string reason) {
     result.success = false;
     result.failed_task = v;
     result.failure_reason = std::move(reason);
-    return result;
   };
 
   // Binds a task whose predecessors are all complete: choose the eligible
   // processor minimizing (data-ready time, backlog, id) and queue its
   // release.
-  std::vector<std::pair<Time, NodeId>> release_queue;  // unsorted; scanned
+  ws.release_queue.clear();  // unsorted; scanned
   std::size_t incomplete = n;
   bool binding_failed = false;
   NodeId binding_failed_task = 0;
@@ -68,24 +89,29 @@ PreemptiveResult PreemptiveEdfScheduler::run(
     Time best_release = kTimeInfinity;
     double best_backlog = 0.0;
     ProcessorId best = kUnbound;
+    const auto preds = ga.predecessors(v);
+    const auto pitems = ga.predecessor_items(v);
     for (ProcessorId p = 0; p < m; ++p) {
       if (!task.eligible(platform.class_of(p))) {
         continue;
       }
       Time rel = assignment.windows[v].arrival;
-      for (const NodeId u : g.predecessors(v)) {
-        const double items = g.message_items(u, v).value_or(0.0);
-        rel = std::max(rel, result.completion[u] +
-                                platform.comm_delay(run[u].processor, p,
-                                                    items));
+      for (std::size_t k = 0; k < preds.size(); ++k) {
+        const NodeId u = preds[k];
+        const Time d =
+            shared_bus != nullptr
+                ? (ws.task_processor[u] == p ? kTimeZero
+                                             : pitems[k] * bus_rate)
+                : platform.comm_delay(ws.task_processor[u], p, pitems[k]);
+        rel = std::max(rel, result.completion[u] + d);
       }
       if (best == kUnbound || rel < best_release - kEps ||
           (std::abs(rel - best_release) <= kEps &&
-           (backlog[p] < best_backlog - kEps ||
-            (std::abs(backlog[p] - best_backlog) <= kEps && p < best)))) {
+           (ws.backlog[p] < best_backlog - kEps ||
+            (std::abs(ws.backlog[p] - best_backlog) <= kEps && p < best)))) {
         best = p;
         best_release = rel;
-        best_backlog = backlog[p];
+        best_backlog = ws.backlog[p];
       }
     }
     if (best == kUnbound) {
@@ -93,17 +119,17 @@ PreemptiveResult PreemptiveEdfScheduler::run(
       binding_failed_task = v;
       return;
     }
-    run[v].processor = best;
-    run[v].release = best_release;
-    run[v].remaining = app.task(v).wcet(platform.class_of(best));
+    ws.task_processor[v] = best;
+    ws.task_release[v] = best_release;
+    ws.task_remaining[v] = app.task(v).wcet(platform.class_of(best));
     result.processor_of[v] = best;
-    backlog[best] += run[v].remaining;
-    release_queue.emplace_back(best_release, v);
+    ws.backlog[best] += ws.task_remaining[v];
+    ws.push(ws.release_queue, {best_release, v});
   };
 
   for (NodeId v = 0; v < n; ++v) {
-    run[v].preds_left = g.in_degree(v);
-    if (run[v].preds_left == 0) {
+    ws.task_preds_left[v] = ga.predecessors(v).size();
+    if (ws.task_preds_left[v] == 0) {
       bind_task(v);
     }
   }
@@ -115,23 +141,24 @@ PreemptiveResult PreemptiveEdfScheduler::run(
 
   const auto dispatch = [&](ProcessorId p, Time now) {
     // Run the earliest-deadline released task bound to p.
-    if (ready[p].empty()) {
-      running[p] = static_cast<NodeId>(n);
+    if (ws.ready_on[p].empty()) {
+      ws.running[p] = static_cast<NodeId>(n);
       return;
     }
+    auto& queue = ws.ready_on[p];
     std::size_t pick = 0;
-    for (std::size_t k = 1; k < ready[p].size(); ++k) {
-      const Time da = assignment.windows[ready[p][k]].deadline;
-      const Time db = assignment.windows[ready[p][pick]].deadline;
+    for (std::size_t k = 1; k < queue.size(); ++k) {
+      const Time da = assignment.windows[queue[k]].deadline;
+      const Time db = assignment.windows[queue[pick]].deadline;
       if (da < db - kEps ||
-          (std::abs(da - db) <= kEps && ready[p][k] < ready[p][pick])) {
+          (std::abs(da - db) <= kEps && queue[k] < queue[pick])) {
         pick = k;
       }
     }
-    running[p] = ready[p][pick];
-    ready[p][pick] = ready[p].back();
-    ready[p].pop_back();
-    dispatched_at[p] = now;
+    ws.running[p] = queue[pick];
+    queue[pick] = queue.back();
+    queue.pop_back();
+    ws.dispatched_at[p] = now;
   };
 
   Time now = kTimeZero;
@@ -142,12 +169,13 @@ PreemptiveResult PreemptiveEdfScheduler::run(
                   "preemptive simulation failed to converge");
     // Next event: earliest pending release or earliest projected finish.
     Time next = kTimeInfinity;
-    for (const auto& [t, v] : release_queue) {
+    for (const auto& [t, v] : ws.release_queue) {
       next = std::min(next, std::max(t, now));
     }
     for (ProcessorId p = 0; p < m; ++p) {
-      if (running[p] < n) {
-        next = std::min(next, dispatched_at[p] + run[running[p]].remaining);
+      if (ws.running[p] < n) {
+        next = std::min(next,
+                        ws.dispatched_at[p] + ws.task_remaining[ws.running[p]]);
       }
     }
     DSSLICE_CHECK(next < kTimeInfinity,
@@ -156,20 +184,20 @@ PreemptiveResult PreemptiveEdfScheduler::run(
 
     // 1. Completions at `now`.
     for (ProcessorId p = 0; p < m; ++p) {
-      const NodeId v = running[p];
+      const NodeId v = ws.running[p];
       if (v >= n) {
         continue;
       }
-      const Time projected = dispatched_at[p] + run[v].remaining;
+      const Time projected = ws.dispatched_at[p] + ws.task_remaining[v];
       if (projected > now + kEps) {
         continue;
       }
-      result.slices.push_back(ExecutionSlice{v, p, dispatched_at[p], now});
-      run[v].completed = true;
-      run[v].remaining = 0.0;
+      result.slices.push_back(ExecutionSlice{v, p, ws.dispatched_at[p], now});
+      ws.task_completed[v] = 1;
+      ws.task_remaining[v] = 0.0;
       result.completion[v] = now;
-      backlog[p] -= app.task(v).wcet(platform.class_of(p));
-      running[p] = static_cast<NodeId>(n);
+      ws.backlog[p] -= app.task(v).wcet(platform.class_of(p));
+      ws.running[p] = static_cast<NodeId>(n);
       --incomplete;
       if (now > assignment.windows[v].deadline + kEps) {
         missed = true;
@@ -183,8 +211,8 @@ PreemptiveResult PreemptiveEdfScheduler::run(
               "task " + app.task(v).name + " missed its deadline";
         }
       }
-      for (const NodeId s : g.successors(v)) {
-        if (--run[s].preds_left == 0) {
+      for (const NodeId s : ga.successors(v)) {
+        if (--ws.task_preds_left[s] == 0) {
           bind_task(s);
           if (binding_failed) {
             return fail(binding_failed_task,
@@ -197,44 +225,43 @@ PreemptiveResult PreemptiveEdfScheduler::run(
 
     // 2. Releases due at `now` move to their processor's ready set,
     //    preempting a less urgent running task.
-    for (std::size_t k = 0; k < release_queue.size();) {
-      if (release_queue[k].first > now + kEps) {
+    for (std::size_t k = 0; k < ws.release_queue.size();) {
+      if (ws.release_queue[k].first > now + kEps) {
         ++k;
         continue;
       }
-      const NodeId v = release_queue[k].second;
-      release_queue[k] = release_queue.back();
-      release_queue.pop_back();
-      run[v].released = true;
-      const ProcessorId p = run[v].processor;
-      const NodeId cur = running[p];
+      const NodeId v = ws.release_queue[k].second;
+      ws.release_queue[k] = ws.release_queue.back();
+      ws.release_queue.pop_back();
+      ws.task_released[v] = 1;
+      const ProcessorId p = ws.task_processor[v];
+      const NodeId cur = ws.running[p];
       if (cur < n && assignment.windows[v].deadline <
                          assignment.windows[cur].deadline - kEps) {
         // Preempt: bank the partial slice, requeue the victim.
-        if (now > dispatched_at[p] + kEps) {
+        if (now > ws.dispatched_at[p] + kEps) {
           result.slices.push_back(
-              ExecutionSlice{cur, p, dispatched_at[p], now});
-          run[cur].remaining -= now - dispatched_at[p];
+              ExecutionSlice{cur, p, ws.dispatched_at[p], now});
+          ws.task_remaining[cur] -= now - ws.dispatched_at[p];
         }
         ++result.preemptions;
-        ready[p].push_back(cur);
-        running[p] = v;
-        dispatched_at[p] = now;
+        ws.push(ws.ready_on[p], cur);
+        ws.running[p] = v;
+        ws.dispatched_at[p] = now;
       } else {
-        ready[p].push_back(v);
+        ws.push(ws.ready_on[p], v);
       }
     }
 
     // 3. Idle processors pick up work.
     for (ProcessorId p = 0; p < m; ++p) {
-      if (running[p] >= n) {
+      if (ws.running[p] >= n) {
         dispatch(p, now);
       }
     }
   }
 
   result.success = !missed;
-  return result;
 }
 
 std::vector<std::string> validate_preemptive_trace(

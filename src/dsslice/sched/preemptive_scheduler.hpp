@@ -56,6 +56,8 @@ struct PreemptiveResult {
   std::vector<ExecutionSlice> slices;
 };
 
+class SchedulerWorkspace;
+
 class PreemptiveEdfScheduler {
  public:
   explicit PreemptiveEdfScheduler(PreemptiveOptions options = {});
@@ -63,6 +65,12 @@ class PreemptiveEdfScheduler {
   PreemptiveResult run(const Application& app,
                        const DeadlineAssignment& assignment,
                        const Platform& platform) const;
+
+  /// Allocation-free variant for hot loops: writes the (bit-identical)
+  /// result into `result`, reusing its storage and `ws` buffers.
+  void run_into(PreemptiveResult& result, SchedulerWorkspace& ws,
+                const Application& app, const DeadlineAssignment& assignment,
+                const Platform& platform) const;
 
   const PreemptiveOptions& options() const { return options_; }
 

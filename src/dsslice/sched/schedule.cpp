@@ -17,6 +17,18 @@ Schedule::Schedule(std::size_t task_count, std::size_t processor_count)
   DSSLICE_REQUIRE(processor_count > 0, "need at least one processor");
 }
 
+void Schedule::reset(std::size_t task_count, std::size_t processor_count) {
+  DSSLICE_REQUIRE(processor_count > 0, "need at least one processor");
+  placed_.assign(task_count, false);
+  entries_.resize(task_count);
+  per_processor_.resize(processor_count);
+  for (auto& lane : per_processor_) {
+    lane.clear();  // keeps each lane's capacity across runs
+  }
+  available_.assign(processor_count, kTimeZero);
+  placed_count_ = 0;
+}
+
 void Schedule::require_task(NodeId v) const {
   DSSLICE_REQUIRE(v < placed_.size(), "task id out of range");
 }

@@ -24,7 +24,14 @@ struct ScheduledTask {
 
 class Schedule {
  public:
+  /// Empty schedule (0 tasks, 0 processors); call reset() before placing.
+  Schedule() = default;
+
   Schedule(std::size_t task_count, std::size_t processor_count);
+
+  /// Re-dimensions for a new run, keeping the underlying storage so a
+  /// workspace-held Schedule stops allocating once warmed up.
+  void reset(std::size_t task_count, std::size_t processor_count);
 
   std::size_t task_count() const { return placed_.size(); }
   std::size_t processor_count() const { return per_processor_.size(); }

@@ -1,0 +1,14 @@
+#include "dsslice/sched/scheduler_workspace.hpp"
+
+namespace dsslice {
+
+void reset_scheduler_result(SchedulerResult& result, std::size_t tasks,
+                            std::size_t processors) {
+  result.schedule.reset(tasks, processors);
+  result.success = false;
+  result.failed_task.reset();
+  result.failure_reason.clear();
+  result.bus_transfers.clear();
+}
+
+}  // namespace dsslice

@@ -1,0 +1,234 @@
+// Reusable per-thread state for the scheduler engines — the simulation-side
+// counterpart of core/slicing's SlicingWorkspace.
+//
+// Every scheduler in sched/ historically allocated its whole mutable state
+// (ready lists, per-task flags, per-processor timelines, result vectors) on
+// each call. A Monte-Carlo sweep schedules hundreds of thousands of
+// scenarios per second, so those allocations — not the scheduling logic —
+// dominated the profile. SchedulerWorkspace owns that state instead: the
+// first scenario on a thread sizes the buffers, and every subsequent
+// scenario of a similar size runs without touching the allocator.
+//
+// Two contracts matter:
+//
+//  * Bit-identical results. The engines that use this workspace must
+//    produce exactly the schedules of the straightforward implementations
+//    (pinned by tests/test_scheduler_equivalence.cpp against verbatim
+//    copies of the legacy code). The ReadyTaskHeap below is keyed by the
+//    *exact* total strict order (deadline, arrival, NodeId) that the legacy
+//    linear scan minimized, so it pops the identical task regardless of
+//    push order. Epsilon-based engines (the dispatcher) reuse only buffers,
+//    never reordered scans, because eps comparisons are not transitive.
+//
+//  * Observable allocation behaviour. grow_events() counts every time a
+//    workspace-managed buffer had to grow its capacity. Tests warm a
+//    workspace on a scenario batch, re-run the batch, and assert the
+//    counter did not move — the allocation-free claim is enforced, not
+//    assumed (same pattern as GraphAnalysis::construction_count()).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <span>
+#include <vector>
+
+#include "dsslice/model/time.hpp"
+#include "dsslice/sched/edf_list_scheduler.hpp"
+#include "dsslice/sched/insertion_scheduler.hpp"
+
+namespace dsslice {
+
+/// Binary min-heap of ready tasks keyed by the exact strict total order
+/// (deadline, arrival, NodeId) over a borrowed window table. Keys are
+/// immutable while a task is in the heap (windows of ready tasks are never
+/// rewritten), so no position index / decrease-key machinery is needed:
+/// push and pop-min are the whole interface. Distinct ids make the order
+/// total, hence the popped minimum is unique and independent of insertion
+/// order — the property the bit-identical equivalence tests rely on.
+class ReadyTaskHeap {
+ public:
+  /// Starts a run over `windows` (borrowed; must outlive the run). Keeps
+  /// the heap storage from previous runs.
+  void reset(std::span<const Window> windows) {
+    windows_ = windows;
+    heap_.clear();
+  }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+  std::size_t capacity() const { return heap_.capacity(); }
+
+  void push(NodeId v) {
+    heap_.push_back(v);
+    std::size_t i = heap_.size() - 1;
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!before(heap_[i], heap_[parent])) {
+        break;
+      }
+      std::swap(heap_[i], heap_[parent]);
+      i = parent;
+    }
+  }
+
+  /// Removes and returns the minimum under (deadline, arrival, NodeId).
+  NodeId pop() {
+    const NodeId top = heap_.front();
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    std::size_t i = 0;
+    const std::size_t n = heap_.size();
+    for (;;) {
+      const std::size_t l = 2 * i + 1;
+      const std::size_t r = l + 1;
+      std::size_t smallest = i;
+      if (l < n && before(heap_[l], heap_[smallest])) {
+        smallest = l;
+      }
+      if (r < n && before(heap_[r], heap_[smallest])) {
+        smallest = r;
+      }
+      if (smallest == i) {
+        break;
+      }
+      std::swap(heap_[i], heap_[smallest]);
+      i = smallest;
+    }
+    return top;
+  }
+
+ private:
+  bool before(NodeId a, NodeId b) const {
+    const Window& wa = windows_[a];
+    const Window& wb = windows_[b];
+    if (wa.deadline != wb.deadline) {
+      return wa.deadline < wb.deadline;
+    }
+    if (wa.arrival != wb.arrival) {
+      return wa.arrival < wb.arrival;
+    }
+    return a < b;
+  }
+
+  std::span<const Window> windows_;
+  std::vector<NodeId> heap_;
+};
+
+/// One branch-and-bound placement option (kept here so the per-depth option
+/// pools can live in the workspace).
+struct BnbOption {
+  ProcessorId proc = 0;
+  Time start = kTimeZero;
+  Time finishing = kTimeZero;
+};
+
+class SchedulerWorkspace {
+ public:
+  /// Number of capacity growths across all managed buffers since
+  /// construction. Stable counter ⇒ the warm path ran allocation-free.
+  std::uint64_t grow_events() const { return grow_events_; }
+
+  /// vec.assign(count, value) with capacity-growth accounting.
+  template <typename T>
+  void fill(std::vector<T>& vec, std::size_t count, const T& value) {
+    if (vec.capacity() < count) {
+      ++grow_events_;
+    }
+    vec.assign(count, value);
+  }
+
+  /// vec.resize(count) (values unspecified) with growth accounting.
+  template <typename T>
+  void size(std::vector<T>& vec, std::size_t count) {
+    if (vec.capacity() < count) {
+      ++grow_events_;
+    }
+    vec.resize(count);
+  }
+
+  /// Growth-accounted push_back for buffers filled incrementally.
+  template <typename T>
+  void push(std::vector<T>& vec, const T& value) {
+    if (vec.size() == vec.capacity()) {
+      ++grow_events_;
+    }
+    vec.push_back(value);
+  }
+
+  /// Records an external growth observation (heap / timeline capacities).
+  void note_growth(std::size_t capacity_before, std::size_t capacity_after) {
+    if (capacity_after > capacity_before) {
+      ++grow_events_;
+    }
+  }
+
+  // ---- EDF list scheduler / fixed-mapping scheduler ----
+  ReadyTaskHeap ready;
+  std::vector<std::size_t> pred_count;      // unscheduled predecessors
+  std::vector<ProcessorTimeline> timelines; // insertion placement
+  std::vector<Time> resource_available;
+  std::vector<Time> local_pred_bound;       // per-proc co-located pred max
+  ProcessorTimeline bus;                    // committed bus reservations
+  ProcessorTimeline bus_trial;              // tentative copy per candidate
+  std::vector<BusTransfer> cand_transfers;
+  std::vector<BusTransfer> best_transfers;
+  std::vector<Time> pred_finish;            // per-predecessor caches of the
+  std::vector<ProcessorId> pred_proc;       //   task being placed
+  std::vector<double> pred_items;
+  std::vector<ProcessorClassId> proc_class; // platform.class_of, cached per run
+  std::vector<Time> proc_available;         // mirror of append availability
+  std::vector<Time> placed_finish;          // per-task placement mirror, so
+  std::vector<ProcessorId> placed_proc;     //   pred lookups skip Schedule::entry
+
+  // ---- time-marching dispatcher ----
+  std::vector<Window> windows;
+  std::vector<std::size_t> preds_left;
+  std::vector<char> started, done, lost;
+  std::vector<Time> start_time;
+  std::vector<Time> finish;
+  std::vector<ProcessorId> proc_of;
+  std::vector<ProcessorId> pinned;
+  std::vector<Time> busy_until;
+  std::vector<Time> known_from, known_until, surprise_down, down_at;
+  std::vector<char> failure_handled;
+
+  // ---- preemptive EDF simulator ----
+  std::vector<char> task_released, task_completed;
+  std::vector<Time> task_release;
+  std::vector<double> task_remaining;
+  std::vector<ProcessorId> task_processor;
+  std::vector<std::size_t> task_preds_left;
+  std::vector<NodeId> running;
+  std::vector<Time> dispatched_at;
+  std::vector<std::vector<NodeId>> ready_on;  // per-processor ready sets
+  std::vector<double> backlog;
+  std::vector<std::pair<Time, NodeId>> release_queue;
+
+  // ---- branch and bound ----
+  std::vector<double> min_wcet;
+  std::vector<char> bnb_scheduled;
+  std::vector<Time> bnb_finish;
+  std::vector<ProcessorId> bnb_placed_on;
+  std::vector<Time> bnb_avail;
+  std::vector<Time> lb_finish;
+  std::vector<std::vector<NodeId>> bnb_ready_pool;    // per search depth
+  std::vector<std::vector<BnbOption>> bnb_option_pool;
+
+  // ---- annealing ----
+  std::vector<ProcessorId> current_mapping;
+  std::vector<ProcessorId> neighbour_mapping;
+  std::vector<ProcessorId> eligible_targets;
+  SchedulerResult trial_result;
+  SchedulerResult seed_result;
+
+ private:
+  std::uint64_t grow_events_ = 0;
+};
+
+/// Clears a SchedulerResult for a new run of `tasks` × `processors`,
+/// reusing the schedule/transfer storage (shared by every engine's
+/// *_into entry point).
+void reset_scheduler_result(SchedulerResult& result, std::size_t tasks,
+                            std::size_t processors);
+
+}  // namespace dsslice

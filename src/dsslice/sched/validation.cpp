@@ -14,6 +14,24 @@ std::string task_ref(const Application& app, NodeId v) {
   return "task " + std::to_string(v) + " (" + app.task(v).name + ")";
 }
 
+/// Sorts the task ids in `order` by schedule start time and reports every
+/// overlapping adjacent pair through `report(before, after)`. Shared by the
+/// per-processor and per-resource exclusivity checks, which reuse one index
+/// buffer across all groups instead of copying ScheduledTask rows per group.
+template <typename Report>
+void check_exclusive(const Schedule& schedule, std::vector<NodeId>& order,
+                     double eps, Report&& report) {
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    return schedule.entry(a).start < schedule.entry(b).start;
+  });
+  for (std::size_t k = 1; k < order.size(); ++k) {
+    if (schedule.entry(order[k]).start + eps <
+        schedule.entry(order[k - 1]).finish) {
+      report(order[k - 1], order[k]);
+    }
+  }
+}
+
 }  // namespace
 
 std::vector<std::string> validate_schedule(
@@ -55,23 +73,17 @@ std::vector<std::string> validate_schedule(
     }
   }
 
-  // Mutual exclusion per processor.
+  // Mutual exclusion per processor: one reusable index buffer across all
+  // processors (the schedule already groups tasks by processor).
+  std::vector<NodeId> order;
   for (ProcessorId p = 0; p < platform.processor_count(); ++p) {
-    std::vector<ScheduledTask> entries;
-    for (const NodeId v : schedule.on_processor(p)) {
-      entries.push_back(schedule.entry(v));
-    }
-    std::sort(entries.begin(), entries.end(),
-              [](const ScheduledTask& a, const ScheduledTask& b) {
-                return a.start < b.start;
-              });
-    for (std::size_t k = 1; k < entries.size(); ++k) {
-      if (entries[k].start + eps < entries[k - 1].finish) {
-        problems.push_back("processor p" + std::to_string(p) + ": " +
-                           task_ref(app, entries[k - 1].task) + " and " +
-                           task_ref(app, entries[k].task) + " overlap");
-      }
-    }
+    const auto on_p = schedule.on_processor(p);
+    order.assign(on_p.begin(), on_p.end());
+    check_exclusive(schedule, order, eps, [&](NodeId before, NodeId after) {
+      problems.push_back("processor p" + std::to_string(p) + ": " +
+                         task_ref(app, before) + " and " +
+                         task_ref(app, after) + " overlap");
+    });
   }
 
   // Precedence and communication constraints.
@@ -99,25 +111,21 @@ std::vector<std::string> validate_resource_exclusivity(
     const Application& app, const Schedule& schedule,
     const ResourceModel& resources, double epsilon) {
   std::vector<std::string> problems;
+  std::vector<NodeId> order;
   for (ResourceId r = 0; r < resources.resource_count(); ++r) {
-    std::vector<ScheduledTask> entries;
+    order.clear();
     for (const NodeId v : resources.holders_of(r)) {
       if (schedule.placed(v)) {
-        entries.push_back(schedule.entry(v));
+        order.push_back(v);
       }
     }
-    std::sort(entries.begin(), entries.end(),
-              [](const ScheduledTask& a, const ScheduledTask& b) {
-                return a.start < b.start;
-              });
-    for (std::size_t k = 1; k < entries.size(); ++k) {
-      if (entries[k].start + epsilon < entries[k - 1].finish) {
-        problems.push_back("resource r" + std::to_string(r) + ": " +
-                           task_ref(app, entries[k - 1].task) + " and " +
-                           task_ref(app, entries[k].task) +
-                           " hold it concurrently");
-      }
-    }
+    check_exclusive(schedule, order, epsilon,
+                    [&](NodeId before, NodeId after) {
+                      problems.push_back("resource r" + std::to_string(r) +
+                                         ": " + task_ref(app, before) +
+                                         " and " + task_ref(app, after) +
+                                         " hold it concurrently");
+                    });
   }
   return problems;
 }
@@ -133,21 +141,53 @@ std::vector<std::string> validate_bus_transfers(
     return problems;
   }
 
-  // Index transfers by arc; flag duplicates.
-  std::vector<const BusTransfer*> by_arc;
-  for (const BusTransfer& t : transfers) {
-    bool duplicate = false;
-    for (const BusTransfer& other : transfers) {
-      if (&other != &t && other.from == t.from && other.to == t.to) {
-        duplicate = true;
+  // One index over the transfers, sorted by arc: duplicate detection and
+  // the per-arc lookups below become binary searches instead of quadratic
+  // rescans of the transfer list.
+  std::vector<std::size_t> by_arc(transfers.size());
+  for (std::size_t k = 0; k < by_arc.size(); ++k) {
+    by_arc[k] = k;
+  }
+  const auto arc_less = [&](std::size_t a, std::size_t b) {
+    return transfers[a].from != transfers[b].from
+               ? transfers[a].from < transfers[b].from
+               : transfers[a].to < transfers[b].to;
+  };
+  std::sort(by_arc.begin(), by_arc.end(), arc_less);
+  const auto find_transfer = [&](NodeId from, NodeId to) -> const BusTransfer* {
+    std::size_t lo = 0, hi = by_arc.size();
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      const BusTransfer& t = transfers[by_arc[mid]];
+      if (t.from < from || (t.from == from && t.to < to)) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
       }
     }
-    if (duplicate) {
-      problems.push_back("duplicate transfer for arc " +
-                         std::to_string(t.from) + " -> " +
-                         std::to_string(t.to));
+    if (lo < by_arc.size() && transfers[by_arc[lo]].from == from &&
+        transfers[by_arc[lo]].to == to) {
+      return &transfers[by_arc[lo]];
     }
-    by_arc.push_back(&t);
+    return nullptr;
+  };
+  // Flag duplicates (one message per involved transfer, in list order, as
+  // before): mark members of equal-arc runs, then report in original order.
+  std::vector<char> duplicate(transfers.size(), 0);
+  for (std::size_t k = 1; k < by_arc.size(); ++k) {
+    const BusTransfer& a = transfers[by_arc[k - 1]];
+    const BusTransfer& b = transfers[by_arc[k]];
+    if (a.from == b.from && a.to == b.to) {
+      duplicate[by_arc[k - 1]] = 1;
+      duplicate[by_arc[k]] = 1;
+    }
+  }
+  for (std::size_t k = 0; k < transfers.size(); ++k) {
+    if (duplicate[k]) {
+      problems.push_back("duplicate transfer for arc " +
+                         std::to_string(transfers[k].from) + " -> " +
+                         std::to_string(transfers[k].to));
+    }
   }
 
   for (const Arc& a : app.graph().arcs()) {
@@ -158,13 +198,7 @@ std::vector<std::string> validate_bus_transfers(
     const ScheduledTask& ev = schedule.entry(a.to);
     const bool needs_transfer =
         eu.processor != ev.processor && a.message_items > 0.0;
-    const BusTransfer* found = nullptr;
-    for (const BusTransfer& t : transfers) {
-      if (t.from == a.from && t.to == a.to) {
-        found = &t;
-        break;
-      }
-    }
+    const BusTransfer* found = find_transfer(a.from, a.to);
     if (needs_transfer && found == nullptr) {
       problems.push_back("missing bus transfer for arc " +
                          std::to_string(a.from) + " -> " +
@@ -196,19 +230,20 @@ std::vector<std::string> validate_bus_transfers(
     }
   }
 
-  // Bus exclusivity.
-  std::vector<BusTransfer> sorted = transfers;
-  std::sort(sorted.begin(), sorted.end(),
-            [](const BusTransfer& a, const BusTransfer& b) {
-              return a.start < b.start;
-            });
-  for (std::size_t k = 1; k < sorted.size(); ++k) {
-    if (sorted[k].start + epsilon < sorted[k - 1].finish) {
+  // Bus exclusivity: re-sort the same index by start time (no transfer
+  // copies).
+  std::sort(by_arc.begin(), by_arc.end(), [&](std::size_t a, std::size_t b) {
+    return transfers[a].start < transfers[b].start;
+  });
+  for (std::size_t k = 1; k < by_arc.size(); ++k) {
+    const BusTransfer& prev = transfers[by_arc[k - 1]];
+    const BusTransfer& cur = transfers[by_arc[k]];
+    if (cur.start + epsilon < prev.finish) {
       problems.push_back("bus transfers overlap: " +
-                         std::to_string(sorted[k - 1].from) + "->" +
-                         std::to_string(sorted[k - 1].to) + " and " +
-                         std::to_string(sorted[k].from) + "->" +
-                         std::to_string(sorted[k].to));
+                         std::to_string(prev.from) + "->" +
+                         std::to_string(prev.to) + " and " +
+                         std::to_string(cur.from) + "->" +
+                         std::to_string(cur.to));
     }
   }
   return problems;

@@ -96,8 +96,14 @@ GraphOutcome evaluate_scenario(const ExperimentConfig& config,
     // The preemptive simulator has its own trace-based result shape.
     PreemptiveOptions options;
     options.abort_on_miss = config.scheduler.abort_on_miss;
-    const PreemptiveResult pre =
-        PreemptiveEdfScheduler(options).run(app, assignment, platform);
+    const PreemptiveEdfScheduler scheduler(options);
+    PreemptiveResult local_pre;
+    PreemptiveResult& pre = scratch != nullptr ? scratch->pre_result : local_pre;
+    if (scratch != nullptr) {
+      scheduler.run_into(pre, scratch->sched, app, assignment, platform);
+    } else {
+      pre = scheduler.run(app, assignment, platform);
+    }
     outcome.scheduled = pre.success;
     if (pre.success || !config.scheduler.abort_on_miss) {
       double worst = -std::numeric_limits<double>::infinity();
@@ -116,14 +122,26 @@ GraphOutcome evaluate_scenario(const ExperimentConfig& config,
     return outcome;
   }
 
-  SchedulerResult sched = [&] {
-    if (config.algorithm == SchedulerAlgorithm::kDispatchEdf) {
-      DispatchOptions options;
-      options.abort_on_miss = config.scheduler.abort_on_miss;
-      return EdfDispatchScheduler(options).run(app, assignment, platform);
+  SchedulerResult local_sched;
+  SchedulerResult& sched =
+      scratch != nullptr ? scratch->sched_result : local_sched;
+  if (config.algorithm == SchedulerAlgorithm::kDispatchEdf) {
+    DispatchOptions options;
+    options.abort_on_miss = config.scheduler.abort_on_miss;
+    const EdfDispatchScheduler scheduler(options);
+    if (scratch != nullptr) {
+      scheduler.run_into(sched, scratch->sched, app, assignment, platform);
+    } else {
+      sched = scheduler.run(app, assignment, platform);
     }
-    return EdfListScheduler(config.scheduler).run(app, assignment, platform);
-  }();
+  } else {
+    const EdfListScheduler scheduler(config.scheduler);
+    if (scratch != nullptr) {
+      scheduler.run_into(sched, scratch->sched, app, assignment, platform);
+    } else {
+      sched = scheduler.run(app, assignment, platform);
+    }
+  }
   outcome.scheduled = sched.success;
   if (sched.schedule.complete()) {
     outcome.max_lateness = max_lateness(sched.schedule, assignment);

@@ -21,6 +21,7 @@
 #include "dsslice/sched/dispatch_scheduler.hpp"
 #include "dsslice/sched/edf_list_scheduler.hpp"
 #include "dsslice/sched/preemptive_scheduler.hpp"
+#include "dsslice/sched/scheduler_workspace.hpp"
 #include "dsslice/util/stats.hpp"
 
 namespace dsslice {
@@ -72,10 +73,15 @@ struct ExperimentResult {
 };
 
 /// Reusable per-worker scratch for batch evaluation. Passing one instance to
-/// consecutive evaluate_scenario calls on the same thread keeps the slicing
-/// hot path allocation-free (buffers are recycled between scenarios).
+/// consecutive evaluate_scenario calls on the same thread keeps both the
+/// slicing and the scheduling hot paths allocation-free: buffers (including
+/// the scheduler result shells below) are recycled between scenarios and
+/// only grow when a scenario exceeds every previous shape.
 struct ScenarioScratch {
   SlicingWorkspace slicing;
+  SchedulerWorkspace sched;
+  SchedulerResult sched_result;
+  PreemptiveResult pre_result;
 };
 
 /// Runs the configured deadline-distribution technique (slicing or direct)

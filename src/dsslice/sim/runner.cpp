@@ -1,6 +1,7 @@
 #include "dsslice/sim/runner.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <vector>
 
@@ -9,6 +10,8 @@
 namespace dsslice {
 
 namespace {
+
+std::atomic<std::size_t> g_grain_override{0};
 
 ExperimentResult run_batch(
     const ExperimentConfig& config, ThreadPool* pool,
@@ -29,8 +32,12 @@ ExperimentResult run_batch(
     }
   };
   if (pool != nullptr) {
-    const std::size_t grain = std::clamp<std::size_t>(
-        count / (8 * std::max<std::size_t>(1, pool->size())), 1, 64);
+    const std::size_t override = experiment_grain();
+    const std::size_t grain =
+        override != 0 ? override
+                      : std::clamp<std::size_t>(
+                            count / (8 * std::max<std::size_t>(1, pool->size())),
+                            1, 64);
     parallel_for(*pool, count, grain, evaluate_range);
   } else {
     evaluate_range(0, count);
@@ -49,6 +56,14 @@ ExperimentResult run_batch(
 }
 
 }  // namespace
+
+void set_experiment_grain(std::size_t grain) {
+  g_grain_override.store(grain, std::memory_order_relaxed);
+}
+
+std::size_t experiment_grain() {
+  return g_grain_override.load(std::memory_order_relaxed);
+}
 
 ExperimentResult run_experiment(const ExperimentConfig& config,
                                 ThreadPool& pool) {

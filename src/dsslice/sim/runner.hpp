@@ -12,6 +12,17 @@
 
 namespace dsslice {
 
+/// Overrides the parallel chunk size used by run_experiment's worker loop.
+/// 0 (the default) restores the automatic heuristic
+/// (count / (8 × threads), clamped to [1, 64]). The override is process-wide
+/// and is intended for grain-sensitivity benchmarking (`--grain` in the
+/// bench binaries); results are unaffected — graph k's outcome depends only
+/// on its derived seed, never on which worker or chunk evaluated it.
+void set_experiment_grain(std::size_t grain);
+
+/// Current process-wide grain override (0 = automatic).
+std::size_t experiment_grain();
+
 /// Runs config.generator.graph_count task sets on the given pool and
 /// aggregates their outcomes in index order (deterministic reduction).
 ExperimentResult run_experiment(const ExperimentConfig& config,

@@ -16,6 +16,11 @@ const Series& SweepResult::find(const std::string& name) const {
   throw ConfigError("no series named " + name);
 }
 
+double SweepResult::scenarios_per_second() const {
+  return wall_seconds > 0.0 ? static_cast<double>(scenarios) / wall_seconds
+                            : 0.0;
+}
+
 SweepResult run_sweep(const std::string& x_label, std::vector<double> xs,
                       const std::vector<SeriesSpec>& specs, ThreadPool& pool,
                       bool verbose) {
@@ -31,6 +36,8 @@ SweepResult run_sweep(const std::string& x_label, std::vector<double> xs,
     for (const double x : result.x) {
       const ExperimentConfig config = spec.factory(x);
       const ExperimentResult r = run_experiment(config, pool);
+      result.scenarios += config.generator.graph_count;
+      result.wall_seconds += r.wall_seconds;
       series.success_ratio.push_back(r.success_ratio());
       series.ci95.push_back(r.success.ci95_halfwidth());
       series.mean_min_laxity.push_back(r.min_laxity.mean());

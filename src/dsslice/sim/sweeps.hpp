@@ -25,9 +25,17 @@ struct SweepResult {
   std::string x_label;
   std::vector<double> x;
   std::vector<Series> series;
+  /// Aggregate throughput bookkeeping: scenario evaluations summed over
+  /// every cell, and the wall time their batches reported. Filled by
+  /// run_sweep (and the robustness sweep); benches report scenarios/sec.
+  std::size_t scenarios = 0;
+  double wall_seconds = 0.0;
 
   /// Series lookup by name; throws when absent.
   const Series& find(const std::string& name) const;
+
+  /// Evaluated scenarios per second of batch wall time (0 when unknown).
+  double scenarios_per_second() const;
 };
 
 /// Builds an experiment configuration for one (x, series) cell.

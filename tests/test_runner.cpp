@@ -62,6 +62,34 @@ TEST(Runner, RepeatedRunsAreIdentical) {
   EXPECT_DOUBLE_EQ(r1.min_laxity.mean(), r2.min_laxity.mean());
 }
 
+TEST(Runner, DeterministicAcrossThreadCountsAndGrain) {
+  // Graph k's outcome depends only on derive_seed(base_seed, k) — never on
+  // which worker or chunk evaluated it. One worker, many workers, the serial
+  // path, and a forced chunk size must all produce bit-identical statistics.
+  const ExperimentConfig c = small_config(77, 48);
+  const ExperimentResult serial = run_experiment_serial(c);
+
+  ThreadPool one(1);
+  ThreadPool many(7);
+  const ExperimentResult single = run_experiment(c, one);
+  const ExperimentResult parallel = run_experiment(c, many);
+
+  set_experiment_grain(5);  // force an uneven chunking of the 48 graphs
+  const ExperimentResult chunked = run_experiment(c, many);
+  set_experiment_grain(0);  // restore automatic chunking for other tests
+
+  for (const ExperimentResult* r : {&single, &parallel, &chunked}) {
+    EXPECT_EQ(r->success.successes(), serial.success.successes());
+    EXPECT_EQ(r->success.trials(), serial.success.trials());
+    EXPECT_DOUBLE_EQ(r->min_laxity.mean(), serial.min_laxity.mean());
+    EXPECT_DOUBLE_EQ(r->min_laxity.variance(), serial.min_laxity.variance());
+    EXPECT_DOUBLE_EQ(r->max_lateness.sum(), serial.max_lateness.sum());
+    EXPECT_DOUBLE_EQ(r->makespan.sum(), serial.makespan.sum());
+    EXPECT_DOUBLE_EQ(r->slicing_passes.sum(), serial.slicing_passes.sum());
+    EXPECT_DOUBLE_EQ(r->task_count.sum(), serial.task_count.sum());
+  }
+}
+
 TEST(Runner, InvalidConfigThrows) {
   ExperimentConfig c = small_config(1);
   c.generator.workload.olr = -1.0;

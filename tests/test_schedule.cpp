@@ -75,7 +75,31 @@ TEST(ProcessorTimeline, FillsInteriorGap) {
   EXPECT_DOUBLE_EQ(tl.earliest_fit(12.0, 10.0), 12.0);
   EXPECT_DOUBLE_EQ(tl.earliest_fit(25.0, 10.0), 40.0);
   tl.occupy(10.0, 15.0);
-  EXPECT_EQ(tl.interval_count(), 3u);
+  // [10,25) abuts [0,10) and is merged: [0,25) plus [30,40).
+  EXPECT_EQ(tl.interval_count(), 2u);
+  EXPECT_DOUBLE_EQ(tl.earliest_fit(0.0, 5.0), 25.0);
+  tl.occupy(25.0, 5.0);
+  // [25,30) bridges both neighbours into a single busy block.
+  EXPECT_EQ(tl.interval_count(), 1u);
+  EXPECT_DOUBLE_EQ(tl.earliest_fit(0.0, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(tl.last_finish(), 40.0);
+}
+
+TEST(ProcessorTimeline, ReuseKeepsStorage) {
+  ProcessorTimeline tl;
+  tl.occupy(0.0, 10.0);
+  tl.occupy(20.0, 5.0);
+  ProcessorTimeline copy;
+  copy.assign(tl);
+  EXPECT_EQ(copy.interval_count(), 2u);
+  EXPECT_DOUBLE_EQ(copy.earliest_fit(0.0, 10.0), 10.0);  // gap [10,20) fits
+  EXPECT_DOUBLE_EQ(copy.earliest_fit(0.0, 15.0), 25.0);  // too big for it
+  copy.clear();
+  EXPECT_EQ(copy.interval_count(), 0u);
+  EXPECT_GE(copy.interval_capacity(), 2u);
+  EXPECT_DOUBLE_EQ(copy.earliest_fit(0.0, 10.0), 0.0);
+  // The original is untouched by clearing the copy.
+  EXPECT_EQ(tl.interval_count(), 2u);
 }
 
 TEST(ProcessorTimeline, RejectsOverlap) {
