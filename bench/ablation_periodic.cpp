@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
   if (!cli.parse(argc, argv)) {
     return 0;
   }
+  bench::ObsScope obs_scope(cli);
   const auto graphs = static_cast<std::size_t>(cli.get_int("graphs"));
 
   GeneratorConfig gen;

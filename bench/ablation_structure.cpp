@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
   if (!cli.parse(argc, argv)) {
     return 0;
   }
+  bench::ObsScope obs_scope(cli);
   ThreadPool pool = bench::make_pool(cli);
   const ExperimentConfig base = bench::base_config(cli);
 

@@ -42,8 +42,23 @@ inline CliParser make_parser(const std::string& name,
   p.add_flag("grain", "0", "scenarios per parallel chunk (0 = automatic)");
   p.add_flag("csv", "", "write the sweep as CSV to this path");
   p.add_bool_flag("verbose", "progress on stderr");
+  obs::ObsCli::register_flags(p);
   return p;
 }
+
+/// Observability session bound to a scope: arms tracing from the parsed
+/// flags, writes --trace/--metrics/--obs-summary output when the scope ends.
+/// Declare one right after parsing in a bench's main().
+class ObsScope {
+ public:
+  explicit ObsScope(const CliParser& cli) : session_(cli) {}
+  ~ObsScope() { session_.finish(); }
+  ObsScope(const ObsScope&) = delete;
+  ObsScope& operator=(const ObsScope&) = delete;
+
+ private:
+  obs::ObsCli session_;
+};
 
 /// Baseline experiment configuration from the common flags (paper defaults:
 /// m=3, OLR=0.8, ETD=25%, CCR=0.1, WCET-AVG, k_G=1.5, k_L=0.2).

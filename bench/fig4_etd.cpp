@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
   if (!cli.parse(argc, argv)) {
     return 0;
   }
+  bench::ObsScope obs_scope(cli);
   ThreadPool pool = bench::make_pool(cli);
   ExperimentConfig base = bench::base_config(cli);
   base.generator.platform.processor_count = 3;

@@ -28,6 +28,7 @@ int main(int argc, char** argv) {
   if (!cli.parse(argc, argv)) {
     return 0;
   }
+  bench::ObsScope obs_scope(cli);
   ThreadPool pool = bench::make_pool(cli);
   const bool verbose = cli.get_bool("verbose");
   const double threshold = cli.get_double("miss-threshold");

@@ -1,0 +1,222 @@
+// perf_obs: cost contract of the observability layer (docs/OBSERVABILITY.md).
+//
+// Three measurements:
+//  1. Disabled tax (GATED): a synthetic kernel compiled twice in this TU —
+//     one copy bare, one carrying a DSSLICE_SPAN + DSSLICE_COUNT per call —
+//     timed interleaved with the layer runtime-disabled. The instrumented
+//     copy must stay within 2% of the bare copy (or within the measured A/A
+//     noise of the bare copy against itself, whichever is larger). This is
+//     the "tracing compiled in but off costs nothing" guarantee.
+//  2. Enabled tax (reported): the same pair with recording enabled — the
+//     price of a clock read + ring/accumulator write per span.
+//  3. Pipeline delta (reported): a real evaluate_scenario batch off vs on,
+//     the end-to-end number a user sees when passing --trace to a bench.
+//
+// Exits 1 when the gate fails. --json writes BENCH_obs-style results.
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace dsslice;
+using Clock = std::chrono::steady_clock;
+
+volatile std::uint64_t g_sink = 0;
+
+// ~1k cycles of integer mixing per call: the grain of a realistically
+// instrumented function (spans wrap functions, not single statements).
+constexpr std::size_t kKernelIters = 256;
+
+__attribute__((noinline)) std::uint64_t kernel_bare(std::uint64_t x) {
+  for (std::size_t i = 0; i < kKernelIters; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+  }
+  return x;
+}
+
+__attribute__((noinline)) std::uint64_t kernel_instrumented(std::uint64_t x) {
+  DSSLICE_SPAN("perf.obs.kernel");
+  for (std::size_t i = 0; i < kKernelIters; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+  }
+  DSSLICE_COUNT("perf.obs.kernel.calls", 1);
+  return x;
+}
+
+/// Interleaved paired timing (same scheme as perf_scheduling): alternating
+/// batches of the two bodies so drift hits both sides equally.
+template <typename A, typename B>
+std::pair<double, double> time_per_call_pair(double min_seconds,
+                                             std::size_t min_reps, A&& body_a,
+                                             B&& body_b) {
+  std::size_t reps_a = 0, reps_b = 0;
+  double elapsed_a = 0.0, elapsed_b = 0.0;
+  std::size_t batch = 1;
+  while (elapsed_a < min_seconds || elapsed_b < min_seconds ||
+         reps_a < min_reps || reps_b < min_reps) {
+    const auto t0 = Clock::now();
+    for (std::size_t i = 0; i < batch; ++i) {
+      body_a();
+    }
+    const auto t1 = Clock::now();
+    for (std::size_t i = 0; i < batch; ++i) {
+      body_b();
+    }
+    const auto t2 = Clock::now();
+    elapsed_a += std::chrono::duration<double>(t1 - t0).count();
+    elapsed_b += std::chrono::duration<double>(t2 - t1).count();
+    reps_a += batch;
+    reps_b += batch;
+    batch = std::min<std::size_t>(batch * 2, 4096);
+  }
+  return {elapsed_a / static_cast<double>(reps_a),
+          elapsed_b / static_cast<double>(reps_b)};
+}
+
+double percent_delta(double base, double other) {
+  return base <= 0.0 ? 0.0 : 100.0 * (other - base) / base;
+}
+
+struct Row {
+  std::string name;
+  double base_us = 0.0;
+  double other_us = 0.0;
+  double delta_pct = 0.0;
+};
+
+std::string to_json(const std::vector<Row>& rows, double gate_pct,
+                    bool gate_ok) {
+  std::string out = "{\n  \"benchmark\": \"perf_obs\",\n  \"machine\": ";
+  out += bench::machine_json(1);
+  out += ",\n  \"gate_pct\": " + std::to_string(gate_pct);
+  out += ",\n  \"gate_ok\": ";
+  out += gate_ok ? "true" : "false";
+  out += ",\n  \"rows\": [\n";
+  for (std::size_t k = 0; k < rows.size(); ++k) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"name\": \"%s\", \"base_us\": %.4f, "
+                  "\"other_us\": %.4f, \"delta_pct\": %.2f}%s\n",
+                  rows[k].name.c_str(), rows[k].base_us, rows[k].other_us,
+                  rows[k].delta_pct, k + 1 < rows.size() ? "," : "");
+    out += buf;
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("perf_obs",
+                "Overhead contract of the tracing/metrics layer: disabled "
+                "tax (gated at 2%), enabled tax, pipeline delta.");
+  cli.add_flag("json", "", "write results as JSON to this path");
+  cli.add_flag("min-ms", "200", "minimum wall time per measurement (ms)");
+  cli.add_bool_flag("smoke", "short timings (CI sanity run)");
+  if (!cli.parse(argc, argv)) {
+    return 1;
+  }
+  const bool smoke = cli.get_bool("smoke");
+  const double min_seconds =
+      (smoke ? 20.0 : static_cast<double>(cli.get_int("min-ms"))) / 1000.0;
+  const std::size_t min_reps = smoke ? 64 : 512;
+
+#if !DSSLICE_OBS_ENABLED
+  std::printf("perf_obs: observability compiled out (DSSLICE_OBS=OFF); "
+              "macros are empty, nothing to measure\n");
+  return 0;
+#else
+  std::vector<Row> rows;
+  obs::set_enabled(false);
+
+  // A/A noise floor: the bare kernel against itself. Any measured spread
+  // here is scheduler/frequency noise, not code.
+  std::uint64_t seed = 0x9E3779B97F4A7C15ull;
+  const auto [aa_first, aa_second] = time_per_call_pair(
+      min_seconds, min_reps, [&] { g_sink = kernel_bare(++seed); },
+      [&] { g_sink = kernel_bare(++seed); });
+  const double noise_pct = std::fabs(percent_delta(aa_first, aa_second));
+  rows.push_back(Row{"kernel A/A (noise floor)", aa_first * 1e6,
+                     aa_second * 1e6, percent_delta(aa_first, aa_second)});
+
+  // 1. Disabled tax — the gated measurement.
+  const auto [bare_s, off_s] = time_per_call_pair(
+      min_seconds, min_reps, [&] { g_sink = kernel_bare(++seed); },
+      [&] { g_sink = kernel_instrumented(++seed); });
+  const double disabled_pct = percent_delta(bare_s, off_s);
+  rows.push_back(
+      Row{"instrumented, tracing OFF vs bare", bare_s * 1e6, off_s * 1e6,
+          disabled_pct});
+
+  // 2. Enabled tax — informational.
+  obs::set_ring_capacity(1024);
+  obs::reset();
+  obs::set_enabled(true);
+  const auto [bare2_s, on_s] = time_per_call_pair(
+      min_seconds, min_reps, [&] { g_sink = kernel_bare(++seed); },
+      [&] { g_sink = kernel_instrumented(++seed); });
+  obs::set_enabled(false);
+  rows.push_back(Row{"instrumented, tracing ON vs bare", bare2_s * 1e6,
+                     on_s * 1e6, percent_delta(bare2_s, on_s)});
+  obs::reset();
+
+  // 3. Pipeline delta — a real (serial) experiment batch off vs on.
+  ExperimentConfig config;
+  config.generator.graph_count = smoke ? 32 : 256;
+  config.generator.base_seed = 0x0B5;
+  const auto run_batch_once = [&] {
+    const ExperimentResult r = run_experiment_serial(config);
+    g_sink = r.success.trials();
+  };
+  const auto [pipe_off_s, pipe_on_s] = time_per_call_pair(
+      min_seconds, 4, run_batch_once,
+      [&] {
+        obs::set_enabled(true);
+        run_batch_once();
+        obs::set_enabled(false);
+        obs::reset();
+      });
+  rows.push_back(Row{"pipeline batch, tracing OFF vs ON", pipe_off_s * 1e6,
+                     pipe_on_s * 1e6, percent_delta(pipe_off_s, pipe_on_s)});
+
+  // Gate: the disabled tax must vanish into max(2%, the observed noise).
+  const double gate_pct = std::max(2.0, 2.0 * noise_pct);
+  const bool gate_ok = disabled_pct <= gate_pct;
+
+  Table table({"measurement", "base_us", "with_us", "delta"});
+  for (const Row& row : rows) {
+    char base[32], other[32], delta[32];
+    std::snprintf(base, sizeof(base), "%.4f", row.base_us);
+    std::snprintf(other, sizeof(other), "%.4f", row.other_us);
+    std::snprintf(delta, sizeof(delta), "%+.2f%%", row.delta_pct);
+    table.add_row({row.name, base, other, delta});
+  }
+  std::printf("== perf_obs — observability overhead ==\n\n%s\n",
+              table.to_string(2).c_str());
+  std::printf("disabled-tax gate: %.2f%% measured vs %.2f%% allowed — %s\n",
+              disabled_pct, gate_pct, gate_ok ? "OK" : "FAIL");
+
+  const std::string json_path = cli.get_string("json");
+  if (!json_path.empty()) {
+    if (write_text_file(json_path, to_json(rows, gate_pct, gate_ok))) {
+      std::printf("JSON written to %s\n", json_path.c_str());
+    } else {
+      std::fprintf(stderr, "warning: could not write %s\n", json_path.c_str());
+      return 1;
+    }
+  }
+  return gate_ok ? 0 : 1;
+#endif
+}

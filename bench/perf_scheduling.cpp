@@ -618,8 +618,15 @@ GeneratorConfig sized_config(std::size_t tasks, std::size_t processors) {
   cfg.platform.processor_count = processors;
   cfg.workload.min_tasks = tasks;
   cfg.workload.max_tasks = tasks;
-  cfg.workload.min_depth = std::max<std::size_t>(2, tasks / 5);
-  cfg.workload.max_depth = std::max<std::size_t>(2, tasks / 5);
+  // Depth scales as sqrt(n) so BOTH depth and level width grow with n.
+  // The old tasks/5 rule made depth grow linearly, so width stayed at ~5
+  // tasks for every size: a 1024-task "graph" was a 204-level chain with
+  // less ready-set pressure than the 512-task one, and measured time per
+  // scheduled task *fell* as n grew (docs/PERFORMANCE.md).
+  const auto depth = static_cast<std::size_t>(
+      std::lround(std::sqrt(static_cast<double>(tasks))));
+  cfg.workload.min_depth = std::max<std::size_t>(2, depth);
+  cfg.workload.max_depth = std::max<std::size_t>(2, depth);
   cfg.base_seed = 0xBE7C;
   return cfg;
 }
@@ -890,9 +897,11 @@ int main(int argc, char** argv) {
   cli.add_flag("processors", "3", "processor count m");
   cli.add_flag("min-ms", "100", "minimum wall time per measurement (ms)");
   cli.add_bool_flag("smoke", "tiny sizes / short timings (CI sanity run)");
+  dsslice::obs::ObsCli::register_flags(cli);
   if (!cli.parse(argc, argv)) {
     return 1;
   }
+  dsslice::obs::ObsCli obs_session(cli);
   const auto processors = static_cast<std::size_t>(cli.get_int("processors"));
   const bool smoke = cli.get_bool("smoke");
   const double min_seconds =
@@ -958,5 +967,6 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+  obs_session.finish();
   return 0;
 }

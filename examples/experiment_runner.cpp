@@ -50,9 +50,11 @@ int main(int argc, char** argv) {
   cli.add_flag("k-local", "0.2", "ADAPT-L adaptivity factor");
   cli.add_bool_flag("bus-contention", "simulate shared-bus contention");
   cli.add_bool_flag("lateness", "run to completion and report lateness");
+  obs::ObsCli::register_flags(cli);
   if (!cli.parse(argc, argv)) {
     return 0;
   }
+  obs::ObsCli obs_session(cli);
 
   try {
     ExperimentConfig config;
@@ -108,6 +110,7 @@ int main(int argc, char** argv) {
                 format_fixed(result.slicing_passes.mean(), 1).c_str());
     std::printf("  wall time        %ss (%zu threads)\n",
                 format_fixed(result.wall_seconds, 2).c_str(), pool.size());
+    obs_session.finish();
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# Performance benchmark driver: Release build + the two hot-path harnesses.
+# Performance benchmark driver: Release build + the hot-path harnesses.
 # Writes BENCH_slicing.json and BENCH_scheduling.json at the repo root (see
-# docs/PERFORMANCE.md for how to read them). Extra arguments are forwarded to
-# both harnesses, e.g.
+# docs/PERFORMANCE.md for how to read them), plus a BENCH_*.metrics.jsonl
+# pipeline-stage breakdown next to each (docs/OBSERVABILITY.md), and runs
+# the perf_obs overhead gate. Extra arguments are forwarded to the slicing
+# and scheduling harnesses, e.g.
 #   scripts/bench.sh --smoke
 #   scripts/bench.sh --processors 8 --min-ms 500
 set -euo pipefail
@@ -14,11 +16,24 @@ jobs="$(nproc 2>/dev/null || echo 4)"
 
 echo "==> configure [default]"
 cmake --preset default
-echo "==> build [perf_slicing perf_scheduling]"
+echo "==> build [perf_slicing perf_scheduling perf_obs]"
 cmake --build --preset default -j "$jobs" --target perf_slicing \
-  --target perf_scheduling
+  --target perf_scheduling --target perf_obs
 echo "==> run [perf_slicing]"
 ./build/bench/perf_slicing --json "$root/BENCH_slicing.json" "$@"
 echo "==> run [perf_scheduling]"
 ./build/bench/perf_scheduling --json "$root/BENCH_scheduling.json" \
   --min-ms 800 "$@"
+echo "==> run [perf_obs] (disabled-overhead gate)"
+./build/bench/perf_obs --json "$root/BENCH_obs.json"
+
+# Archive a pipeline-stage metrics breakdown next to each BENCH_*.json from
+# a separate short instrumented pass. The timed runs above record nothing:
+# the library side carries the obs macros and the in-binary legacy copies do
+# not, so enabling recording during the paired timing loops would bias the
+# comparison (the disabled tax is what perf_obs gates at <=2%).
+echo "==> archive [stage metrics breakdowns]"
+./build/bench/perf_slicing --smoke \
+  --metrics "$root/BENCH_slicing.metrics.jsonl" > /dev/null
+./build/bench/perf_scheduling --smoke \
+  --metrics "$root/BENCH_scheduling.metrics.jsonl" > /dev/null

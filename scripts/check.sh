@@ -29,4 +29,28 @@ echo "==> bench smoke [perf_scheduling, default]"
 echo "==> bench smoke [perf_scheduling, sanitize]"
 ./build-sanitize/bench/perf_scheduling --smoke
 
+# Observability smoke: a small sweep exporting a Chrome trace + JSONL
+# metrics, validated by tools/trace_check, under both presets (the sanitize
+# pass exercises the ring/accumulator paths under ASan/UBSan). perf_obs
+# gates the runtime-disabled overhead at <=2% (docs/OBSERVABILITY.md).
+obs_smoke() {
+  local build="$1"
+  local tag="${build##*/}"
+  local out="$build/obs-smoke"
+  mkdir -p "$out"
+  "$build/examples/experiment_runner" --graphs 16 \
+    --trace "$out/trace.json" --metrics "$out/metrics.jsonl" \
+    --obs-summary > "$out/summary.txt"
+  "$build/tools/trace_check" "$out/trace.json"
+  "$build/tools/trace_check" --jsonl "$out/metrics.jsonl"
+  grep -q "slice.run" "$out/summary.txt" ||
+    { echo "obs smoke [$tag]: summary missing slicing spans" >&2; exit 1; }
+}
+echo "==> obs smoke [default]"
+obs_smoke ./build
+echo "==> obs smoke [sanitize]"
+obs_smoke ./build-sanitize
+echo "==> obs overhead gate [perf_obs]"
+./build/bench/perf_obs --smoke
+
 echo "All checks passed."

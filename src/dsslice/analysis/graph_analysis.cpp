@@ -4,6 +4,7 @@
 #include <deque>
 #include <unordered_map>
 
+#include "dsslice/obs/trace.hpp"
 #include "dsslice/util/check.hpp"
 
 namespace dsslice {
@@ -26,7 +27,9 @@ GraphAnalysis::GraphAnalysis(const TaskGraph& g)
       descendants_(n_, 0),
       ancestors_(n_, 0),
       parallel_size_(n_, 0) {
+  DSSLICE_SPAN("analysis.build");
   g_construction_count.fetch_add(1, std::memory_order_relaxed);
+  DSSLICE_COUNT("analysis.builds", 1);
 
   // CSR adjacency in both directions, preserving TaskGraph's per-node order,
   // with the arc payloads (message sizes) and arc indices flattened

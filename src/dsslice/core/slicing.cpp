@@ -6,9 +6,29 @@
 
 #include "dsslice/core/anchors.hpp"
 #include "dsslice/core/critical_path.hpp"
+#include "dsslice/obs/trace.hpp"
 #include "dsslice/util/check.hpp"
 
 namespace dsslice {
+
+namespace {
+
+// Span names must be static strings; one literal per metric kind.
+const char* slicing_span_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kPure:
+      return "slice.run.pure";
+    case MetricKind::kNorm:
+      return "slice.run.norm";
+    case MetricKind::kAdaptG:
+      return "slice.run.adapt_g";
+    case MetricKind::kAdaptL:
+      return "slice.run.adapt_l";
+  }
+  return "slice.run";
+}
+
+}  // namespace
 
 std::string SlicingTrace::to_string(const Application& app) const {
   std::string out;
@@ -47,6 +67,8 @@ DeadlineAssignment run_slicing(const Application& app,
   const std::size_t n = app.task_count();
   DSSLICE_REQUIRE(est_wcet.size() == n, "estimate vector size mismatch");
   DSSLICE_REQUIRE(processor_count > 0, "need at least one processor");
+
+  DSSLICE_SPAN(slicing_span_name(metric.kind()));
 
   // The memoized analysis supplies the topological order, CSR adjacency and
   // (for ADAPT-L) the parallel sets; nothing graph-structural is recomputed
@@ -164,6 +186,9 @@ DeadlineAssignment run_slicing(const Application& app,
       local_stats.windows_feasible = false;
     }
   }
+  DSSLICE_COUNT("slice.runs", 1);
+  DSSLICE_COUNT("slice.passes", local_stats.passes);
+  DSSLICE_COUNT("slice.tasks", n);
   if (stats != nullptr) {
     *stats = local_stats;
   }

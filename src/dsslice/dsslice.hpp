@@ -43,6 +43,11 @@
 #include "dsslice/model/resources.hpp"
 #include "dsslice/model/task.hpp"
 #include "dsslice/model/time.hpp"
+#include "dsslice/obs/export.hpp"
+#include "dsslice/obs/json_lint.hpp"
+#include "dsslice/obs/registry.hpp"
+#include "dsslice/obs/session.hpp"
+#include "dsslice/obs/trace.hpp"
 #include "dsslice/report/csv.hpp"
 #include "dsslice/report/schedule_export.hpp"
 #include "dsslice/report/series.hpp"

@@ -1,10 +1,12 @@
 #include "dsslice/gen/platform_generator.hpp"
 
+#include "dsslice/obs/trace.hpp"
 #include "dsslice/util/check.hpp"
 
 namespace dsslice {
 
 Platform generate_platform(const PlatformConfig& config, Xoshiro256& rng) {
+  DSSLICE_SPAN("gen.platform");
   const auto class_count = static_cast<std::size_t>(rng.uniform_int(
       static_cast<std::int64_t>(config.min_class_count),
       static_cast<std::int64_t>(config.max_class_count)));

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "dsslice/gen/platform_generator.hpp"
+#include "dsslice/obs/trace.hpp"
 #include "dsslice/util/check.hpp"
 
 namespace dsslice {
@@ -133,6 +134,7 @@ Application generate_application(const WorkloadConfig& config,
                                  const Platform& platform, Xoshiro256& rng,
                                  ClassModel class_model,
                                  double class_deviation) {
+  DSSLICE_SPAN("gen.taskgraph");
   const auto n = static_cast<std::size_t>(
       rng.uniform_int(static_cast<std::int64_t>(config.min_tasks),
                       static_cast<std::int64_t>(config.max_tasks)));
@@ -229,6 +231,8 @@ Application generate_application(const WorkloadConfig& config,
 }
 
 Scenario generate_scenario(const GeneratorConfig& config, std::uint64_t seed) {
+  DSSLICE_SPAN("gen.scenario");
+  DSSLICE_COUNT("gen.scenarios", 1);
   config.validate();
   Xoshiro256 rng(seed);
   Platform platform = generate_platform(config.platform, rng);

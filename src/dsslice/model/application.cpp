@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "dsslice/graph/algorithms.hpp"
+#include "dsslice/obs/trace.hpp"
 #include "dsslice/util/check.hpp"
 
 namespace dsslice {
@@ -54,6 +55,7 @@ Application& Application::operator=(Application&& other) noexcept {
 const GraphAnalysis& Application::analysis() const {
   auto cached = analysis_cache_.load(std::memory_order_acquire);
   if (cached == nullptr) {
+    DSSLICE_COUNT("analysis.cache.miss", 1);
     auto built = std::make_shared<const GraphAnalysis>(graph_);
     std::shared_ptr<const GraphAnalysis> expected;
     if (analysis_cache_.compare_exchange_strong(expected, built,
@@ -63,6 +65,8 @@ const GraphAnalysis& Application::analysis() const {
     } else {
       cached = std::move(expected);  // another thread won the race
     }
+  } else {
+    DSSLICE_COUNT("analysis.cache.hit", 1);
   }
   return *cached;
 }

@@ -1,0 +1,39 @@
+// Exporters for observability snapshots:
+//  * Chrome trace_event JSON — load the file in Perfetto (ui.perfetto.dev)
+//    or chrome://tracing for a per-thread timeline;
+//  * JSONL metric dumps — one self-describing JSON object per line, easy to
+//    grep / jq / pandas;
+//  * plain-text summary — aligned table for terminal output.
+// Formats are documented in docs/OBSERVABILITY.md.
+#pragma once
+
+#include <string>
+
+#include "dsslice/obs/registry.hpp"
+#include "dsslice/report/table.hpp"
+
+namespace dsslice::obs {
+
+/// Serializes a trace snapshot as Chrome trace_event JSON ("X" complete
+/// events, timestamps in microseconds, one row per recorder thread).
+std::string to_chrome_trace_json(const TraceSnapshot& trace);
+
+/// Serializes a metrics snapshot as JSONL: one `{"type":"span"|"counter"|
+/// "gauge"|"meta",...}` object per line, sorted by name within type.
+std::string to_metrics_jsonl(const MetricsSnapshot& metrics);
+
+/// Span statistics as an aligned table (count, total ms, share of summed
+/// span time, mean/p50/p95/p99/max in µs), sorted by total time descending.
+Table span_summary_table(const MetricsSnapshot& metrics);
+
+/// Counter and gauge values as an aligned table, sorted by name.
+Table counter_summary_table(const MetricsSnapshot& metrics);
+
+/// Complete human-readable summary (both tables plus drop/thread footer).
+std::string to_summary_text(const MetricsSnapshot& metrics);
+
+/// Escapes a string for embedding in a JSON string literal (quotes,
+/// backslashes, control characters).
+std::string json_escape(const std::string& text);
+
+}  // namespace dsslice::obs

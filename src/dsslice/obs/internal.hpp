@@ -1,0 +1,144 @@
+// Internal shared state of the observability layer: the per-thread buffer
+// written by trace.cpp's record functions and drained by registry.cpp's
+// snapshots. Not part of the public API — include obs/trace.hpp and
+// obs/registry.hpp instead.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "dsslice/obs/trace.hpp"
+#include "dsslice/util/stats.hpp"
+
+namespace dsslice::obs::detail {
+
+/// One completed span as stored in the per-thread ring (counters and gauges
+/// are aggregation-only; only spans carry per-event timeline data).
+struct RingEvent {
+  const char* name = nullptr;
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;
+  std::uint16_t depth = 0;
+};
+
+/// Per-name accumulator. Spans fill the ns fields and the histogram;
+/// counters fill total/count; gauges fill last/min/max/count.
+struct Accum {
+  const char* name = nullptr;
+  EventKind kind = EventKind::kSpan;
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t min_ns = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t max_ns = 0;
+  double total = 0.0;
+  double last = 0.0;
+  double min_value = std::numeric_limits<double>::infinity();
+  double max_value = -std::numeric_limits<double>::infinity();
+  LogHistogram hist;
+
+  void merge(const Accum& other);
+};
+
+/// Fixed-capacity per-thread recording state. Created lazily on a thread's
+/// first recorded event (the only allocation the layer ever performs on a
+/// recording thread); registered with the Registry for snapshotting and
+/// retired — merged into the registry — when the thread exits.
+struct ThreadBuffer {
+  /// Open-addressed accumulator table, keyed by name pointer. 256 slots is
+  /// ~4× the taxonomy's size; saturation drops events into lost_accums.
+  static constexpr std::size_t kAccumSlots = 256;
+  static constexpr std::size_t kAccumLoadLimit = 192;
+
+  explicit ThreadBuffer(std::size_t ring_capacity);
+
+  std::uint32_t tid = 0;                 // registration order, for export
+  std::vector<RingEvent> ring;           // fixed capacity, wraps
+  std::uint64_t ring_written = 0;        // total pushes ever (≥ ring.size())
+  std::array<Accum, kAccumSlots> accums{};
+  std::size_t accum_used = 0;
+  std::uint64_t lost_accums = 0;         // events dropped by table saturation
+
+  Accum* find_or_create(const char* name, EventKind kind);
+  void record_span(const char* name, std::uint64_t start_ns,
+                   std::uint64_t end_ns, std::uint16_t depth);
+  void add_counter(const char* name, double delta);
+  void set_gauge(const char* name, double value);
+  void clear();
+};
+
+/// Process-wide registry of thread buffers plus the merged remains of
+/// exited threads. A deliberately leaked singleton (kept reachable through
+/// a static pointer, so LeakSanitizer stays quiet) so worker-thread exit
+/// hooks can always reach it regardless of static destruction order.
+class Registry {
+ public:
+  static Registry& instance();
+
+  ThreadBuffer* create_buffer();
+  /// Thread-exit hook: merges the buffer's accumulators and ring events
+  /// into the retired stores, then deletes the buffer.
+  void retire(ThreadBuffer* buffer);
+
+  /// Snapshot/maintenance entry points (see obs/registry.hpp for the
+  /// public wrappers and the quiescence contract).
+  template <typename Fn>
+  void for_each_buffer_locked(Fn&& fn) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (ThreadBuffer* buffer : live_) {
+      fn(*buffer);
+    }
+  }
+
+  std::mutex& mutex() { return mu_; }
+  const std::vector<ThreadBuffer*>& live() const { return live_; }
+  const std::map<std::string, Accum>& retired_accums() const {
+    return retired_accums_;
+  }
+  struct RetiredEvent {
+    RingEvent event;
+    std::uint32_t tid = 0;
+  };
+  const std::vector<RetiredEvent>& retired_events() const {
+    return retired_events_;
+  }
+  std::uint64_t retired_ring_written() const { return retired_ring_written_; }
+  std::uint64_t retired_lost_accums() const { return retired_lost_accums_; }
+  std::uint32_t thread_count() const { return next_tid_; }
+
+  void reset_locked();
+
+  void count_allocation() {
+    allocations_.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::uint64_t allocations() const {
+    return allocations_.load(std::memory_order_relaxed);
+  }
+
+  /// Ring capacity applied to buffers created from now on.
+  void set_ring_capacity(std::size_t capacity);
+  std::size_t ring_capacity() const {
+    return ring_capacity_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  Registry() = default;
+
+  std::mutex mu_;
+  std::vector<ThreadBuffer*> live_;
+  std::uint32_t next_tid_ = 0;
+  std::map<std::string, Accum> retired_accums_;
+  std::vector<RetiredEvent> retired_events_;
+  std::uint64_t retired_ring_written_ = 0;
+  std::uint64_t retired_lost_accums_ = 0;
+  std::atomic<std::uint64_t> allocations_{0};
+  std::atomic<std::size_t> ring_capacity_{8192};
+};
+
+}  // namespace dsslice::obs::detail

@@ -1,0 +1,77 @@
+#include "dsslice/obs/session.hpp"
+
+#include <cstdio>
+
+#include "dsslice/obs/export.hpp"
+#include "dsslice/obs/registry.hpp"
+#include "dsslice/obs/trace.hpp"
+#include "dsslice/report/csv.hpp"
+
+namespace dsslice::obs {
+
+void ObsCli::register_flags(CliParser& cli) {
+  cli.add_flag("trace", "",
+               "write a Chrome trace_event JSON (Perfetto-loadable) here");
+  cli.add_flag("metrics", "", "write JSONL metric aggregates here");
+  cli.add_bool_flag("obs-summary", "print a span/counter summary table");
+  cli.add_flag("trace-capacity", "8192",
+               "span ring capacity per thread (older spans drop first)");
+}
+
+ObsCli::ObsCli(const CliParser& cli)
+    : trace_path_(cli.get_string("trace")),
+      metrics_path_(cli.get_string("metrics")),
+      summary_(cli.get_bool("obs-summary")) {
+  active_ = !trace_path_.empty() || !metrics_path_.empty() || summary_;
+  if (active_) {
+    set_ring_capacity(static_cast<std::size_t>(cli.get_int("trace-capacity")));
+    reset();
+    set_enabled(true);
+#if !DSSLICE_OBS_ENABLED
+    std::fprintf(stderr,
+                 "warning: observability output requested but the build "
+                 "compiled it out (DSSLICE_OBS=OFF)\n");
+#endif
+  }
+}
+
+bool ObsCli::finish() {
+  if (!active_ || finished_) {
+    return true;
+  }
+  finished_ = true;
+  set_enabled(false);
+  bool ok = true;
+  if (!trace_path_.empty()) {
+    const TraceSnapshot trace = trace_snapshot();
+    if (write_text_file(trace_path_, to_chrome_trace_json(trace))) {
+      std::printf("trace written to %s (%zu spans", trace_path_.c_str(),
+                  trace.spans.size());
+      if (trace.dropped > 0) {
+        std::printf(", %llu dropped by ring wraparound",
+                    static_cast<unsigned long long>(trace.dropped));
+      }
+      std::printf(")\n");
+    } else {
+      std::fprintf(stderr, "warning: could not write %s\n",
+                   trace_path_.c_str());
+      ok = false;
+    }
+  }
+  const MetricsSnapshot metrics = metrics_snapshot();
+  if (!metrics_path_.empty()) {
+    if (write_text_file(metrics_path_, to_metrics_jsonl(metrics))) {
+      std::printf("metrics written to %s\n", metrics_path_.c_str());
+    } else {
+      std::fprintf(stderr, "warning: could not write %s\n",
+                   metrics_path_.c_str());
+      ok = false;
+    }
+  }
+  if (summary_) {
+    std::fputs(to_summary_text(metrics).c_str(), stdout);
+  }
+  return ok;
+}
+
+}  // namespace dsslice::obs

@@ -1,0 +1,44 @@
+// Driver-side glue: one call to register the observability flags on a
+// CliParser, one object to arm the recorder and write the requested outputs.
+//
+//   CliParser cli(...);
+//   obs::ObsCli::register_flags(cli);
+//   if (!cli.parse(argc, argv)) return 0;
+//   obs::ObsCli obs_session(cli);   // arms tracing if any output requested
+//   ... run the workload ...
+//   obs_session.finish();           // --trace/--metrics files, --obs-summary
+#pragma once
+
+#include <string>
+
+#include "dsslice/util/cli.hpp"
+
+namespace dsslice::obs {
+
+class ObsCli {
+ public:
+  /// Adds --trace, --metrics, --obs-summary and --trace-capacity.
+  static void register_flags(CliParser& cli);
+
+  /// Reads the flags; if any output was requested, sets the ring capacity
+  /// and enables recording process-wide.
+  explicit ObsCli(const CliParser& cli);
+
+  /// True when any observability output was requested (recording is on).
+  bool active() const { return active_; }
+
+  /// Disables recording, snapshots, and emits everything requested: the
+  /// Chrome trace to --trace, the JSONL metrics to --metrics, the text
+  /// summary to stdout under --obs-summary. Returns false if a file could
+  /// not be written (a warning is printed; the run's results still stand).
+  bool finish();
+
+ private:
+  std::string trace_path_;
+  std::string metrics_path_;
+  bool summary_ = false;
+  bool active_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace dsslice::obs

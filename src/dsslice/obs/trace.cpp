@@ -1,0 +1,159 @@
+#include "dsslice/obs/trace.hpp"
+
+#include <algorithm>
+
+#include "dsslice/obs/internal.hpp"
+
+namespace dsslice::obs {
+
+namespace detail {
+
+std::atomic<bool> g_enabled{false};
+
+namespace {
+
+/// Owner of the calling thread's buffer; the destructor retires the buffer
+/// into the registry so counts from short-lived threads survive snapshots
+/// taken after they exit.
+struct Holder {
+  ThreadBuffer* buffer = nullptr;
+  ~Holder() {
+    if (buffer != nullptr) {
+      Registry::instance().retire(buffer);
+      buffer = nullptr;
+    }
+  }
+};
+
+ThreadBuffer& tl_buffer() {
+  thread_local Holder holder;
+  if (holder.buffer == nullptr) {
+    holder.buffer = Registry::instance().create_buffer();
+  }
+  return *holder.buffer;
+}
+
+std::uint64_t hash_pointer(const char* p) {
+  auto x = reinterpret_cast<std::uintptr_t>(p);
+  x ^= x >> 33;
+  x *= 0x9E3779B97F4A7C15ull;
+  x ^= x >> 29;
+  return x;
+}
+
+}  // namespace
+
+void Accum::merge(const Accum& other) {
+  count += other.count;
+  total_ns += other.total_ns;
+  min_ns = std::min(min_ns, other.min_ns);
+  max_ns = std::max(max_ns, other.max_ns);
+  total += other.total;
+  if (other.count > 0) {
+    last = other.last;  // merge order decides; documented as such
+  }
+  min_value = std::min(min_value, other.min_value);
+  max_value = std::max(max_value, other.max_value);
+  hist.merge(other.hist);
+}
+
+ThreadBuffer::ThreadBuffer(std::size_t ring_capacity) {
+  ring.resize(std::max<std::size_t>(1, ring_capacity));
+}
+
+Accum* ThreadBuffer::find_or_create(const char* name, EventKind kind) {
+  std::size_t slot = static_cast<std::size_t>(hash_pointer(name)) %
+                     kAccumSlots;
+  for (std::size_t probes = 0; probes < kAccumSlots; ++probes) {
+    Accum& a = accums[slot];
+    if (a.name == name) {
+      return &a;
+    }
+    if (a.name == nullptr) {
+      if (accum_used >= kAccumLoadLimit) {
+        return nullptr;  // saturated — count the loss, keep the table fast
+      }
+      ++accum_used;
+      a.name = name;
+      a.kind = kind;
+      return &a;
+    }
+    slot = (slot + 1) % kAccumSlots;
+  }
+  return nullptr;
+}
+
+void ThreadBuffer::record_span(const char* name, std::uint64_t start_ns,
+                               std::uint64_t end_ns, std::uint16_t depth) {
+  const std::uint64_t duration =
+      end_ns >= start_ns ? end_ns - start_ns : 0;
+  if (Accum* a = find_or_create(name, EventKind::kSpan)) {
+    ++a->count;
+    a->total_ns += duration;
+    a->min_ns = std::min(a->min_ns, duration);
+    a->max_ns = std::max(a->max_ns, duration);
+    a->hist.add(duration);
+  } else {
+    ++lost_accums;
+  }
+  RingEvent& slot = ring[ring_written % ring.size()];
+  slot.name = name;
+  slot.start_ns = start_ns;
+  slot.end_ns = end_ns;
+  slot.depth = depth;
+  ++ring_written;
+}
+
+void ThreadBuffer::add_counter(const char* name, double delta) {
+  if (Accum* a = find_or_create(name, EventKind::kCounter)) {
+    ++a->count;
+    a->total += delta;
+  } else {
+    ++lost_accums;
+  }
+}
+
+void ThreadBuffer::set_gauge(const char* name, double value) {
+  if (Accum* a = find_or_create(name, EventKind::kGauge)) {
+    ++a->count;
+    a->last = value;
+    a->min_value = std::min(a->min_value, value);
+    a->max_value = std::max(a->max_value, value);
+  } else {
+    ++lost_accums;
+  }
+}
+
+void ThreadBuffer::clear() {
+  for (Accum& a : accums) {
+    a = Accum{};
+  }
+  accum_used = 0;
+  ring_written = 0;
+  lost_accums = 0;
+}
+
+void record_span(const char* name, std::uint64_t start_ns,
+                 std::uint64_t end_ns, std::uint16_t depth) {
+  tl_buffer().record_span(name, start_ns, end_ns, depth);
+}
+
+void add_counter(const char* name, double delta) {
+  tl_buffer().add_counter(name, delta);
+}
+
+void set_gauge(const char* name, double value) {
+  tl_buffer().set_gauge(name, value);
+}
+
+}  // namespace detail
+
+void set_enabled(bool on) {
+#if DSSLICE_OBS_ENABLED
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+#else
+  (void)on;
+#endif
+}
+
+}  // namespace dsslice::obs

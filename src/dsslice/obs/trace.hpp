@@ -1,0 +1,160 @@
+// Low-overhead tracing & metrics recorder — the hot-path half of the
+// observability layer (aggregation and export live in obs/registry.hpp and
+// obs/export.hpp; event taxonomy in docs/OBSERVABILITY.md).
+//
+// Instrumentation sites use three macros:
+//
+//   DSSLICE_SPAN("slice.run.adapt_l");        // RAII scoped timer
+//   DSSLICE_COUNT("sched.dispatch.events", n) // monotonic counter += n
+//   DSSLICE_GAUGE("sim.batch.graphs", x)      // last/min/max of a value
+//
+// Cost contract, enforced by bench/perf_obs:
+//  * compiled out (cmake -DDSSLICE_OBS=OFF → DSSLICE_OBS_COMPILED_OUT):
+//    the macros expand to nothing at all;
+//  * compiled in, runtime-disabled (the default): one relaxed atomic load
+//    and a predictable branch per site — no clock read, no thread-local
+//    state created, no allocation;
+//  * enabled: a monotonic clock read per span edge plus an out-of-line
+//    record into the calling thread's fixed-capacity ring buffer and
+//    accumulator table. After a thread's first recorded event the hot path
+//    never allocates (rings and tables are fixed-size; overflow increments
+//    drop counters instead of growing).
+//
+// Names must be string literals or pointers with static storage duration:
+// the recorder stores the pointer, never a copy. Aggregation keys on string
+// *content*, so the same literal in different translation units folds into
+// one metric.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#if defined(DSSLICE_OBS_COMPILED_OUT)
+#define DSSLICE_OBS_ENABLED 0
+#else
+#define DSSLICE_OBS_ENABLED 1
+#endif
+
+namespace dsslice::obs {
+
+/// What a recorded event is; exposed for snapshot consumers.
+enum class EventKind : std::uint8_t {
+  kSpan,     ///< scoped duration (DSSLICE_SPAN)
+  kCounter,  ///< monotonic sum of deltas (DSSLICE_COUNT)
+  kGauge,    ///< sampled value, last/min/max kept (DSSLICE_GAUGE)
+};
+
+namespace detail {
+
+extern std::atomic<bool> g_enabled;
+
+/// Monotonic nanosecond clock (vDSO clock_gettime on Linux — the cheapest
+/// portable "TSC read" available without per-arch calibration).
+inline std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Current thread's span nesting depth (for trace export / tests).
+inline std::uint32_t& span_depth() {
+  thread_local std::uint32_t depth = 0;
+  return depth;
+}
+
+// Out-of-line recording into the calling thread's buffer (trace.cpp).
+void record_span(const char* name, std::uint64_t start_ns,
+                 std::uint64_t end_ns, std::uint16_t depth);
+void add_counter(const char* name, double delta);
+void set_gauge(const char* name, double value);
+
+}  // namespace detail
+
+/// Runtime switch. Off by default; drivers flip it on via obs::ObsCli or
+/// obs::set_enabled. Reading is a relaxed atomic load — safe from any
+/// thread, any time.
+inline bool enabled() {
+#if DSSLICE_OBS_ENABLED
+  return detail::g_enabled.load(std::memory_order_relaxed);
+#else
+  return false;
+#endif
+}
+
+void set_enabled(bool on);
+
+/// RAII scoped timer behind DSSLICE_SPAN. Records nothing unless the layer
+/// was enabled when the scope was entered.
+class SpanTimer {
+ public:
+  explicit SpanTimer(const char* name) {
+    if (enabled()) {
+      name_ = name;
+      depth_ = static_cast<std::uint16_t>(detail::span_depth()++);
+      start_ = detail::now_ns();
+    }
+  }
+  ~SpanTimer() {
+    if (name_ != nullptr) {
+      const std::uint64_t end = detail::now_ns();
+      --detail::span_depth();
+      detail::record_span(name_, start_, end, depth_);
+    }
+  }
+  SpanTimer(const SpanTimer&) = delete;
+  SpanTimer& operator=(const SpanTimer&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  std::uint64_t start_ = 0;
+  std::uint16_t depth_ = 0;
+};
+
+}  // namespace dsslice::obs
+
+#define DSSLICE_OBS_CONCAT_IMPL(a, b) a##b
+#define DSSLICE_OBS_CONCAT(a, b) DSSLICE_OBS_CONCAT_IMPL(a, b)
+
+#if DSSLICE_OBS_ENABLED
+
+/// Scoped span: times the enclosing scope under the given static name.
+#define DSSLICE_SPAN(name)                                      \
+  const ::dsslice::obs::SpanTimer DSSLICE_OBS_CONCAT(           \
+      dsslice_obs_span_, __LINE__)(name)
+
+/// Monotonic counter: adds `delta` (converted to double; integral deltas
+/// stay exact) under the given static name.
+#define DSSLICE_COUNT(name, delta)                              \
+  do {                                                          \
+    if (::dsslice::obs::enabled()) {                            \
+      ::dsslice::obs::detail::add_counter(                      \
+          name, static_cast<double>(delta));                    \
+    }                                                           \
+  } while (0)
+
+/// Gauge: records a sampled value (last, min, max aggregated).
+#define DSSLICE_GAUGE(name, value)                              \
+  do {                                                          \
+    if (::dsslice::obs::enabled()) {                            \
+      ::dsslice::obs::detail::set_gauge(                        \
+          name, static_cast<double>(value));                    \
+    }                                                           \
+  } while (0)
+
+#else  // DSSLICE_OBS_ENABLED
+
+#define DSSLICE_SPAN(name) \
+  do {                     \
+  } while (0)
+#define DSSLICE_COUNT(name, delta) \
+  do {                             \
+    (void)sizeof(delta);           \
+  } while (0)
+#define DSSLICE_GAUGE(name, value) \
+  do {                             \
+    (void)sizeof(value);           \
+  } while (0)
+
+#endif  // DSSLICE_OBS_ENABLED

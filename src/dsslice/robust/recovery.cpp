@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "dsslice/analysis/graph_analysis.hpp"
+#include "dsslice/obs/trace.hpp"
 #include "dsslice/util/check.hpp"
 
 namespace dsslice {
@@ -141,8 +142,10 @@ void RecoveryEngine::on_completion(const View& view, NodeId, bool missed,
   if (policy_ != RecoveryPolicy::kRedistributeSlack || !missed) {
     return;
   }
+  DSSLICE_SPAN("recovery.reslice");
   windows = redistribute_slack(app_, est_wcet_, view, windows);
   ++stats_.reslices;
+  DSSLICE_COUNT("recovery.reslices", 1);
 }
 
 std::vector<NodeId> RecoveryEngine::on_processor_failure(
@@ -156,9 +159,12 @@ std::vector<NodeId> RecoveryEngine::on_processor_failure(
     case RecoveryPolicy::kRedistributeSlack: {
       // Revive the victims (they are unstarted again in `view`) and re-run
       // the residual-budget distribution over the surviving suffix.
+      DSSLICE_SPAN("recovery.reslice");
       windows = redistribute_slack(app_, est_wcet_, view, windows);
       ++stats_.reslices;
+      DSSLICE_COUNT("recovery.reslices", 1);
       stats_.revived += victims.size();
+      DSSLICE_COUNT("recovery.revived", victims.size());
       return victims;
     }
 

@@ -6,6 +6,7 @@
 
 #include "dsslice/analysis/graph_analysis.hpp"
 #include "dsslice/gen/rng.hpp"
+#include "dsslice/obs/trace.hpp"
 #include "dsslice/sched/scheduler_workspace.hpp"
 #include "dsslice/util/check.hpp"
 
@@ -117,6 +118,7 @@ AnnealingResult anneal_schedule(const Application& app,
                                 const Platform& platform,
                                 const AnnealingOptions& options,
                                 SchedulerWorkspace* ws) {
+  DSSLICE_SPAN("sched.anneal.run");
   const std::size_t n = app.task_count();
   const std::size_t m = platform.processor_count();
   DSSLICE_REQUIRE(options.iterations >= 1, "need at least one iteration");
@@ -198,6 +200,9 @@ AnnealingResult anneal_schedule(const Application& app,
     }
     temperature *= options.cooling;
   }
+  DSSLICE_COUNT("sched.anneal.runs", 1);
+  DSSLICE_COUNT("sched.anneal.iterations", options.iterations);
+  DSSLICE_COUNT("sched.anneal.improvements", best.improvements);
   return best;
 }
 

@@ -7,6 +7,7 @@
 
 #include "dsslice/analysis/graph_analysis.hpp"
 #include "dsslice/core/wcet_estimate.hpp"
+#include "dsslice/obs/trace.hpp"
 #include "dsslice/sched/scheduler_workspace.hpp"
 #include "dsslice/util/check.hpp"
 
@@ -221,6 +222,7 @@ BnbResult branch_and_bound_schedule(const Application& app,
                   "assignment size mismatch");
   DSSLICE_REQUIRE(options.max_nodes >= 1, "need a positive node budget");
 
+  DSSLICE_SPAN("sched.bnb.run");
   BnbResult result(app.task_count(), platform.processor_count());
   SchedulerWorkspace local_ws;
   SearchState state(app, assignment, platform, options,
@@ -228,6 +230,8 @@ BnbResult branch_and_bound_schedule(const Application& app,
 
   const bool found = state.dfs(result);
   result.nodes_explored = state.nodes;
+  DSSLICE_COUNT("sched.bnb.runs", 1);
+  DSSLICE_COUNT("sched.bnb.nodes", state.nodes);
   if (found) {
     result.status = BnbStatus::kFeasible;
   } else if (state.node_limit_hit) {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "dsslice/analysis/graph_analysis.hpp"
+#include "dsslice/obs/trace.hpp"
 #include "dsslice/sched/scheduler_workspace.hpp"
 #include "dsslice/util/check.hpp"
 
@@ -69,6 +70,29 @@ void EdfDispatchScheduler::run_into(SchedulerResult& result,
                                     const DispatchConditions* conditions,
                                     DispatchControl* control,
                                     DispatchTelemetry* telemetry) const {
+  DSSLICE_SPAN("sched.dispatch.run");
+  // Event/rescan accounting (docs/PERFORMANCE.md): tallied in stack locals
+  // so the simulation loop stays free of per-iteration instrumentation, and
+  // flushed by the destructor so every exit path (including the fail()
+  // returns) reports. Mirrors the DispatchTelemetry kill/restart/miss
+  // counters into the metrics registry without widening that struct.
+  struct ObsTally {
+    std::uint64_t events = 0;     // outer loop iterations (time advances)
+    std::uint64_t rescans = 0;    // dispatch-scan passes over the task set
+    std::uint64_t dispatched = 0;
+    std::uint64_t killed = 0;
+    std::uint64_t restarts = 0;
+    std::uint64_t misses = 0;
+    ~ObsTally() {
+      DSSLICE_COUNT("sched.dispatch.runs", 1);
+      DSSLICE_COUNT("sched.dispatch.events", events);
+      DSSLICE_COUNT("sched.dispatch.rescans", rescans);
+      DSSLICE_COUNT("sched.dispatch.dispatched", dispatched);
+      DSSLICE_COUNT("sched.dispatch.killed", killed);
+      DSSLICE_COUNT("sched.dispatch.restarts", restarts);
+      DSSLICE_COUNT("sched.dispatch.misses", misses);
+    }
+  } obs_tally;
   const GraphAnalysis& ga = app.analysis();
   const std::size_t n = ga.node_count();
   const std::size_t m = platform.processor_count();
@@ -256,6 +280,7 @@ void EdfDispatchScheduler::run_into(SchedulerResult& result,
   const std::size_t guard_limit = (n + 3 * m + 4) * (n * (m + 1) + m + 4) + 64;
   while (remaining > 0) {
     DSSLICE_CHECK(++guard <= guard_limit, "dispatch failed to converge");
+    ++obs_tally.events;
 
     // Unforeseen processor failures whose instant has been reached: halt the
     // processor, kill the task in flight, and let the recovery hook decide
@@ -271,6 +296,7 @@ void EdfDispatchScheduler::run_into(SchedulerResult& result,
         if (ws.started[v] && !ws.done[v] && ws.proc_of[v] == p &&
             ws.finish[v] > ws.surprise_down[p] + kEps) {
           victims.push_back(v);
+          ++obs_tally.killed;
           ws.started[v] = 0;
           ws.finish[v] = kTimeInfinity;
           ws.lost[v] = 1;
@@ -291,6 +317,7 @@ void EdfDispatchScheduler::run_into(SchedulerResult& result,
                           victims.end(),
                       "control revived a task that was not a victim");
         ws.lost[r] = 0;
+        ++obs_tally.restarts;
         if (telemetry != nullptr) {
           ++telemetry->restarts;
         }
@@ -310,6 +337,7 @@ void EdfDispatchScheduler::run_into(SchedulerResult& result,
         const bool late = ws.finish[v] > windows[v].deadline + kEps;
         if (late) {
           missed = true;
+          ++obs_tally.misses;
           if (telemetry != nullptr) {
             telemetry->misses.push_back(
                 TaskMissEvent{v, ws.finish[v], windows[v].deadline});
@@ -341,6 +369,7 @@ void EdfDispatchScheduler::run_into(SchedulerResult& result,
     // closest-deadline dispatchable task to a processor until nothing more
     // can start at `now`.
     for (;;) {
+      ++obs_tally.rescans;
       NodeId best = static_cast<NodeId>(n);
       ProcessorId best_proc = 0;
       double best_wcet = 0.0;
@@ -415,6 +444,7 @@ void EdfDispatchScheduler::run_into(SchedulerResult& result,
       if (best >= n) {
         break;  // nothing dispatchable right now
       }
+      ++obs_tally.dispatched;
       ws.started[best] = 1;
       ws.proc_of[best] = best_proc;
       ws.start_time[best] = now;

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "dsslice/analysis/graph_analysis.hpp"
+#include "dsslice/obs/trace.hpp"
 #include "dsslice/sched/insertion_scheduler.hpp"
 #include "dsslice/sched/scheduler_workspace.hpp"
 #include "dsslice/util/check.hpp"
@@ -45,6 +46,8 @@ void EdfListScheduler::run_into(SchedulerResult& result, SchedulerWorkspace& ws,
                                 const DeadlineAssignment& assignment,
                                 const Platform& platform,
                                 const ResourceModel* resources) const {
+  DSSLICE_SPAN("sched.list.run");
+  DSSLICE_COUNT("sched.list.runs", 1);
   DSSLICE_REQUIRE(resources == nullptr ||
                       options_.placement == PlacementPolicy::kAppend,
                   "resource constraints require append placement");

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "dsslice/analysis/graph_analysis.hpp"
+#include "dsslice/obs/trace.hpp"
 #include "dsslice/sched/scheduler_workspace.hpp"
 #include "dsslice/util/check.hpp"
 #include "dsslice/util/string_util.hpp"
@@ -36,6 +37,8 @@ void PreemptiveEdfScheduler::run_into(PreemptiveResult& result,
                                       const Application& app,
                                       const DeadlineAssignment& assignment,
                                       const Platform& platform) const {
+  DSSLICE_SPAN("sched.preemptive.run");
+  DSSLICE_COUNT("sched.preemptive.runs", 1);
   const GraphAnalysis& ga = app.analysis();
   const std::size_t n = ga.node_count();
   const std::size_t m = platform.processor_count();
@@ -261,6 +264,7 @@ void PreemptiveEdfScheduler::run_into(PreemptiveResult& result,
     }
   }
 
+  DSSLICE_COUNT("sched.preemptive.preemptions", result.preemptions);
   result.success = !missed;
 }
 

@@ -6,6 +6,7 @@
 #include "dsslice/core/quality.hpp"
 #include "dsslice/core/slicing.hpp"
 #include "dsslice/gen/taskgraph_generator.hpp"
+#include "dsslice/obs/trace.hpp"
 #include "dsslice/util/string_util.hpp"
 
 namespace dsslice {
@@ -79,6 +80,7 @@ DeadlineAssignment distribute_for_config(const ExperimentConfig& config,
 
 GraphOutcome evaluate_scenario(const ExperimentConfig& config,
                                std::uint64_t seed, ScenarioScratch* scratch) {
+  DSSLICE_SPAN("sim.scenario");
   const Scenario scenario = generate_scenario(config.generator, seed);
   const Application& app = scenario.application;
   const Platform& platform = scenario.platform;

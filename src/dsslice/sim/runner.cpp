@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "dsslice/gen/rng.hpp"
+#include "dsslice/obs/trace.hpp"
 
 namespace dsslice {
 
@@ -16,8 +17,10 @@ std::atomic<std::size_t> g_grain_override{0};
 ExperimentResult run_batch(
     const ExperimentConfig& config, ThreadPool* pool,
     const std::function<void(std::size_t, const GraphOutcome&)>* sink) {
+  DSSLICE_SPAN("sim.batch");
   config.generator.validate();
   const std::size_t count = config.generator.graph_count;
+  DSSLICE_GAUGE("sim.batch.graphs", count);
   const auto t0 = std::chrono::steady_clock::now();
 
   std::vector<GraphOutcome> outcomes(count);
@@ -52,6 +55,8 @@ ExperimentResult run_batch(
   }
   const auto t1 = std::chrono::steady_clock::now();
   result.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  DSSLICE_COUNT("sim.batches", 1);
+  DSSLICE_COUNT("sim.scenarios", count);
   return result;
 }
 

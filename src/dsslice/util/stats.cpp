@@ -82,6 +82,66 @@ double percentile_of(std::vector<double> xs, double p) {
   return xs[lo] + frac * (xs[hi] - xs[lo]);
 }
 
+void LogHistogram::merge(const LogHistogram& other) {
+  for (std::size_t k = 0; k < kBucketCount; ++k) {
+    buckets_[k] += other.buckets_[k];
+  }
+  count_ += other.count_;
+}
+
+void LogHistogram::clear() {
+  buckets_.fill(0);
+  count_ = 0;
+}
+
+double LogHistogram::bucket_lower(std::size_t index) {
+  DSSLICE_REQUIRE(index < kBucketCount, "histogram bucket out of range");
+  if (index < 8) {  // buckets 0–3 hold exact values; 4–7 are unreachable
+    return static_cast<double>(index);
+  }
+  const std::size_t b = index / 4;
+  const std::size_t sub = index % 4;
+  return std::ldexp(1.0 + static_cast<double>(sub) / 4.0, static_cast<int>(b));
+}
+
+double LogHistogram::bucket_upper(std::size_t index) {
+  DSSLICE_REQUIRE(index < kBucketCount, "histogram bucket out of range");
+  if (index < 4) {
+    return static_cast<double>(index + 1);
+  }
+  const std::size_t b = index / 4;
+  const std::size_t sub = index % 4;
+  return sub == 3
+             ? std::ldexp(1.0, static_cast<int>(b) + 1)
+             : std::ldexp(1.0 + static_cast<double>(sub + 1) / 4.0,
+                          static_cast<int>(b));
+}
+
+double LogHistogram::percentile(double p) const {
+  DSSLICE_REQUIRE(p >= 0.0 && p <= 100.0, "percentile out of range");
+  if (count_ == 0) {
+    return 0.0;
+  }
+  const double target =
+      std::max(1.0, std::ceil((p / 100.0) * static_cast<double>(count_)));
+  std::uint64_t cumulative = 0;
+  for (std::size_t k = 0; k < kBucketCount; ++k) {
+    if (buckets_[k] == 0) {
+      continue;
+    }
+    const std::uint64_t next = cumulative + buckets_[k];
+    if (static_cast<double>(next) >= target) {
+      const double lo = bucket_lower(k);
+      const double hi = bucket_upper(k);
+      const double frac = (target - static_cast<double>(cumulative)) /
+                          static_cast<double>(buckets_[k]);
+      return lo + frac * (hi - lo);
+    }
+    cumulative = next;
+  }
+  return bucket_upper(kBucketCount - 1);
+}
+
 void SuccessCounter::add(bool success) {
   ++trials_;
   if (success) {

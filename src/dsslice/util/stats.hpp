@@ -1,6 +1,8 @@
 // Small statistics helpers used by the evaluation framework and benches.
 #pragma once
 
+#include <array>
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <limits>
@@ -42,6 +44,49 @@ double mean_of(const std::vector<double>& xs);
 double stddev_of(const std::vector<double>& xs);
 /// Linear-interpolated percentile, p in [0, 100]. Sorts a copy.
 double percentile_of(std::vector<double> xs, double p);
+
+/// Fixed-footprint logarithmic histogram over non-negative integer samples
+/// (built for nanosecond durations; used by the obs/ metrics registry).
+/// Buckets follow a floor(log2) octave split with 4 sub-buckets per octave
+/// (≤ 25% relative width), so add() is a handful of bit operations, merge()
+/// is a vector add, and percentiles are deterministic regardless of the
+/// order samples arrived in — exactly what a multi-threaded aggregation
+/// needs to report stable p50/p95/p99.
+class LogHistogram {
+ public:
+  static constexpr std::size_t kBucketCount = 256;
+
+  void add(std::uint64_t x) {
+    ++buckets_[bucket_of(x)];
+    ++count_;
+  }
+  void merge(const LogHistogram& other);
+  void clear();
+
+  std::uint64_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  /// Linear-interpolated percentile estimate, p in [0, 100]. The result is
+  /// exact to within the bucket's ≤ 25% relative width.
+  double percentile(double p) const;
+
+  /// Bucket index of a sample: x < 4 maps to bucket x, larger samples to
+  /// octave · 4 + the two bits after the leading one.
+  static std::size_t bucket_of(std::uint64_t x) {
+    if (x < 4) {
+      return static_cast<std::size_t>(x);
+    }
+    const int b = static_cast<int>(std::bit_width(x)) - 1;
+    const auto sub = static_cast<std::size_t>((x >> (b - 2)) & 3);
+    return static_cast<std::size_t>(b) * 4 + sub;
+  }
+  /// Inclusive lower / exclusive upper sample bound of a bucket.
+  static double bucket_lower(std::size_t index);
+  static double bucket_upper(std::size_t index);
+
+ private:
+  std::uint64_t count_ = 0;
+  std::array<std::uint32_t, kBucketCount> buckets_{};
+};
 
 /// Success-ratio counter: successes over trials with a binomial CI.
 class SuccessCounter {

@@ -1,0 +1,141 @@
+// trace_check: CI validator for the observability exporters.
+//
+//   trace_check trace.json       # Chrome trace_event JSON (as Perfetto loads)
+//   trace_check --jsonl m.jsonl  # JSONL metrics dump
+//
+// Exits 0 when the file parses and has the expected structure; prints the
+// first problem and exits 1 otherwise. scripts/check.sh runs this against
+// the output of a small instrumented sweep in both presets.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "dsslice/obs/json_lint.hpp"
+
+namespace {
+
+using dsslice::obs::JsonValue;
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+int check_trace(const std::string& path, const std::string& text) {
+  const auto result = dsslice::obs::parse_json(text);
+  if (!result.ok) {
+    std::fprintf(stderr, "%s: invalid JSON: %s (offset %zu)\n", path.c_str(),
+                 result.error.c_str(), result.error_offset);
+    return 1;
+  }
+  const JsonValue* events = result.value.find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    std::fprintf(stderr, "%s: missing traceEvents array\n", path.c_str());
+    return 1;
+  }
+  std::size_t index = 0;
+  for (const JsonValue& event : events->array) {
+    const JsonValue* name = event.find("name");
+    const JsonValue* ph = event.find("ph");
+    const JsonValue* ts = event.find("ts");
+    const JsonValue* dur = event.find("dur");
+    const JsonValue* pid = event.find("pid");
+    const JsonValue* tid = event.find("tid");
+    if (name == nullptr || name->type != JsonValue::Type::kString ||
+        ph == nullptr || ph->string != "X" || ts == nullptr ||
+        ts->type != JsonValue::Type::kNumber || dur == nullptr ||
+        dur->type != JsonValue::Type::kNumber || dur->number < 0.0 ||
+        pid == nullptr || tid == nullptr) {
+      std::fprintf(stderr,
+                   "%s: traceEvents[%zu] is not a well-formed complete "
+                   "event\n",
+                   path.c_str(), index);
+      return 1;
+    }
+    ++index;
+  }
+  std::printf("%s: OK (%zu trace events)\n", path.c_str(), index);
+  return 0;
+}
+
+int check_jsonl(const std::string& path, const std::string& text) {
+  std::vector<JsonValue> lines;
+  std::string error;
+  if (!dsslice::obs::parse_jsonl(text, lines, error)) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), error.c_str());
+    return 1;
+  }
+  bool saw_meta = false;
+  std::size_t index = 0;
+  for (const JsonValue& line : lines) {
+    const JsonValue* type = line.find("type");
+    if (type == nullptr || type->type != JsonValue::Type::kString) {
+      std::fprintf(stderr, "%s: record %zu has no type\n", path.c_str(),
+                   index);
+      return 1;
+    }
+    const std::string& t = type->string;
+    if (t == "meta") {
+      saw_meta = true;
+    } else if (t == "span" || t == "counter" || t == "gauge") {
+      const JsonValue* name = line.find("name");
+      const JsonValue* count = line.find("count");
+      if (name == nullptr || name->type != JsonValue::Type::kString ||
+          name->string.empty() || count == nullptr ||
+          count->type != JsonValue::Type::kNumber) {
+        std::fprintf(stderr, "%s: record %zu (%s) missing name/count\n",
+                     path.c_str(), index, t.c_str());
+        return 1;
+      }
+    } else {
+      std::fprintf(stderr, "%s: record %zu has unknown type '%s'\n",
+                   path.c_str(), index, t.c_str());
+      return 1;
+    }
+    ++index;
+  }
+  if (!saw_meta) {
+    std::fprintf(stderr, "%s: missing meta record\n", path.c_str());
+    return 1;
+  }
+  std::printf("%s: OK (%zu metric records)\n", path.c_str(), index);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool jsonl = false;
+  std::string path;
+  for (int k = 1; k < argc; ++k) {
+    const std::string arg = argv[k];
+    if (arg == "--jsonl") {
+      jsonl = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: trace_check [--jsonl] <file>\n");
+      return 0;
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "usage: trace_check [--jsonl] <file>\n");
+    return 2;
+  }
+  std::string text;
+  if (!read_file(path, text)) {
+    std::fprintf(stderr, "%s: cannot read file\n", path.c_str());
+    return 1;
+  }
+  return jsonl ? check_jsonl(path, text) : check_trace(path, text);
+}
