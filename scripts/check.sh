@@ -29,6 +29,30 @@ echo "==> bench smoke [perf_scheduling, default]"
 echo "==> bench smoke [perf_scheduling, sanitize]"
 ./build-sanitize/bench/perf_scheduling --smoke
 
+# Degradation smoke: the graceful-degradation surface on a tiny grid, under
+# both presets (the sanitize pass covers the shed/migrate recovery paths and
+# the degraded-mode dispatch prologue under ASan/UBSan). The exported trace
+# and JSONL metrics are validated by tools/trace_check; the metrics must
+# include the recovery.shed_tasks counter the sweep is expected to hit.
+degradation_smoke() {
+  local build="$1"
+  local tag="${build##*/}"
+  local out="$build/degradation-smoke"
+  mkdir -p "$out"
+  "$build/bench/fig_degradation" --smoke \
+    --trace "$out/trace.json" --metrics "$out/metrics.jsonl" \
+    --json "$out/surface.json" > "$out/stdout.txt"
+  "$build/tools/trace_check" "$out/trace.json"
+  "$build/tools/trace_check" --jsonl "$out/metrics.jsonl"
+  grep -q "recovery.shed_tasks" "$out/metrics.jsonl" ||
+    { echo "degradation smoke [$tag]: metrics missing shed counter" >&2;
+      exit 1; }
+}
+echo "==> degradation smoke [default]"
+degradation_smoke ./build
+echo "==> degradation smoke [sanitize]"
+degradation_smoke ./build-sanitize
+
 # Observability smoke: a small sweep exporting a Chrome trace + JSONL
 # metrics, validated by tools/trace_check, under both presets (the sanitize
 # pass exercises the ring/accumulator paths under ASan/UBSan). perf_obs

@@ -59,4 +59,23 @@ std::vector<double> estimate_wcets(const Application& app,
   return out;
 }
 
+std::vector<double> mandatory_estimates(const Application& app,
+                                        std::span<const double> est_wcet) {
+  std::vector<double> out;
+  mandatory_estimates_into(app, est_wcet, out);
+  return out;
+}
+
+void mandatory_estimates_into(const Application& app,
+                              std::span<const double> est_wcet,
+                              std::vector<double>& out) {
+  DSSLICE_REQUIRE(est_wcet.size() == app.task_count(),
+                  "estimate vector size mismatch");
+  out.resize(est_wcet.size());
+  for (NodeId i = 0; i < app.task_count(); ++i) {
+    const double f = app.task(i).optional_fraction;
+    out[i] = f == 0.0 ? est_wcet[i] : est_wcet[i] * (1.0 - f);
+  }
+}
+
 }  // namespace dsslice

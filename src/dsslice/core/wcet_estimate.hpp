@@ -31,4 +31,17 @@ std::vector<double> estimate_wcets(const Application& app,
 /// Single-task variant.
 double estimate_wcet(const Task& task, WcetEstimation strategy);
 
+/// Scales an estimate vector down to the *mandatory* demand of each task:
+/// out[i] = (1 − optional_fraction_i) · est_wcet[i]. Tasks with no optional
+/// part keep their estimate bit-identically. Deadline distribution plans
+/// against mandatory demand so the optional parts surface as recoverable
+/// slack (docs/ROBUSTNESS.md, "Graceful degradation").
+std::vector<double> mandatory_estimates(const Application& app,
+                                        std::span<const double> est_wcet);
+
+/// Allocation-free variant writing into a reusable buffer.
+void mandatory_estimates_into(const Application& app,
+                              std::span<const double> est_wcet,
+                              std::vector<double>& out);
+
 }  // namespace dsslice

@@ -56,6 +56,11 @@ void GeneratorConfig::validate() const {
   DSSLICE_REQUIRE(workload.olr_spread >= 0.0 && workload.olr_spread < 1.0,
                   "OLR spread must be in [0, 1)");
   DSSLICE_REQUIRE(workload.ccr >= 0.0, "CCR must be non-negative");
+  DSSLICE_REQUIRE(workload.min_optional_fraction >= 0.0 &&
+                      workload.min_optional_fraction <=
+                          workload.max_optional_fraction &&
+                      workload.max_optional_fraction < 1.0,
+                  "optional fraction range must satisfy 0 <= min <= max < 1");
 
   DSSLICE_REQUIRE(graph_count >= 1, "need >= 1 graph");
 }

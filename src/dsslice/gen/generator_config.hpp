@@ -91,6 +91,14 @@ struct WorkloadConfig {
   /// Communication-to-computation ratio: mean message cost / mean execution
   /// time (paper: 0.1). Mean message size = ccr × c_mean / bus_delay.
   double ccr = 0.1;
+  /// Imprecise-computation knob (docs/ROBUSTNESS.md, "Graceful
+  /// degradation"): each task's optional fraction is drawn uniformly from
+  /// [min_optional_fraction, max_optional_fraction]. Both 0 (the default)
+  /// disables the draw entirely, keeping the generator's RNG stream — and
+  /// hence every generated scenario — bit-identical to the precise model.
+  /// Must satisfy 0 ≤ min ≤ max < 1 (a task must keep a mandatory part).
+  double min_optional_fraction = 0.0;
+  double max_optional_fraction = 0.0;
   /// Whether message sizes are integral items (paper's "data items").
   bool integral_messages = true;
 };

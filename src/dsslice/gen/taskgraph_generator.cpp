@@ -227,6 +227,17 @@ Application generate_application(const WorkloadConfig& config,
   for (const NodeId in : app.graph().input_nodes()) {
     app.set_input_arrival(in, kTimeZero);
   }
+
+  // Imprecise-computation splits, drawn after every other draw so that a
+  // disabled knob (max == 0, the default) leaves the RNG stream — and an
+  // enabled knob leaves the graph structure, WCETs and deadlines — untouched
+  // for a given seed.
+  if (config.max_optional_fraction > 0.0) {
+    for (NodeId i = 0; i < n; ++i) {
+      app.mutable_task(i).optional_fraction = rng.uniform(
+          config.min_optional_fraction, config.max_optional_fraction);
+    }
+  }
   return app;
 }
 

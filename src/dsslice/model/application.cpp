@@ -123,6 +123,15 @@ Time Application::total_workload(std::span<const double> est_wcet) const {
   return total;
 }
 
+bool Application::has_optional_work() const {
+  for (const Task& t : tasks_) {
+    if (t.has_optional_part()) {
+      return true;
+    }
+  }
+  return false;
+}
+
 std::vector<std::string> Application::validate(
     const Platform& platform) const {
   std::vector<std::string> problems;
@@ -165,6 +174,11 @@ std::vector<std::string> Application::validate(
     }
     if (t.period < kTimeZero) {
       problems.push_back(who + ": negative period");
+    }
+    if (!valid_optional_fraction(t.optional_fraction)) {
+      problems.push_back(
+          who + ": optional fraction must be finite and within [0, 1] "
+                "(optional part cannot exceed the WCET or be negative)");
     }
     if (graph_.is_output(i) && !has_ete_deadline(i)) {
       problems.push_back(who + ": output task without an E-T-E deadline");

@@ -61,6 +61,11 @@ class Application {
   /// Total estimated workload Σ c̄_i for a given WCET estimate vector.
   Time total_workload(std::span<const double> est_wcet) const;
 
+  /// True when any task carries an optional (sheddable) part. O(n) scan;
+  /// gates the imprecise-computation paths so the classic precise model
+  /// pays nothing.
+  bool has_optional_work() const;
+
   /// Validates internal consistency against a platform:
   /// graph is acyclic, each task has one WCET entry per platform class,
   /// at least one eligible class, non-negative parameters, every output with

@@ -1,6 +1,7 @@
 #include "dsslice/model/task.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "dsslice/util/check.hpp"
 
@@ -12,6 +13,21 @@ double Task::wcet(ProcessorClassId e) const {
   const double c = wcet_by_class[e];
   DSSLICE_REQUIRE(c >= 0.0, "task " + name + " is ineligible on this class");
   return c;
+}
+
+double Task::mandatory_wcet(ProcessorClassId e) const {
+  const double c = wcet(e);
+  // The guard keeps the precise model bit-identical: c · 1.0 == c for every
+  // finite c, but skipping the multiply entirely removes any doubt.
+  return optional_fraction == 0.0 ? c : c * (1.0 - optional_fraction);
+}
+
+double Task::optional_wcet(ProcessorClassId e) const {
+  return optional_fraction == 0.0 ? 0.0 : wcet(e) * optional_fraction;
+}
+
+bool valid_optional_fraction(double fraction) {
+  return std::isfinite(fraction) && fraction >= 0.0 && fraction <= 1.0;
 }
 
 std::size_t Task::eligible_class_count() const {

@@ -32,6 +32,17 @@ struct Task {
   /// the planning-cycle expander (sched/planning_cycle) unrolls invocations.
   Time period = kTimeZero;
 
+  /// Imprecise-computation split (docs/ROBUSTNESS.md): the fraction of the
+  /// WCET that is *optional* — work a degraded-mode recovery policy may shed
+  /// under overload, leaving only the mandatory part
+  /// (1 − optional_fraction) · c_i[e] to execute. 0 (the default) makes the
+  /// whole task mandatory and preserves the classic precise model
+  /// bit-identically; 1 makes it fully optional. Values outside [0, 1]
+  /// (an optional part larger than the WCET, negative splits, NaN) are
+  /// rejected by Application::validate and the scenario parser. Kept last so
+  /// aggregate initializers of the pre-split field set stay valid.
+  double optional_fraction = 0.0;
+
   bool is_periodic() const { return period > kTimeZero; }
 
   bool eligible(ProcessorClassId e) const {
@@ -41,9 +52,26 @@ struct Task {
   /// WCET on class `e`; requires eligibility.
   double wcet(ProcessorClassId e) const;
 
+  /// Mandatory part of the WCET on class `e`:
+  /// (1 − optional_fraction) · wcet(e). Equals wcet(e) exactly (bitwise)
+  /// when optional_fraction is 0.
+  double mandatory_wcet(ProcessorClassId e) const;
+
+  /// Optional (sheddable) part of the WCET on class `e`:
+  /// optional_fraction · wcet(e).
+  double optional_wcet(ProcessorClassId e) const;
+
+  /// True when part of this task's work may be shed in degraded mode.
+  bool has_optional_part() const { return optional_fraction > 0.0; }
+
   /// Number of classes the task may execute on.
   std::size_t eligible_class_count() const;
 };
+
+/// True when `fraction` is a well-formed mandatory/optional split: finite
+/// and within [0, 1]. Shared by Application::validate, the generator and
+/// the scenario parser.
+bool valid_optional_fraction(double fraction);
 
 /// Per-task execution window produced by deadline distribution: the dynamic
 /// parameters (a_i, D_i) for the invocation under analysis, plus the derived

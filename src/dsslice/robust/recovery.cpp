@@ -24,14 +24,19 @@ std::string to_string(RecoveryPolicy policy) {
       return "redistribute-slack";
     case RecoveryPolicy::kMigrate:
       return "migrate";
+    case RecoveryPolicy::kShedOptional:
+      return "shed-optional";
+    case RecoveryPolicy::kDegradeThenMigrate:
+      return "degrade-then-migrate";
   }
   return "unknown";
 }
 
 std::span<const RecoveryPolicy> all_recovery_policies() {
-  static constexpr std::array<RecoveryPolicy, 3> kAll = {
+  static constexpr std::array<RecoveryPolicy, 5> kAll = {
       RecoveryPolicy::kNone, RecoveryPolicy::kRedistributeSlack,
-      RecoveryPolicy::kMigrate};
+      RecoveryPolicy::kMigrate, RecoveryPolicy::kShedOptional,
+      RecoveryPolicy::kDegradeThenMigrate};
   return kAll;
 }
 
@@ -128,22 +133,63 @@ void RecoveryStats::merge(const RecoveryStats& other) {
   migrations += other.migrations;
   revived += other.revived;
   abandoned += other.abandoned;
+  shed += other.shed;
+  optional_dropped += other.optional_dropped;
 }
 
 RecoveryEngine::RecoveryEngine(RecoveryPolicy policy, const Application& app,
                                std::vector<double> est_wcet)
-    : policy_(policy), app_(app), est_wcet_(std::move(est_wcet)) {
+    : policy_(policy), app_(app), est_wcet_(std::move(est_wcet)),
+      live_est_(est_wcet_) {
   DSSLICE_REQUIRE(est_wcet_.size() == app_.task_count(),
                   "estimate vector size mismatch");
 }
 
+void RecoveryEngine::shed_optionals(const View& view) {
+  if (view.shed.empty()) {
+    return;  // host provides no degraded-mode channel (legacy dispatch)
+  }
+  std::size_t count = 0;
+  double dropped = 0.0;
+  for (NodeId v = 0; v < app_.task_count(); ++v) {
+    if (view.started[v] || view.done[v] || view.shed[v]) {
+      continue;  // running / finished work keeps its optional part
+    }
+    const double f = app_.task(v).optional_fraction;
+    if (f <= 0.0) {
+      continue;
+    }
+    view.shed[v] = 1;
+    live_est_[v] = est_wcet_[v] * (1.0 - f);
+    dropped += est_wcet_[v] * f;
+    ++count;
+  }
+  if (count > 0) {
+    stats_.shed += count;
+    stats_.optional_dropped += dropped;
+    DSSLICE_COUNT("recovery.shed_tasks", count);
+    DSSLICE_COUNT("recovery.optional_dropped", dropped);
+  }
+}
+
 void RecoveryEngine::on_completion(const View& view, NodeId, bool missed,
                                    std::vector<Window>& windows) {
-  if (policy_ != RecoveryPolicy::kRedistributeSlack || !missed) {
+  if (!missed) {
     return;
   }
+  switch (policy_) {
+    case RecoveryPolicy::kNone:
+    case RecoveryPolicy::kMigrate:
+      return;
+    case RecoveryPolicy::kShedOptional:
+    case RecoveryPolicy::kDegradeThenMigrate:
+      shed_optionals(view);
+      break;  // fall through to the residual-budget re-slice
+    case RecoveryPolicy::kRedistributeSlack:
+      break;
+  }
   DSSLICE_SPAN("recovery.reslice");
-  windows = redistribute_slack(app_, est_wcet_, view, windows);
+  windows = redistribute_slack(app_, live_est_, view, windows);
   ++stats_.reslices;
   DSSLICE_COUNT("recovery.reslices", 1);
 }
@@ -156,11 +202,17 @@ std::vector<NodeId> RecoveryEngine::on_processor_failure(
       stats_.abandoned += victims.size();
       return {};
 
-    case RecoveryPolicy::kRedistributeSlack: {
+    case RecoveryPolicy::kRedistributeSlack:
+    case RecoveryPolicy::kShedOptional: {
       // Revive the victims (they are unstarted again in `view`) and re-run
       // the residual-budget distribution over the surviving suffix.
+      // kShedOptional first reclaims the optional parts of unstarted tasks,
+      // so the re-slice plans against the reduced (mandatory) demand.
+      if (policy_ == RecoveryPolicy::kShedOptional) {
+        shed_optionals(view);
+      }
       DSSLICE_SPAN("recovery.reslice");
-      windows = redistribute_slack(app_, est_wcet_, view, windows);
+      windows = redistribute_slack(app_, live_est_, view, windows);
       ++stats_.reslices;
       DSSLICE_COUNT("recovery.reslices", 1);
       stats_.revived += victims.size();
@@ -181,6 +233,7 @@ std::vector<NodeId> RecoveryEngine::on_processor_failure(
         if (target.has_value()) {
           pinned[v] = *target;
           ++stats_.migrations;
+          DSSLICE_COUNT("recovery.migrations", 1);
         } else {
           pinned[v] = kUnpinnedProcessor;
         }
@@ -196,7 +249,64 @@ std::vector<NodeId> RecoveryEngine::on_processor_failure(
         }
         pinned[v] = *target;
         ++stats_.migrations;
+        DSSLICE_COUNT("recovery.migrations", 1);
         ++stats_.revived;
+        DSSLICE_COUNT("recovery.revived", 1);
+        revived.push_back(v);
+      }
+      return revived;
+    }
+
+    case RecoveryPolicy::kDegradeThenMigrate: {
+      // Degrade first: reclaim the optional parts, then give the surviving
+      // suffix the residual budget. Only when a victim's re-sliced window
+      // still cannot fit its (now mandatory-only) demand does the policy
+      // escalate to migration, pinning the task to the least-loaded
+      // surviving processor of an eligible class.
+      shed_optionals(view);
+      DSSLICE_SPAN("recovery.reslice");
+      windows = redistribute_slack(app_, live_est_, view, windows);
+      ++stats_.reslices;
+      DSSLICE_COUNT("recovery.reslices", 1);
+      // Unpin / re-home unstarted tasks stranded on the dead processor.
+      for (NodeId v = 0; v < app_.task_count(); ++v) {
+        if (view.started[v] || view.done[v] || pinned[v] != p) {
+          continue;
+        }
+        const auto target = choose_migration_target(
+            app_.task(v), view.platform, view.busy_until, view.down_at,
+            view.now);
+        if (target.has_value()) {
+          pinned[v] = *target;
+          ++stats_.migrations;
+          DSSLICE_COUNT("recovery.migrations", 1);
+        } else {
+          pinned[v] = kUnpinnedProcessor;
+        }
+      }
+      std::vector<NodeId> revived;
+      for (const NodeId v : victims) {
+        if (windows[v].fits(live_est_[v])) {
+          // Shedding reclaimed enough slack: re-release the victim with no
+          // placement restriction.
+          pinned[v] = kUnpinnedProcessor;
+          ++stats_.revived;
+          DSSLICE_COUNT("recovery.revived", 1);
+          revived.push_back(v);
+          continue;
+        }
+        const auto target = choose_migration_target(
+            app_.task(v), view.platform, view.busy_until, view.down_at,
+            view.now);
+        if (!target.has_value()) {
+          ++stats_.abandoned;
+          continue;
+        }
+        pinned[v] = *target;
+        ++stats_.migrations;
+        DSSLICE_COUNT("recovery.migrations", 1);
+        ++stats_.revived;
+        DSSLICE_COUNT("recovery.revived", 1);
         revived.push_back(v);
       }
       return revived;

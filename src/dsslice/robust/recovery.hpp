@@ -19,6 +19,15 @@
 //  * kMigrate          — reassign tasks stranded on a failed processor to
 //                        the least-loaded surviving processor of an
 //                        eligible class (windows untouched).
+//  * kShedOptional     — graceful degradation (imprecise computation): on an
+//                        overrun or failure, drop the *optional* part of
+//                        every not-yet-started task (View::shed), then
+//                        redistribute the reclaimed time as slack over the
+//                        surviving suffix. Tasks with optional_fraction == 0
+//                        make this behave exactly like kRedistributeSlack.
+//  * kDegradeThenMigrate — shed first; migrate a victim to a surviving
+//                        processor only when its re-sliced window still
+//                        cannot fit its (reduced) estimated demand.
 #pragma once
 
 #include <optional>
@@ -36,6 +45,8 @@ enum class RecoveryPolicy {
   kNone,
   kRedistributeSlack,
   kMigrate,
+  kShedOptional,
+  kDegradeThenMigrate,
 };
 
 std::string to_string(RecoveryPolicy policy);
@@ -69,12 +80,14 @@ struct RecoveryStats {
   std::size_t migrations = 0;  ///< tasks re-pinned to a surviving processor
   std::size_t revived = 0;     ///< killed tasks re-released for execution
   std::size_t abandoned = 0;   ///< killed tasks with no surviving option
+  std::size_t shed = 0;        ///< tasks whose optional part was dropped
+  double optional_dropped = 0.0;  ///< estimated optional time shed (units)
 
   void merge(const RecoveryStats& other);
 };
 
-/// DispatchControl implementation of the three policies. Stateful per run:
-/// construct one engine per dispatch simulation.
+/// DispatchControl implementation of the recovery policies. Stateful per
+/// run: construct one engine per dispatch simulation.
 class RecoveryEngine final : public DispatchControl {
  public:
   RecoveryEngine(RecoveryPolicy policy, const Application& app,
@@ -92,9 +105,21 @@ class RecoveryEngine final : public DispatchControl {
       std::vector<ProcessorId>& pinned) override;
 
  private:
+  /// Drops the optional part of every not-yet-started task that still has
+  /// one: marks view.shed, reduces live_est_ to the mandatory demand, and
+  /// tallies the reclaimed time. No-op when the host provides no shed
+  /// channel or nothing is left to shed.
+  void shed_optionals(const View& view);
+
   RecoveryPolicy policy_;
   const Application& app_;
   std::vector<double> est_wcet_;
+  /// Estimates the re-slice passes plan against: starts as est_wcet_ and
+  /// drops to the mandatory demand of each task shed_optionals() degrades.
+  /// Identical to est_wcet_ whenever no task carries an optional part, which
+  /// keeps kShedOptional bit-identical to kRedistributeSlack on precise
+  /// workloads.
+  std::vector<double> live_est_;
   RecoveryStats stats_;
 };
 

@@ -33,14 +33,22 @@ double RobustnessOutcome::ete_miss_ratio() const {
                    static_cast<double>(deadline_outputs);
 }
 
+double RobustnessOutcome::quality_ratio() const {
+  return optional_demand > 0.0 ? optional_completed / optional_demand : 1.0;
+}
+
 void RobustnessResult::add(const RobustnessOutcome& outcome) {
   ete_met.add_many(
       static_cast<std::uint64_t>(outcome.deadline_outputs - outcome.ete_misses),
       static_cast<std::uint64_t>(outcome.deadline_outputs));
   graph_miss_ratio.add(outcome.ete_miss_ratio());
   slice_misses.add(static_cast<double>(outcome.slice_misses));
+  quality.add(outcome.quality_ratio());
   killed += outcome.killed;
   unfinished += outcome.unfinished;
+  optional_demand += outcome.optional_demand;
+  optional_completed += outcome.optional_completed;
+  degraded_completions += outcome.degraded_completions;
   recovery.merge(outcome.recovery);
 }
 
@@ -59,6 +67,10 @@ std::string RobustnessResult::summary(const std::string& label) const {
   if (recovery.reslices > 0 || recovery.migrations > 0) {
     os << "  reslices " << recovery.reslices << "  migrations "
        << recovery.migrations;
+  }
+  if (optional_demand > 0.0) {
+    os << "  quality " << format_percent(quality.mean(), 1) << "  shed "
+       << recovery.shed;
   }
   return os.str();
 }
@@ -106,37 +118,76 @@ RobustnessOutcome evaluate_robust_scenario(const RobustnessConfig& config,
   outcome.slice_misses = telemetry.misses.size();
   outcome.killed = telemetry.killed.size();
   outcome.unfinished = telemetry.unfinished.size();
+  outcome.degraded_completions = telemetry.degraded.size();
   outcome.recovery = engine.stats();
+
+  // Quality accounting (imprecise-computation measure): a task that
+  // completed at full precision earns its whole optional part; a degraded
+  // or never-finished task earns nothing for it.
+  if (app.has_optional_work()) {
+    for (NodeId v = 0; v < app.task_count(); ++v) {
+      const double f = app.task(v).optional_fraction;
+      if (f <= 0.0) {
+        continue;
+      }
+      const double opt = est[v] * f;
+      outcome.optional_demand += opt;
+      const bool completed = telemetry.completion[v] < kTimeInfinity;
+      const bool degraded =
+          std::find(telemetry.degraded.begin(), telemetry.degraded.end(), v) !=
+          telemetry.degraded.end();
+      if (completed && !degraded) {
+        outcome.optional_completed += opt;
+      }
+    }
+  }
   return outcome;
 }
 
 namespace {
 
+/// Tag mixed into the base seeds of replicate r > 0, so every replicate
+/// draws an independent workload + fault stream while replicate 0 keeps the
+/// original single-replicate seeds bit-identically.
+constexpr std::uint64_t kReplicateTag = 0x5EED'0DE6'4ADEULL;
+
 RobustnessResult run_robustness_batch(const RobustnessConfig& config,
                                       ThreadPool* pool) {
   config.base.generator.validate();
   config.faults.validate();
+  DSSLICE_REQUIRE(config.seed_replicates >= 1, "need >= 1 seed replicate");
   const std::size_t count = config.base.generator.graph_count;
+  const std::size_t replicates = config.seed_replicates;
+  const std::size_t total = count * replicates;
   const auto t0 = std::chrono::steady_clock::now();
 
-  std::vector<RobustnessOutcome> outcomes(count);
+  std::vector<RobustnessOutcome> outcomes(total);
   // Chunked like run_experiment: each worker keeps one ScenarioScratch, so
   // the slicing and scheduling buffers are recycled across every faulted
   // scenario it evaluates.
   const auto evaluate_range = [&](std::size_t begin, std::size_t end) {
     thread_local ScenarioScratch scratch;
-    for (std::size_t k = begin; k < end; ++k) {
-      outcomes[k] = evaluate_robust_scenario(
-          config, derive_seed(config.base.generator.base_seed, k),
-          derive_seed(config.faults.seed, k), &scratch);
+    for (std::size_t j = begin; j < end; ++j) {
+      const std::size_t r = j / count;
+      const std::size_t k = j % count;
+      const std::uint64_t workload_base =
+          r == 0 ? config.base.generator.base_seed
+                 : derive_seed(config.base.generator.base_seed,
+                               kReplicateTag + r);
+      const std::uint64_t fault_base =
+          r == 0 ? config.faults.seed
+                 : derive_seed(config.faults.seed, kReplicateTag + r);
+      outcomes[j] = evaluate_robust_scenario(
+          config, derive_seed(workload_base, k), derive_seed(fault_base, k),
+          &scratch);
     }
   };
   if (pool != nullptr) {
     const std::size_t grain = std::clamp<std::size_t>(
-        count / (8 * std::max<std::size_t>(1, pool->size())), 1, 64);
-    parallel_for(*pool, count, grain, evaluate_range);
+        total / (8 * std::max<std::size_t>(1, pool->size())), 1, 64);
+    parallel_for(*pool, total, grain, evaluate_range);
   } else {
-    evaluate_range(0, count);
+    evaluate_range(0, total);
   }
 
   RobustnessResult result;
@@ -178,7 +229,8 @@ SweepResult sweep_overrun_factor(
       for (const double factor : factors) {
         config.faults.overrun_factor = factor;
         const RobustnessResult result = run_robustness(config, pool);
-        sweep.scenarios += config.base.generator.graph_count;
+        sweep.scenarios +=
+            config.base.generator.graph_count * config.seed_replicates;
         sweep.wall_seconds += result.wall_seconds;
         series.success_ratio.push_back(result.ete_met.ratio());
         series.ci95.push_back(result.ete_met.ci95_halfwidth());
@@ -239,6 +291,109 @@ std::string format_breakdown_table(const std::vector<BreakdownPoint>& points,
     os << "  " << pad_right(point.series, 28) << " "
        << format_fixed(point.factor, 3)
        << (point.broke ? "" : "  (never broke in sweep range)") << "\n";
+  }
+  return os.str();
+}
+
+DegradationSurface sweep_degradation(
+    const RobustnessConfig& base,
+    const std::vector<DistributionTechnique>& techniques,
+    const std::vector<RecoveryPolicy>& policies,
+    const std::vector<double>& factors, const std::vector<double>& fractions,
+    ThreadPool& pool, bool verbose) {
+  DegradationSurface surface;
+  surface.factors = factors;
+  surface.fractions = fractions;
+  for (const DistributionTechnique technique : techniques) {
+    for (const RecoveryPolicy policy : policies) {
+      RobustnessConfig config = base;
+      config.base.technique = technique;
+      config.base.label.clear();
+      config.policy = policy;
+      DegradationSeries series;
+      series.name = to_string(technique) + "/" + to_string(policy);
+      series.cells.reserve(fractions.size() * factors.size());
+      for (const double fraction : fractions) {
+        // A fixed per-task split: the generator draws uniform(f, f) = f, so
+        // structure, WCETs and deadlines stay identical per seed while the
+        // sheddable share varies across rows.
+        config.base.generator.workload.min_optional_fraction = fraction;
+        config.base.generator.workload.max_optional_fraction = fraction;
+        for (const double factor : factors) {
+          config.faults.overrun_factor = factor;
+          const RobustnessResult result = run_robustness(config, pool);
+          surface.scenarios +=
+              config.base.generator.graph_count * config.seed_replicates;
+          surface.wall_seconds += result.wall_seconds;
+          DegradationCell cell;
+          cell.overrun_factor = factor;
+          cell.optional_fraction = fraction;
+          cell.success_ratio = result.ete_met.ratio();
+          cell.ci95 = result.ete_met.ci95_halfwidth();
+          cell.quality = result.quality.mean();
+          cell.shed_tasks = result.recovery.shed;
+          cell.degraded_completions = result.degraded_completions;
+          series.cells.push_back(cell);
+          if (verbose) {
+            std::ostringstream os;
+            os << series.name << " f=" << format_fixed(fraction, 2)
+               << " x=" << format_fixed(factor, 2);
+            std::fputs((result.summary(os.str()) + "\n").c_str(), stderr);
+          }
+        }
+      }
+      surface.series.push_back(std::move(series));
+    }
+  }
+  return surface;
+}
+
+SweepResult degradation_row_as_sweep(const DegradationSurface& surface,
+                                     std::size_t fraction_index) {
+  DSSLICE_REQUIRE(fraction_index < surface.fractions.size(),
+                  "fraction index out of range");
+  SweepResult sweep;
+  sweep.x_label = "overrun-factor";
+  sweep.x = surface.factors;
+  const std::size_t stride = surface.factors.size();
+  for (const DegradationSeries& series : surface.series) {
+    DSSLICE_CHECK(series.cells.size() == stride * surface.fractions.size(),
+                  "degradation surface shape mismatch");
+    Series row;
+    row.name = series.name;
+    for (std::size_t xi = 0; xi < stride; ++xi) {
+      const DegradationCell& cell = series.cells[fraction_index * stride + xi];
+      row.success_ratio.push_back(cell.success_ratio);
+      row.ci95.push_back(cell.ci95);
+      row.mean_min_laxity.push_back(cell.quality);
+    }
+    sweep.series.push_back(std::move(row));
+  }
+  return sweep;
+}
+
+std::string format_degradation_table(const DegradationSurface& surface) {
+  std::ostringstream os;
+  os << "degradation surface: E-T-E success (quality) per overrun factor\n";
+  for (const DegradationSeries& series : surface.series) {
+    os << series.name << "\n";
+    const std::size_t stride = surface.factors.size();
+    std::ostringstream head;
+    head << "  " << pad_right("opt-frac \\ x", 14);
+    for (const double factor : surface.factors) {
+      head << pad_left(format_fixed(factor, 2), 18);
+    }
+    os << head.str() << "\n";
+    for (std::size_t fi = 0; fi < surface.fractions.size(); ++fi) {
+      os << "  " << pad_right(format_fixed(surface.fractions[fi], 2), 14);
+      for (std::size_t xi = 0; xi < stride; ++xi) {
+        const DegradationCell& cell = series.cells[fi * stride + xi];
+        os << pad_left(format_percent(cell.success_ratio, 1) + " (" +
+                           format_percent(cell.quality, 0) + ")",
+                       18);
+      }
+      os << "\n";
+    }
   }
   return os.str();
 }

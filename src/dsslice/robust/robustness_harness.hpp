@@ -32,6 +32,13 @@ struct RobustnessConfig {
   FaultSpec faults;
   RecoveryPolicy policy = RecoveryPolicy::kNone;
 
+  /// Independent seed replicates averaged into every batch: the run covers
+  /// graph_count × seed_replicates faulted task sets, replicate r drawing
+  /// its workload and fault realizations from seeds derived off the base
+  /// seeds with a replicate tag. 1 (the default) reproduces the original
+  /// single-replicate batches bit-identically.
+  std::size_t seed_replicates = 1;
+
   /// Display label; "<technique>/<policy>" when empty.
   std::string label;
 
@@ -45,9 +52,20 @@ struct RobustnessOutcome {
   std::size_t slice_misses = 0;      ///< per-task window misses observed
   std::size_t killed = 0;            ///< tasks killed by processor failures
   std::size_t unfinished = 0;        ///< tasks never completed
+  /// Imprecise-computation quality accounting (estimated-time units): total
+  /// optional demand of the task set, and the optional work that actually
+  /// ran (tasks completed at full precision get full credit; degraded or
+  /// unfinished tasks get none).
+  double optional_demand = 0.0;
+  double optional_completed = 0.0;
+  std::size_t degraded_completions = 0;  ///< tasks finished without optional
   RecoveryStats recovery;
 
   double ete_miss_ratio() const;
+
+  /// Fraction of optional work completed — the imprecise-scheduling quality
+  /// measure. 1 for fully precise task sets (no optional demand).
+  double quality_ratio() const;
 };
 
 /// Aggregate over a batch of faulted task sets.
@@ -55,8 +73,12 @@ struct RobustnessResult {
   SuccessCounter ete_met;        ///< per-output E-T-E deadline success
   RunningStats graph_miss_ratio; ///< per-graph E-T-E miss ratio
   RunningStats slice_misses;     ///< per-graph window-miss count
+  RunningStats quality;          ///< per-graph optional-completed ratio
   std::size_t killed = 0;
   std::size_t unfinished = 0;
+  double optional_demand = 0.0;     ///< summed over the batch (est units)
+  double optional_completed = 0.0;
+  std::size_t degraded_completions = 0;
   RecoveryStats recovery;
   double wall_seconds = 0.0;
 
@@ -116,5 +138,55 @@ std::vector<BreakdownPoint> breakdown_overrun_factors(
 /// Aligned table of breakdown points for bench output.
 std::string format_breakdown_table(const std::vector<BreakdownPoint>& points,
                                    double miss_threshold);
+
+/// One (overrun-factor × optional-fraction) point of a degradation surface.
+struct DegradationCell {
+  double overrun_factor = 0.0;
+  double optional_fraction = 0.0;
+  double success_ratio = 0.0;  ///< fraction of E-T-E deadlines met
+  double ci95 = 0.0;
+  double quality = 0.0;        ///< mean per-graph optional-completed ratio
+  std::size_t shed_tasks = 0;
+  std::size_t degraded_completions = 0;
+};
+
+/// One technique × policy series over the whole surface. Cells are stored
+/// fraction-major: cells[fi * factors.size() + xi] is
+/// (factors[xi], fractions[fi]).
+struct DegradationSeries {
+  std::string name;  ///< "<TECHNIQUE>/<policy>"
+  std::vector<DegradationCell> cells;
+};
+
+/// Success-ratio + quality-ratio surface over breakdown-overrun-factor ×
+/// optional-fraction (docs/ROBUSTNESS.md, "Graceful degradation").
+struct DegradationSurface {
+  std::vector<double> factors;    ///< overrun factors swept (x)
+  std::vector<double> fractions;  ///< generator optional fractions swept (y)
+  std::vector<DegradationSeries> series;
+  std::size_t scenarios = 0;
+  double wall_seconds = 0.0;
+};
+
+/// Sweeps overrun factor × optional fraction for every technique × policy
+/// pair. Each fraction re-generates the workloads with
+/// min_optional_fraction = max_optional_fraction = fraction (0 = the
+/// precise baseline), so graph structure, WCETs and deadlines stay fixed
+/// per seed while the sheddable share varies.
+DegradationSurface sweep_degradation(
+    const RobustnessConfig& base,
+    const std::vector<DistributionTechnique>& techniques,
+    const std::vector<RecoveryPolicy>& policies,
+    const std::vector<double>& factors, const std::vector<double>& fractions,
+    ThreadPool& pool, bool verbose = false);
+
+/// Projects one optional-fraction row of the surface onto a SweepResult
+/// (series ordered as in the surface), so breakdown_overrun_factors and the
+/// sweep plotting helpers apply unchanged.
+SweepResult degradation_row_as_sweep(const DegradationSurface& surface,
+                                     std::size_t fraction_index);
+
+/// Aligned success/quality table of the whole surface for bench output.
+std::string format_degradation_table(const DegradationSurface& surface);
 
 }  // namespace dsslice

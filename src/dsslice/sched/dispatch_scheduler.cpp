@@ -83,6 +83,7 @@ void EdfDispatchScheduler::run_into(SchedulerResult& result,
     std::uint64_t killed = 0;
     std::uint64_t restarts = 0;
     std::uint64_t misses = 0;
+    std::uint64_t degraded = 0;  // completions with a shed optional part
     ~ObsTally() {
       DSSLICE_COUNT("sched.dispatch.runs", 1);
       DSSLICE_COUNT("sched.dispatch.events", events);
@@ -91,6 +92,7 @@ void EdfDispatchScheduler::run_into(SchedulerResult& result,
       DSSLICE_COUNT("sched.dispatch.killed", killed);
       DSSLICE_COUNT("sched.dispatch.restarts", restarts);
       DSSLICE_COUNT("sched.dispatch.misses", misses);
+      DSSLICE_COUNT("sched.dispatch.degraded", degraded);
     }
   } obs_tally;
   const GraphAnalysis& ga = app.analysis();
@@ -124,6 +126,7 @@ void EdfDispatchScheduler::run_into(SchedulerResult& result,
   ws.fill(ws.started, n, char{0});
   ws.fill(ws.done, n, char{0});
   ws.fill(ws.lost, n, char{0});
+  ws.fill(ws.shed, n, char{0});
   ws.fill(ws.start_time, n, kTimeZero);
   ws.fill(ws.finish, n, kTimeInfinity);
   ws.fill(ws.proc_of, n, ProcessorId{0});
@@ -165,6 +168,17 @@ void EdfDispatchScheduler::run_into(SchedulerResult& result,
   // Actual execution time of v, given its nominal wcet on the chosen class,
   // under the injected conditions.
   const auto adjust_wcet = [&](NodeId v, double c) {
+    if (ws.shed[v]) {
+      // Degraded mode (docs/ROBUSTNESS.md): the recovery control shed this
+      // task's optional part before it started, so only the mandatory part
+      // executes. Injected overruns below apply to the reduced demand — an
+      // overrun factor models proportional misestimation, not extra work
+      // the task was told not to do.
+      const double f = app.task(v).optional_fraction;
+      if (f > 0.0) {
+        c *= 1.0 - f;
+      }
+    }
     if (conditions != nullptr) {
       if (!conditions->wcet_factor.empty()) {
         c *= conditions->wcet_factor[v];
@@ -202,7 +216,8 @@ void EdfDispatchScheduler::run_into(SchedulerResult& result,
   const auto make_view = [&](Time now) {
     return DispatchControl::View{app,     platform,  now,
                                  ws.started, ws.done, ws.finish,
-                                 ws.busy_until, ws.down_at};
+                                 ws.busy_until, ws.down_at,
+                                 std::span<char>(ws.shed)};
   };
 
   // Earliest time the data of ready task v is available on processor p.
@@ -333,6 +348,12 @@ void EdfDispatchScheduler::run_into(SchedulerResult& result,
                               ws.finish[v]);
         if (telemetry != nullptr) {
           telemetry->completion[v] = ws.finish[v];
+          if (ws.shed[v]) {
+            telemetry->degraded.push_back(v);
+          }
+        }
+        if (ws.shed[v]) {
+          ++obs_tally.degraded;
         }
         const bool late = ws.finish[v] > windows[v].deadline + kEps;
         if (late) {

@@ -83,6 +83,9 @@ struct DispatchTelemetry {
   std::vector<NodeId> killed;
   /// Tasks that never completed (stranded by failures).
   std::vector<NodeId> unfinished;
+  /// Tasks that completed in degraded mode (optional part shed by a
+  /// recovery policy before they started), in completion order.
+  std::vector<NodeId> degraded;
   /// Number of revived tasks that re-entered the dispatch queue.
   std::size_t restarts = 0;
 };
@@ -113,6 +116,15 @@ class DispatchControl {
     /// Per processor: effective halt instant — min of the platform's
     /// available_until and any injected failure; kTimeInfinity = healthy.
     std::span<const Time> down_at;
+    /// Per task: degraded-mode flag, *writable* by the control. Setting
+    /// shed[v] = 1 for an unstarted task drops its optional part: the
+    /// dispatcher scales the task's actual execution time by
+    /// (1 − optional_fraction) when it eventually starts, and reports the
+    /// completion in DispatchTelemetry::degraded. Empty when the host does
+    /// not provide a shed channel (nominal runs, legacy callers) — controls
+    /// must check before writing. Kept last so existing aggregate
+    /// initializers stay valid (value-initializes to an empty span).
+    std::span<char> shed;
   };
 
   virtual ~DispatchControl() = default;

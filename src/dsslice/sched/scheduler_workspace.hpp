@@ -184,6 +184,7 @@ class SchedulerWorkspace {
   std::vector<Window> windows;
   std::vector<std::size_t> preds_left;
   std::vector<char> started, done, lost;
+  std::vector<char> shed;  // degraded-mode flags (DispatchControl::View)
   std::vector<Time> start_time;
   std::vector<Time> finish;
   std::vector<ProcessorId> proc_of;

@@ -59,6 +59,21 @@ DeadlineAssignment distribute_for_config(const ExperimentConfig& config,
   if (slicing_passes != nullptr) {
     *slicing_passes = 0;
   }
+  // Imprecise workloads plan against *mandatory* demand: each optional part
+  // is recoverable slack a degraded-mode policy may reclaim at run time, so
+  // baking it into the windows would double-book that time. Precise
+  // workloads (no optional parts anywhere) skip the scaling entirely and
+  // keep the estimate vector bit-identical.
+  if (app.has_optional_work()) {
+    if (scratch != nullptr) {
+      mandatory_estimates_into(app, est_wcet, scratch->mandatory_est);
+      est_wcet = scratch->mandatory_est;
+    } else {
+      thread_local std::vector<double> buffer;
+      mandatory_estimates_into(app, est_wcet, buffer);
+      est_wcet = buffer;
+    }
+  }
   if (is_slicing(config.technique)) {
     SlicingStats stats;
     const DeadlineMetric metric(metric_of(config.technique),

@@ -82,6 +82,7 @@ struct ScenarioScratch {
   SchedulerWorkspace sched;
   SchedulerResult sched_result;
   PreemptiveResult pre_result;
+  std::vector<double> mandatory_est;  // mandatory-demand estimate buffer
 };
 
 /// Runs the configured deadline-distribution technique (slicing or direct)

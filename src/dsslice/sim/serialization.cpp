@@ -178,6 +178,11 @@ std::string serialize_scenario(const Scenario& scenario) {
     for (const double c : t.wcet_by_class) {
       os << " " << (c < 0.0 ? std::string("-") : num(c));
     }
+    // The mandatory/optional split travels as an optional trailing token so
+    // precise scenarios serialize byte-identically to the pre-split format.
+    if (t.has_optional_part()) {
+      os << " " << num(t.optional_fraction);
+    }
     os << "\n";
   }
   os << "arcs " << app.graph().arc_count() << "\n";
@@ -259,9 +264,11 @@ Scenario parse_scenario(const std::string& text) {
   std::vector<Task> tasks;
   for (std::size_t i = 0; i < task_count; ++i) {
     line = reader.next();
-    if (line.size() != 4 + class_count || line[0] != "task") {
+    if ((line.size() != 4 + class_count && line.size() != 5 + class_count) ||
+        line[0] != "task") {
       reader.fail("expected 'task <name> <phasing> <period> <" +
-                  std::to_string(class_count) + " wcets>'");
+                  std::to_string(class_count) +
+                  " wcets> [<optional_fraction>]'");
     }
     Task t;
     t.name = line[1];
@@ -271,6 +278,17 @@ Scenario parse_scenario(const std::string& text) {
       const std::string& tok = line[4 + e];
       t.wcet_by_class.push_back(tok == "-" ? kIneligibleWcet
                                            : reader.to_nonneg(tok, "wcet"));
+    }
+    if (line.size() == 5 + class_count) {
+      const double f =
+          reader.to_finite(line[4 + class_count], "optional_fraction");
+      if (!valid_optional_fraction(f)) {
+        reader.fail(
+            "optional_fraction must be within [0, 1] — the optional part "
+            "cannot be negative, NaN, or exceed the WCET, got: " +
+            line[4 + class_count]);
+      }
+      t.optional_fraction = f;
     }
     tasks.push_back(std::move(t));
   }
@@ -415,6 +433,136 @@ FaultSpec parse_fault_spec(const std::string& text) {
 
   spec.validate();
   return spec;
+}
+
+namespace {
+
+/// Emits `<keyword> <k> <v...>` for one numeric vector of the trace.
+template <typename T, typename Format>
+void write_vector(std::ostringstream& os, const std::string& keyword,
+                  const std::vector<T>& values, Format&& format) {
+  os << keyword << " " << values.size();
+  for (const T& v : values) {
+    os << " " << format(v);
+  }
+  os << "\n";
+}
+
+}  // namespace
+
+std::string serialize_fault_trace(const FaultTrace& trace) {
+  std::ostringstream os;
+  os << "dsslice-fault-trace " << kFormatVersion << "\n";
+  const auto as_num = [](double v) { return num(v); };
+  const auto as_id = [](std::size_t v) { return std::to_string(v); };
+  write_vector(os, "wcet-factor", trace.conditions.wcet_factor, as_num);
+  write_vector(os, "wcet-addend", trace.conditions.wcet_addend, as_num);
+  write_vector(os, "arc-delay-factor", trace.conditions.arc_delay_factor,
+               as_num);
+  write_vector(os, "processor-down", trace.conditions.processor_down_at,
+               as_num);
+  write_vector(os, "overrun-tasks", trace.overrun_tasks,
+               [](NodeId v) { return std::to_string(v); });
+  os << "failures " << trace.failures.size() << "\n";
+  for (const ProcessorFailure& f : trace.failures) {
+    os << "failure " << f.processor << " " << num(f.at) << "\n";
+  }
+  write_vector(os, "spiked-arcs", trace.spiked_arcs, as_id);
+  os << "end\n";
+  return os.str();
+}
+
+FaultTrace parse_fault_trace(const std::string& text) {
+  LineReader reader(text, "fault-trace");
+
+  auto header = reader.next();
+  reader.expect(header, "dsslice-fault-trace", 1);
+  if (reader.to_size(header[1]) != static_cast<std::size_t>(kFormatVersion)) {
+    reader.fail("unsupported format version " + header[1]);
+  }
+
+  FaultTrace trace;
+
+  // Reads `<keyword> <k> <v...>` into `out` via per-token `convert`.
+  const auto read_doubles = [&](const std::string& keyword,
+                                std::vector<double>& out,
+                                auto&& convert) {
+    const auto line = reader.next();
+    if (line.size() < 2 || line[0] != keyword) {
+      reader.fail("expected '" + keyword + " <count> <values...>'");
+    }
+    const std::size_t count = reader.to_count(line[1], keyword);
+    if (line.size() != 2 + count) {
+      reader.fail(keyword + " declares " + line[1] + " value(s) but carries " +
+                  std::to_string(line.size() - 2));
+    }
+    out.reserve(count);
+    for (std::size_t k = 0; k < count; ++k) {
+      out.push_back(convert(line[2 + k]));
+    }
+  };
+
+  read_doubles("wcet-factor", trace.conditions.wcet_factor,
+               [&](const std::string& tok) {
+                 return reader.to_nonneg(tok, "wcet factor");
+               });
+  read_doubles("wcet-addend", trace.conditions.wcet_addend,
+               [&](const std::string& tok) {
+                 return reader.to_finite(tok, "wcet addend");
+               });
+  read_doubles("arc-delay-factor", trace.conditions.arc_delay_factor,
+               [&](const std::string& tok) {
+                 return reader.to_nonneg(tok, "arc delay factor");
+               });
+  // Halt instants may legitimately be infinite ("never halts").
+  read_doubles("processor-down", trace.conditions.processor_down_at,
+               [&](const std::string& tok) {
+                 return reader.to_time(tok, "halt instant");
+               });
+
+  auto line = reader.next();
+  if (line.size() < 2 || line[0] != "overrun-tasks") {
+    reader.fail("expected 'overrun-tasks <count> <ids...>'");
+  }
+  std::size_t count = reader.to_count(line[1], "overrun task");
+  if (line.size() != 2 + count) {
+    reader.fail("overrun-tasks declares " + line[1] +
+                " id(s) but carries " + std::to_string(line.size() - 2));
+  }
+  for (std::size_t k = 0; k < count; ++k) {
+    trace.overrun_tasks.push_back(
+        static_cast<NodeId>(reader.to_count(line[2 + k], "task id")));
+  }
+
+  line = reader.next();
+  reader.expect(line, "failures", 1);
+  const std::size_t failure_count = reader.to_count(line[1], "failure");
+  for (std::size_t k = 0; k < failure_count; ++k) {
+    line = reader.next();
+    reader.expect(line, "failure", 2);
+    trace.failures.push_back(ProcessorFailure{
+        static_cast<ProcessorId>(reader.to_size(line[1])),
+        reader.to_nonneg(line[2], "failure time")});
+  }
+
+  line = reader.next();
+  if (line.size() < 2 || line[0] != "spiked-arcs") {
+    reader.fail("expected 'spiked-arcs <count> <ids...>'");
+  }
+  count = reader.to_count(line[1], "spiked arc");
+  if (line.size() != 2 + count) {
+    reader.fail("spiked-arcs declares " + line[1] + " id(s) but carries " +
+                std::to_string(line.size() - 2));
+  }
+  for (std::size_t k = 0; k < count; ++k) {
+    trace.spiked_arcs.push_back(reader.to_count(line[2 + k], "arc id"));
+  }
+
+  line = reader.next();
+  if (line.size() != 1 || line[0] != "end") {
+    reader.fail("expected 'end'");
+  }
+  return trace;
 }
 
 }  // namespace dsslice

@@ -12,7 +12,10 @@
 //   proc <name> <class_index>              (m times)
 //   bus <per_item_delay>
 //   tasks <n>
-//   task <name> <phasing> <period> <wcet...>   ('-' = ineligible)
+//   task <name> <phasing> <period> <wcet...> [<optional_fraction>]
+//                                          ('-' = ineligible; the trailing
+//                                          mandatory/optional split in [0, 1]
+//                                          is emitted only when non-zero)
 //   arcs <a>
 //   arc <from> <to> <message_items>        (a times)
 //   arrival <node> <time>                  (per input task)
@@ -37,8 +40,25 @@
 //   spike <probability> <factor>
 //   end
 //
-// Both parsers reject NaN / infinite durations, negative times and counts
-// beyond a sanity bound with a ConfigError naming the offending line.
+// A realized FaultTrace (one concrete run's injected conditions plus
+// bookkeeping) has its own sibling format, so an interesting realization —
+// e.g. the exact overrun pattern that broke a policy — can be attached to a
+// bug report independently of the spec that produced it:
+//
+//   dsslice-fault-trace 1
+//   wcet-factor <k> <v...>                 (k = 0 or task count)
+//   wcet-addend <k> <v...>
+//   arc-delay-factor <k> <v...>
+//   processor-down <k> <t...>              ('inf' = never halts)
+//   overrun-tasks <k> <id...>
+//   failures <k>
+//   failure <processor> <time>             (k times)
+//   spiked-arcs <k> <id...>
+//   end
+//
+// All parsers reject NaN / infinite durations (except the explicitly
+// infinite halt instants above), negative times and counts beyond a sanity
+// bound with a ConfigError naming the offending line.
 #pragma once
 
 #include <string>
@@ -65,5 +85,12 @@ std::string serialize_fault_spec(const FaultSpec& spec);
 /// Parses and validates a fault specification; throws ConfigError with a
 /// line number on malformed input.
 FaultSpec parse_fault_spec(const std::string& text);
+
+/// Serializes a realized fault trace in the format above.
+std::string serialize_fault_trace(const FaultTrace& trace);
+
+/// Parses a fault trace; throws ConfigError with a line number on malformed
+/// input (negative factors, NaN, inconsistent vector sizes).
+FaultTrace parse_fault_trace(const std::string& text);
 
 }  // namespace dsslice

@@ -210,6 +210,57 @@ TEST(Generator, ValidateRejectsBadConfigs) {
   EXPECT_NO_THROW(GeneratorConfig{}.validate());
 }
 
+TEST(Generator, OptionalFractionKnobOffPreservesStreamAndStaysZero) {
+  // The degraded-mode knob must not perturb the RNG stream: with the knob
+  // off (the default) the scenario is bit-identical to one generated before
+  // the knob existed, and turning it on only adds the trailing fraction
+  // draws — structure, WCETs and deadlines stay fixed per seed.
+  const GeneratorConfig off = testing::paper_generator(21);
+  GeneratorConfig on = off;
+  on.workload.min_optional_fraction = 0.2;
+  on.workload.max_optional_fraction = 0.6;
+
+  const Scenario a = generate_scenario_at(off, 3);
+  const Scenario b = generate_scenario_at(on, 3);
+  ASSERT_EQ(a.application.task_count(), b.application.task_count());
+  ASSERT_EQ(a.application.graph().arc_count(),
+            b.application.graph().arc_count());
+  EXPECT_FALSE(a.application.has_optional_work());
+  EXPECT_TRUE(b.application.has_optional_work());
+  for (NodeId v = 0; v < a.application.task_count(); ++v) {
+    EXPECT_EQ(a.application.task(v).wcet_by_class,
+              b.application.task(v).wcet_by_class);
+    EXPECT_DOUBLE_EQ(a.application.task(v).optional_fraction, 0.0);
+    EXPECT_GE(b.application.task(v).optional_fraction, 0.2);
+    EXPECT_LE(b.application.task(v).optional_fraction, 0.6);
+  }
+  for (const NodeId out : a.application.graph().output_nodes()) {
+    ASSERT_EQ(a.application.has_ete_deadline(out),
+              b.application.has_ete_deadline(out));
+    if (a.application.has_ete_deadline(out)) {
+      EXPECT_EQ(a.application.ete_deadline(out),
+                b.application.ete_deadline(out));
+    }
+  }
+}
+
+TEST(Generator, OptionalFractionRangeValidated) {
+  GeneratorConfig cfg;
+  cfg.workload.min_optional_fraction = 0.5;
+  cfg.workload.max_optional_fraction = 0.25;  // min > max
+  EXPECT_THROW(cfg.validate(), ConfigError);
+  cfg = GeneratorConfig{};
+  cfg.workload.min_optional_fraction = -0.1;
+  EXPECT_THROW(cfg.validate(), ConfigError);
+  cfg = GeneratorConfig{};
+  cfg.workload.max_optional_fraction = 1.0;  // fully optional tasks: no
+  EXPECT_THROW(cfg.validate(), ConfigError);
+  cfg = GeneratorConfig{};
+  cfg.workload.min_optional_fraction = 0.3;
+  cfg.workload.max_optional_fraction = 0.3;
+  EXPECT_NO_THROW(cfg.validate());
+}
+
 TEST(Generator, EnumNames) {
   EXPECT_EQ(to_string(ClassModel::kUniformFactors), "uniform-factors");
   EXPECT_EQ(to_string(ClassModel::kUnrelated), "unrelated");

@@ -28,6 +28,7 @@ void expect_equal_scenarios(const Scenario& a, const Scenario& b) {
     EXPECT_EQ(ta.wcet_by_class, tb.wcet_by_class);
     EXPECT_DOUBLE_EQ(ta.phasing, tb.phasing);
     EXPECT_DOUBLE_EQ(ta.period, tb.period);
+    EXPECT_DOUBLE_EQ(ta.optional_fraction, tb.optional_fraction);
   }
   ASSERT_EQ(a.application.graph().arcs(), b.application.graph().arcs());
   for (const NodeId out : a.application.graph().output_nodes()) {
@@ -196,6 +197,108 @@ TEST(Serialization, FaultSpecRejectsMalformedInput) {
       parse_fault_spec("dsslice-faults 1\nseed -4\n"
                        "overrun uniform 1 0 0 0.25\nfailures 0\n"
                        "random-failure 0 0 0\nspike 0 1\nend\n"),
+      ConfigError);
+}
+
+TEST(Serialization, RoundTripsOptionalFractions) {
+  ApplicationBuilder b;
+  const NodeId u = b.add_task("u", {4.0}, 0.0, 40.0);
+  const NodeId v = b.add_task("v", {6.0}, 0.0, 40.0);
+  const NodeId w = b.add_task("w", {2.0}, 0.0, 40.0);
+  b.add_precedence(u, v, 1.0);
+  b.add_precedence(v, w, 1.0);
+  b.set_input_arrival(u, 0.0);
+  b.set_ete_deadline(w, 38.0);
+  Scenario sc{Platform::shared_bus({ProcessorClass{"e0", 1.0}}, {0}, 1.0),
+              b.build(1)};
+  sc.application.mutable_task(v).optional_fraction = 0.5;
+  sc.application.mutable_task(w).optional_fraction = 1.0;  // fully optional
+
+  const std::string text = serialize_scenario(sc);
+  const Scenario parsed = parse_scenario(text);
+  expect_equal_scenarios(sc, parsed);
+  EXPECT_DOUBLE_EQ(parsed.application.task(v).optional_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(parsed.application.task(w).mandatory_wcet(0), 0.0);
+  // Fixed point, and precise tasks keep the legacy 4+k-token line — a
+  // fraction-free scenario serializes byte-identically to older builds.
+  EXPECT_EQ(serialize_scenario(parsed), text);
+  EXPECT_NE(text.find("task u 0 40 4\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("task v 0 40 6 0.5\n"), std::string::npos) << text;
+}
+
+TEST(Serialization, RejectsInvalidOptionalSplits) {
+  const auto scenario_with = [](const std::string& task_line) {
+    return "dsslice-scenario 1\nclasses 1\nclass e0 1\nprocessors 1\n"
+           "proc p0 0\nbus 1\ntasks 1\n" +
+           task_line + "\narcs 0\nend\n";
+  };
+  // The boundary values 0 and 1 are legal splits.
+  EXPECT_NO_THROW(parse_scenario(scenario_with("task t0 3 0 5 0")));
+  EXPECT_NO_THROW(parse_scenario(scenario_with("task t0 3 0 5 1")));
+  // An optional part larger than the WCET, negative, or NaN is corrupt.
+  EXPECT_THROW(parse_scenario(scenario_with("task t0 3 0 5 1.5")),
+               ConfigError);
+  EXPECT_THROW(parse_scenario(scenario_with("task t0 3 0 5 -0.1")),
+               ConfigError);
+  EXPECT_THROW(parse_scenario(scenario_with("task t0 3 0 5 nan")),
+               ConfigError);
+  EXPECT_THROW(parse_scenario(scenario_with("task t0 3 0 5 inf")),
+               ConfigError);
+  try {
+    parse_scenario(scenario_with("task t0 3 0 5 1.5"));
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("optional_fraction"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Serialization, FaultTraceRoundTrips) {
+  FaultTrace trace;
+  trace.conditions.wcet_factor = {1.0, 2.5, 1.0};
+  trace.conditions.wcet_addend = {0.0, 1.25, 0.0};
+  trace.conditions.arc_delay_factor = {1.0, 3.0};
+  // 'inf' halt instants ("never halts") must survive the text format.
+  trace.conditions.processor_down_at = {kTimeInfinity, 17.5};
+  trace.overrun_tasks = {1};
+  trace.failures.push_back(ProcessorFailure{1, 17.5});
+  trace.spiked_arcs = {1};
+
+  const std::string text = serialize_fault_trace(trace);
+  const FaultTrace parsed = parse_fault_trace(text);
+  EXPECT_EQ(parsed, trace);
+  EXPECT_EQ(serialize_fault_trace(parsed), text);
+  EXPECT_DOUBLE_EQ(parsed.conditions.processor_down_at[0], kTimeInfinity);
+
+  // A fault-free trace (all vectors empty = no perturbation) round-trips.
+  const FaultTrace empty;
+  EXPECT_EQ(parse_fault_trace(serialize_fault_trace(empty)), empty);
+}
+
+TEST(Serialization, FaultTraceRejectsMalformedInput) {
+  EXPECT_THROW(parse_fault_trace(""), ConfigError);
+  EXPECT_THROW(parse_fault_trace("dsslice-fault-trace 9\n"), ConfigError);
+  const auto trace_with = [](const std::string& line) {
+    return "dsslice-fault-trace 1\n" + line +
+           "\nwcet-addend 0\narc-delay-factor 0\nprocessor-down 0\n"
+           "overrun-tasks 0\nfailures 0\nspiked-arcs 0\nend\n";
+  };
+  EXPECT_NO_THROW(parse_fault_trace(trace_with("wcet-factor 2 1 2.5")));
+  // Declared count disagrees with the carried values.
+  EXPECT_THROW(parse_fault_trace(trace_with("wcet-factor 3 1 2.5")),
+               ConfigError);
+  // Negative or NaN factors are corrupt, not faults.
+  EXPECT_THROW(parse_fault_trace(trace_with("wcet-factor 1 -2")),
+               ConfigError);
+  EXPECT_THROW(parse_fault_trace(trace_with("wcet-factor 1 nan")),
+               ConfigError);
+  // Truncated before 'end'.
+  EXPECT_THROW(
+      parse_fault_trace("dsslice-fault-trace 1\nwcet-factor 0\n"
+                        "wcet-addend 0\narc-delay-factor 0\n"
+                        "processor-down 0\noverrun-tasks 0\nfailures 0\n"
+                        "spiked-arcs 0\n"),
       ConfigError);
 }
 
