@@ -613,6 +613,13 @@ std::pair<double, double> time_per_call_pair(double min_seconds,
           elapsed_b / static_cast<double>(reps_b)};
 }
 
+/// Scenarios per size row. Each row times all of them back to back and
+/// reports scenarios/sec, so the number is a multi-seed average rather than
+/// the throughput of one fixed-seed graph — single seeds over- or
+/// under-state a row by >2x depending on how the generated DAG happens to
+/// shape the ready sets (the PR 4 bench residual).
+constexpr std::size_t kRowSeeds = 5;
+
 GeneratorConfig sized_config(std::size_t tasks, std::size_t processors) {
   GeneratorConfig cfg;
   cfg.platform.processor_count = processors;
@@ -708,6 +715,7 @@ std::string to_json(const std::vector<SizeReport>& reports,
   std::string out = "{\n";
   out += "  \"benchmark\": \"scheduler-engine\",\n";
   out += "  \"processors\": " + std::to_string(processors) + ",\n";
+  out += "  \"seeds_per_row\": " + std::to_string(kRowSeeds) + ",\n";
   out += "  \"machine\": " + bench::machine_json(1) + ",\n";
   out += "  \"metric_unit\": {\"scheduler\": \"scenarios/sec\", "
          "\"end_to_end\": \"scenarios/sec\"},\n";
@@ -751,44 +759,58 @@ SizeReport measure_size(std::size_t tasks, std::size_t processors,
   SizeReport report;
   report.tasks = tasks;
 
-  const Scenario sc = generate_scenario_at(sized_config(tasks, processors), 0);
-  const Application& app = sc.application;
-  const Platform& platform = sc.platform;
-  const auto est = estimate_wcets(app, WcetEstimation::kAverage);
+  const GeneratorConfig cfg = sized_config(tasks, processors);
+  std::vector<Scenario> scenarios;
+  std::vector<DeadlineAssignment> assignments;
+  scenarios.reserve(kRowSeeds);
+  assignments.reserve(kRowSeeds);
   const DeadlineMetric adapt_l(MetricKind::kAdaptL);
-  const DeadlineAssignment assignment =
-      run_slicing(app, est, adapt_l, processors);
+  for (std::size_t k = 0; k < kRowSeeds; ++k) {
+    scenarios.push_back(generate_scenario_at(cfg, k));
+    const Application& app = scenarios.back().application;
+    const auto est = estimate_wcets(app, WcetEstimation::kAverage);
+    assignments.push_back(run_slicing(app, est, adapt_l, processors));
+  }
 
   SchedulerWorkspace ws;
   SchedulerResult engine_result;
 
   // One row per engine: time the legacy run, time the engine's run_into
-  // (after one warm-up so buffer growth is off the timed path), assert the
-  // results stay bit-identical and the warm loop never grows a buffer.
+  // (after one warm-up pass over every seed so buffer growth is off the
+  // timed path), assert the results stay bit-identical on every seed and
+  // the warm loop never grows a buffer. Each timed call covers all
+  // kRowSeeds scenarios, so per-sec rates divide by the seed count.
   const auto measure =
       [&](const std::string& name, const auto& run_legacy,
           const auto& run_engine) {
         EngineRow row;
         row.name = name;
-        const SchedulerResult before = run_legacy();
-        run_engine();                     // warm-up: sizes every buffer
-        run_engine();                     // settle (result-shell reuse)
+        row.identical = true;
+        for (std::size_t k = 0; k < kRowSeeds; ++k) {
+          const SchedulerResult before = run_legacy(k);
+          run_engine(k);                  // warm-up: sizes every buffer
+          run_engine(k);                  // settle (result-shell reuse)
+          row.identical = row.identical && same_result(before, engine_result);
+        }
         const std::uint64_t grow_before = ws.grow_events();
         const auto [legacy_s, engine_s] = time_per_call_pair(
             min_seconds, 3,
             [&] {
-              volatile bool sink = run_legacy().success;
-              (void)sink;
+              for (std::size_t k = 0; k < kRowSeeds; ++k) {
+                volatile bool sink = run_legacy(k).success;
+                (void)sink;
+              }
             },
             [&] {
-              run_engine();
-              volatile bool sink = engine_result.success;
-              (void)sink;
+              for (std::size_t k = 0; k < kRowSeeds; ++k) {
+                run_engine(k);
+                volatile bool sink = engine_result.success;
+                (void)sink;
+              }
             });
-        row.legacy_per_sec = 1.0 / legacy_s;
-        row.engine_per_sec = 1.0 / engine_s;
+        row.legacy_per_sec = kRowSeeds / legacy_s;
+        row.engine_per_sec = kRowSeeds / engine_s;
         row.warm_grow_events = ws.grow_events() - grow_before;
-        row.identical = same_result(before, engine_result);
         report.engines.push_back(row);
       };
 
@@ -797,9 +819,13 @@ SizeReport measure_size(std::size_t tasks, std::size_t processors,
     const EdfListScheduler scheduler(options);
     measure(
         "list-append",
-        [&] { return legacy::list_run(app, assignment, platform, options); },
-        [&] {
-          scheduler.run_into(engine_result, ws, app, assignment, platform);
+        [&](std::size_t k) {
+          return legacy::list_run(scenarios[k].application, assignments[k],
+                                  scenarios[k].platform, options);
+        },
+        [&](std::size_t k) {
+          scheduler.run_into(engine_result, ws, scenarios[k].application,
+                             assignments[k], scenarios[k].platform);
         });
   }
   {
@@ -808,9 +834,13 @@ SizeReport measure_size(std::size_t tasks, std::size_t processors,
     const EdfListScheduler scheduler(options);
     measure(
         "list-insertion",
-        [&] { return legacy::list_run(app, assignment, platform, options); },
-        [&] {
-          scheduler.run_into(engine_result, ws, app, assignment, platform);
+        [&](std::size_t k) {
+          return legacy::list_run(scenarios[k].application, assignments[k],
+                                  scenarios[k].platform, options);
+        },
+        [&](std::size_t k) {
+          scheduler.run_into(engine_result, ws, scenarios[k].application,
+                             assignments[k], scenarios[k].platform);
         });
   }
   {
@@ -819,11 +849,13 @@ SizeReport measure_size(std::size_t tasks, std::size_t processors,
     const EdfDispatchScheduler scheduler(options);
     measure(
         "dispatch",
-        [&] {
-          return legacy::dispatch_run(app, assignment, platform, options);
+        [&](std::size_t k) {
+          return legacy::dispatch_run(scenarios[k].application, assignments[k],
+                                      scenarios[k].platform, options);
         },
-        [&] {
-          scheduler.run_into(engine_result, ws, app, assignment, platform);
+        [&](std::size_t k) {
+          scheduler.run_into(engine_result, ws, scenarios[k].application,
+                             assignments[k], scenarios[k].platform);
         });
   }
   return report;

@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""Diff a fresh perf_scheduling run against the committed baseline.
+
+Usage:
+    scripts/bench_compare.py FRESH.json [--baseline BENCH_scheduling.json]
+                             [--tolerance 0.5] [--strict-e2e]
+                             [--correctness-only]
+
+Both files are perf_scheduling --json outputs. The comparator fails (exit 1)
+when:
+
+  * a fresh engine row reports identical=false or warm_grow_events != 0
+    (bit-identity to the legacy scheduler and the zero-warm-path-allocation
+    guarantee are correctness gates, not perf numbers, so no tolerance);
+  * an engine row present in both files lost more than --tolerance of its
+    committed speedup (relative band: fresh >= baseline * (1 - tolerance)).
+    Rows are matched on (tasks, engine); sizes only one side measured —
+    e.g. a --smoke run against the full baseline — are skipped, but at
+    least one row must match or the comparison is vacuous and fails.
+
+End-to-end rows are noisy on shared hardware (they include generation and
+slicing), so they are reported but only enforced under --strict-e2e.
+
+--correctness-only keeps the identity / zero-allocation gates and the
+row-overlap requirement but reports speedups without enforcing the band.
+Use it when the fresh run's cost model is not comparable to the committed
+baseline — e.g. an ASan/UBSan build, whose instrumentation inflates the
+engine and legacy sides by different factors.
+
+Speedups regress loudly here instead of rotting silently: check.sh runs this
+against every fresh smoke bench, and scripts/bench.sh refreshes the baseline.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        sys.exit(f"bench_compare: cannot read {path}: {e}")
+
+
+def engine_rows(doc):
+    """{(tasks, engine): row} from a perf_scheduling JSON document."""
+    rows = {}
+    for size in doc.get("sizes", []):
+        for row in size.get("engines", []):
+            rows[(size.get("tasks"), row.get("engine"))] = row
+    return rows
+
+
+def e2e_rows(doc):
+    return {
+        (row.get("tasks"), row.get("algorithm")): row
+        for row in doc.get("end_to_end", [])
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Compare a fresh perf_scheduling run to the committed "
+        "baseline speedups."
+    )
+    parser.add_argument("fresh", help="fresh perf_scheduling --json output")
+    parser.add_argument(
+        "--baseline",
+        default="BENCH_scheduling.json",
+        help="committed baseline (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.5,
+        help="allowed relative speedup loss, 0..1 (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--strict-e2e",
+        action="store_true",
+        help="apply the tolerance band to end-to-end rows too",
+    )
+    parser.add_argument(
+        "--correctness-only",
+        action="store_true",
+        help="enforce only the identity/allocation gates; report speedups "
+        "without the tolerance band (for builds whose cost model is not "
+        "comparable to the baseline, e.g. sanitizers)",
+    )
+    args = parser.parse_args()
+    if not 0.0 <= args.tolerance < 1.0:
+        sys.exit("bench_compare: --tolerance must be in [0, 1)")
+
+    fresh = load(args.fresh)
+    baseline = load(args.baseline)
+
+    failures = []
+    compared = 0
+
+    fresh_rows = engine_rows(fresh)
+    base_rows = engine_rows(baseline)
+
+    # Correctness gates on every fresh row, matched or not.
+    for (tasks, engine), row in sorted(fresh_rows.items()):
+        if not row.get("identical", False):
+            failures.append(
+                f"n={tasks} {engine}: engine result diverged from legacy "
+                "(identical=false)"
+            )
+        if row.get("warm_grow_events", 0) != 0:
+            failures.append(
+                f"n={tasks} {engine}: warm path grew "
+                f"{row['warm_grow_events']} buffer(s)"
+            )
+
+    # Speedup band on the rows both files measured.
+    for key in sorted(set(fresh_rows) & set(base_rows)):
+        tasks, engine = key
+        got = fresh_rows[key].get("speedup", 0.0)
+        want = base_rows[key].get("speedup", 0.0)
+        floor = want * (1.0 - args.tolerance)
+        ok = args.correctness_only or got >= floor
+        compared += 1
+        note = " (informational)" if args.correctness_only else ""
+        print(
+            f"  n={tasks:>5} {engine:<14} baseline {want:6.2f}x "
+            f"fresh {got:6.2f}x  floor {floor:5.2f}x  "
+            f"{'ok' if ok else 'REGRESSED'}{note}"
+        )
+        if not ok:
+            failures.append(
+                f"n={tasks} {engine}: speedup {got:.2f}x below "
+                f"{floor:.2f}x ({want:.2f}x baseline - {args.tolerance:.0%})"
+            )
+
+    for key in sorted(set(e2e_rows(fresh)) & set(e2e_rows(baseline))):
+        tasks, algorithm = key
+        got = e2e_rows(fresh)[key].get("speedup", 0.0)
+        want = e2e_rows(baseline)[key].get("speedup", 0.0)
+        floor = want * (1.0 - args.tolerance)
+        ok = got >= floor
+        enforced = "" if args.strict_e2e else " (informational)"
+        print(
+            f"  n={tasks:>5} e2e {algorithm:<10} baseline {want:6.2f}x "
+            f"fresh {got:6.2f}x  floor {floor:5.2f}x  "
+            f"{'ok' if ok else 'REGRESSED'}{enforced}"
+        )
+        if not ok and args.strict_e2e:
+            failures.append(
+                f"n={tasks} e2e {algorithm}: speedup {got:.2f}x below "
+                f"{floor:.2f}x"
+            )
+
+    if compared == 0:
+        failures.append(
+            "no engine rows in common between fresh run and baseline "
+            "(size/engine mismatch?)"
+        )
+
+    if failures:
+        print("bench_compare: FAIL", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    what = (
+        "correctness-gated" if args.correctness_only else "within tolerance"
+    )
+    print(f"bench_compare: OK ({compared} engine row(s) {what})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,13 +21,42 @@ done
 # benches themselves and asserts the cached hot paths build zero analyses /
 # grow zero scheduler buffers. perf_scheduling also re-checks bit-identity
 # against the legacy schedulers, so it runs under both presets — the
-# sanitize build would catch any UB the equivalence relies on.
+# sanitize build would catch any UB the equivalence relies on. Each run is
+# two passes, mirroring scripts/bench.sh: a timed pass with recording off
+# whose JSON is diffed against the committed BENCH_scheduling.json speedups
+# (scripts/bench_compare.py — perf regressions fail loudly), and a short
+# instrumented pass whose trace/metrics are validated by tools/trace_check
+# and must carry the dispatcher event-queue counters.
 echo "==> bench smoke [perf_slicing]"
 ./build/bench/perf_slicing --smoke
+scheduling_smoke() {
+  local build="$1"; shift
+  local tag="${build##*/}"
+  local out="$build/scheduling-smoke"
+  mkdir -p "$out"
+  "$build/bench/perf_scheduling" --smoke \
+    --json "$out/scheduling.json" > "$out/stdout.txt"
+  "$build/bench/perf_scheduling" --smoke \
+    --trace "$out/trace.json" --metrics "$out/metrics.jsonl" > /dev/null
+  "$build/tools/trace_check" "$out/trace.json"
+  "$build/tools/trace_check" --jsonl "$out/metrics.jsonl"
+  for counter in sched.dispatch.heap_ops sched.dispatch.queue_depth; do
+    grep -q "$counter" "$out/metrics.jsonl" ||
+      { echo "scheduling smoke [$tag]: metrics missing $counter" >&2;
+        exit 1; }
+  done
+  # Smoke timings are short, so the band is wide; scripts/bench.sh numbers
+  # feed the committed baseline with longer windows. The sanitize pass runs
+  # --correctness-only: ASan/UBSan inflates the engine and legacy sides by
+  # different factors, so its speedups are not comparable to the Release
+  # baseline — only the identity and zero-allocation gates apply there.
+  python3 scripts/bench_compare.py "$out/scheduling.json" \
+    --baseline BENCH_scheduling.json --tolerance 0.6 "$@"
+}
 echo "==> bench smoke [perf_scheduling, default]"
-./build/bench/perf_scheduling --smoke
+scheduling_smoke ./build
 echo "==> bench smoke [perf_scheduling, sanitize]"
-./build-sanitize/bench/perf_scheduling --smoke
+scheduling_smoke ./build-sanitize --correctness-only
 
 # Degradation smoke: the graceful-degradation surface on a tiny grid, under
 # both presets (the sanitize pass covers the shed/migrate recovery paths and

@@ -17,8 +17,12 @@
 //    copies of the legacy code). The ReadyTaskHeap below is keyed by the
 //    *exact* total strict order (deadline, arrival, NodeId) that the legacy
 //    linear scan minimized, so it pops the identical task regardless of
-//    push order. Epsilon-based engines (the dispatcher) reuse only buffers,
-//    never reordered scans, because eps comparisons are not transitive.
+//    push order. The epsilon-based dispatcher cannot key a heap on its
+//    (non-transitive) eps comparisons; instead it keeps an indexed event
+//    queue whose entries mirror the legacy next-event proposals one-to-one
+//    and are re-validated against live state when they surface, so the
+//    simulated instant sequence — and with it every eps tie-break — is
+//    reproduced exactly (see dispatch_scheduler.cpp).
 //
 //  * Observable allocation behaviour. grow_events() counts every time a
 //    workspace-managed buffer had to grow its capacity. Tests warm a
@@ -28,6 +32,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <utility>
 #include <span>
 #include <vector>
@@ -114,6 +119,22 @@ class ReadyTaskHeap {
   std::vector<NodeId> heap_;
 };
 
+/// One pending dispatcher wake-up instant. `task`/`proc` identify the
+/// legacy next-event proposal the entry mirrors — proc == kDispatchWakeArrival
+/// marks the arrival instant of `task`, otherwise the entry is the
+/// known_from / data-ready instant of the (task, proc) pair — so the
+/// dispatcher can re-validate it against live state when it reaches the top
+/// of the queue (window rewrites, re-pins and revivals just queue fresh
+/// entries; superseded ones are dropped lazily).
+struct DispatchWakeEvent {
+  Time at = kTimeZero;
+  NodeId task = 0;
+  ProcessorId proc = 0;
+};
+
+inline constexpr ProcessorId kDispatchWakeArrival =
+    std::numeric_limits<ProcessorId>::max();
+
 /// One branch-and-bound placement option (kept here so the per-depth option
 /// pools can live in the workspace).
 struct BnbOption {
@@ -192,6 +213,19 @@ class SchedulerWorkspace {
   std::vector<Time> busy_until;
   std::vector<Time> known_from, known_until, surprise_down, down_at;
   std::vector<char> failure_handled;
+
+  // ---- dispatcher event queue (indexed event state) ----
+  std::vector<Time> dispatch_ready_at;       // n×m data-ready cache, set at
+                                             //   release (preds final by then)
+  std::vector<std::uint64_t> dispatch_cand;  // released ∧ unstarted ∧ ¬lost
+  std::vector<DispatchWakeEvent> wake_heap;  // min-heap on .at
+  std::vector<std::pair<Time, NodeId>> finish_heap;  // min-heap on .first
+  std::vector<std::pair<Time, NodeId>> finish_held;  // due-but-unproposable
+  std::vector<NodeId> due_completions;       // per-instant batch, id-sorted
+  std::vector<NodeId> ineligible_tasks;      // released, no eligible class
+  std::vector<ProcessorId> free_procs;       // idle+alive procs, per pass
+  std::vector<Time> arrival_before;          // control-callback snapshots:
+  std::vector<ProcessorId> pinned_before;    //   re-queue what changed
 
   // ---- preemptive EDF simulator ----
   std::vector<char> task_released, task_completed;

@@ -19,6 +19,8 @@
 #include <cmath>
 #include <cstdint>
 #include <limits>
+#include <random>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -247,6 +249,7 @@ SchedulerResult dispatch_run(const Application& app,
   std::vector<Window> windows = assignment.windows;
   std::vector<std::size_t> preds_left(n, 0);
   std::vector<char> started(n, 0), done(n, 0), lost(n, 0);
+  std::vector<char> shed(n, 0);  // degraded-mode channel (writable View span)
   std::vector<Time> start_time(n, kTimeZero);
   std::vector<Time> finish(n, kTimeInfinity);
   std::vector<ProcessorId> proc_of(n, 0);
@@ -275,6 +278,12 @@ SchedulerResult dispatch_run(const Application& app,
 
   const auto actual_wcet = [&](NodeId v, ProcessorClassId e) {
     double c = app.task(v).wcet(e);
+    if (shed[v]) {
+      const double f = app.task(v).optional_fraction;
+      if (f > 0.0) {
+        c *= 1.0 - f;  // degraded mode: only the mandatory part executes
+      }
+    }
     if (conditions != nullptr) {
       if (!conditions->wcet_factor.empty()) {
         c *= conditions->wcet_factor[v];
@@ -321,8 +330,9 @@ SchedulerResult dispatch_run(const Application& app,
   };
 
   const auto make_view = [&](Time now) {
-    return DispatchControl::View{app,      platform, now,        started,
-                                 done,     finish,   busy_until, down_at};
+    return DispatchControl::View{app,  platform, now,        started,
+                                 done, finish,   busy_until, down_at,
+                                 std::span<char>(shed)};
   };
 
   const auto data_ready = [&](NodeId v, ProcessorId p) {
@@ -386,6 +396,9 @@ SchedulerResult dispatch_run(const Application& app,
         result.schedule.place(v, proc_of[v], start_time[v], finish[v]);
         if (telemetry != nullptr) {
           telemetry->completion[v] = finish[v];
+          if (shed[v]) {
+            telemetry->degraded.push_back(v);
+          }
         }
         const bool late = finish[v] > windows[v].deadline + kEps;
         if (late) {
@@ -613,6 +626,7 @@ void expect_same_telemetry(const DispatchTelemetry& want,
   EXPECT_EQ(want.killed, got.killed);
   EXPECT_EQ(want.unfinished, got.unfinished);
   EXPECT_EQ(want.restarts, got.restarts);
+  EXPECT_EQ(want.degraded, got.degraded);
 }
 
 constexpr MetricKind kAllMetrics[] = {MetricKind::kPure, MetricKind::kNorm,
@@ -784,6 +798,142 @@ TEST(SchedulerEquivalence, DispatchUnderFaultsMatchesLegacyBitwise) {
       expect_same_result(want, engine, "faults " + context_of(kind, seed));
       expect_same_telemetry(legacy_tel, engine_tel,
                             "faults telemetry " + context_of(kind, seed));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Randomized fault-trace fuzzing: the event-queue dispatcher must track the
+// legacy rescan loop bit-for-bit through arbitrary interleavings of WCET
+// overruns (including early completions), delay spikes, surprise processor
+// halts, and — with a recovery control attached — window rewrites,
+// migrations, shed optionals, and victim revivals.
+// ---------------------------------------------------------------------------
+
+FaultSpec fuzz_spec(std::mt19937_64& rng) {
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  FaultSpec spec;
+  spec.seed = rng();
+  spec.scope =
+      unit(rng) < 0.5 ? OverrunScope::kUniform : OverrunScope::kHotSpot;
+  spec.overrun_probability = unit(rng);
+  spec.overrun_factor = 0.5 + 2.5 * unit(rng);  // <1 = early completions
+  if (unit(rng) < 0.4) {
+    spec.overrun_addend = 3.0 * unit(rng);
+  }
+  spec.hotspot_fraction = 0.1 + 0.8 * unit(rng);
+  spec.spike_probability = 0.7 * unit(rng);
+  spec.spike_factor = 1.0 + 6.0 * unit(rng);
+  spec.random_failure_probability = 0.8 * unit(rng);
+  spec.random_failure_window =
+      Window{5.0 * unit(rng), 20.0 + 80.0 * unit(rng)};
+  if (unit(rng) < 0.3) {
+    // A deterministic early halt on processor 0 on top of the random ones:
+    // multi-failure runs exercise repeated kill/strand paths.
+    spec.failures.push_back(ProcessorFailure{0, 5.0 + 40.0 * unit(rng)});
+  }
+  return spec;
+}
+
+TEST(SchedulerEquivalence, DispatchFaultTraceFuzzMatchesLegacyBitwise) {
+  std::mt19937_64 rng(0xD15F0A57u);
+  SchedulerWorkspace ws;
+  SchedulerResult engine;
+  for (int it = 0; it < 24; ++it) {
+    const MetricKind kind = kAllMetrics[it % 4];
+    const std::uint64_t seed = 1000 + static_cast<std::uint64_t>(it);
+    const Prepared p = prepare(kind, seed);
+    const FaultTrace trace = FaultModel(fuzz_spec(rng))
+                                 .instantiate(p.scenario.application,
+                                              p.scenario.platform);
+    DispatchOptions options;
+    options.abort_on_miss = false;
+    const EdfDispatchScheduler scheduler(options);
+    DispatchTelemetry engine_tel, legacy_tel;
+    scheduler.run_into(engine, ws, p.scenario.application, p.assignment,
+                       p.scenario.platform, &trace.conditions, nullptr,
+                       &engine_tel);
+    const SchedulerResult want = legacy::dispatch_run(
+        p.scenario.application, p.assignment, p.scenario.platform, options,
+        &trace.conditions, nullptr, &legacy_tel);
+    const std::string context =
+        "fuzz it=" + std::to_string(it) + " " + context_of(kind, seed) +
+        " [" + trace.summary() + "]";
+    expect_same_result(want, engine, context);
+    expect_same_telemetry(legacy_tel, engine_tel, context);
+  }
+}
+
+/// Like prepare(), but the workload carries optional parts so shed-capable
+/// recovery policies have something to drop.
+Prepared prepare_imprecise(MetricKind kind, std::uint64_t seed) {
+  GeneratorConfig cfg = equivalence_generator(seed);
+  cfg.workload.min_optional_fraction = 0.2;
+  cfg.workload.max_optional_fraction = 0.6;
+  Prepared p{generate_scenario(cfg, seed), {}};
+  const auto est = estimate_wcets(p.scenario.application,
+                                  WcetEstimation::kAverage);
+  p.assignment =
+      run_slicing(p.scenario.application, est, DeadlineMetric(kind),
+                  p.scenario.platform.processor_count());
+  return p;
+}
+
+TEST(SchedulerEquivalence, DispatchRecoveryFuzzMatchesLegacyBitwise) {
+  // Every recovery policy over randomized fault traces on imprecise
+  // workloads: on_completion re-slices rewrite windows mid-run,
+  // on_processor_failure revives victims onto re-pinned processors, and the
+  // shed policies flip degraded-mode flags — each must surface through the
+  // event queue exactly as it did through the legacy rescans. The controls
+  // are stateful, so each side runs its own instance; identical inputs make
+  // their decision streams identical as long as the dispatch states agree.
+  constexpr RecoveryPolicy kPolicies[] = {
+      RecoveryPolicy::kRedistributeSlack, RecoveryPolicy::kMigrate,
+      RecoveryPolicy::kShedOptional, RecoveryPolicy::kDegradeThenMigrate};
+  std::mt19937_64 rng(0xFA57BEEFu);
+  SchedulerWorkspace ws;
+  SchedulerResult engine;
+  int it = 0;
+  for (const RecoveryPolicy policy : kPolicies) {
+    for (int r = 0; r < 5; ++r, ++it) {
+      const MetricKind kind = kAllMetrics[it % 4];
+      const std::uint64_t seed = 2000 + static_cast<std::uint64_t>(it);
+      const Prepared p = prepare_imprecise(kind, seed);
+      const FaultTrace trace = FaultModel(fuzz_spec(rng))
+                                   .instantiate(p.scenario.application,
+                                                p.scenario.platform);
+      const auto est = estimate_wcets(p.scenario.application,
+                                      WcetEstimation::kAverage);
+      DispatchOptions options;
+      options.abort_on_miss = false;
+      const EdfDispatchScheduler scheduler(options);
+      DispatchTelemetry engine_tel, legacy_tel;
+      RecoveryEngine engine_control(policy, p.scenario.application, est);
+      scheduler.run_into(engine, ws, p.scenario.application, p.assignment,
+                         p.scenario.platform, &trace.conditions,
+                         &engine_control, &engine_tel);
+      RecoveryEngine legacy_control(policy, p.scenario.application, est);
+      const SchedulerResult want = legacy::dispatch_run(
+          p.scenario.application, p.assignment, p.scenario.platform, options,
+          &trace.conditions, &legacy_control, &legacy_tel);
+      const std::string context =
+          "recovery fuzz policy=" + std::string(to_string(policy)) +
+          " it=" + std::to_string(it) + " " + context_of(kind, seed) + " [" +
+          trace.summary() + "]";
+      expect_same_result(want, engine, context);
+      expect_same_telemetry(legacy_tel, engine_tel, context);
+      SCOPED_TRACE(context);
+      EXPECT_EQ(legacy_control.stats().reslices,
+                engine_control.stats().reslices);
+      EXPECT_EQ(legacy_control.stats().migrations,
+                engine_control.stats().migrations);
+      EXPECT_EQ(legacy_control.stats().revived,
+                engine_control.stats().revived);
+      EXPECT_EQ(legacy_control.stats().abandoned,
+                engine_control.stats().abandoned);
+      EXPECT_EQ(legacy_control.stats().shed, engine_control.stats().shed);
+      EXPECT_EQ(legacy_control.stats().optional_dropped,
+                engine_control.stats().optional_dropped);
     }
   }
 }
