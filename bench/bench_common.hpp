@@ -6,12 +6,21 @@
 #pragma once
 
 #include <cstdio>
+#include <filesystem>
 #include <string>
 #include <thread>
 
 #include "dsslice/dsslice.hpp"
 
 namespace dsslice::bench {
+
+/// Scratch-file path in the system temp directory (checkpoints and other
+/// transient bench artifacts that must not land in the working tree).
+inline std::string temp_path(const std::string& name) {
+  std::error_code ec;
+  const std::filesystem::path dir = std::filesystem::temp_directory_path(ec);
+  return (ec ? std::filesystem::path{"."} / name : dir / name).string();
+}
 
 /// JSON object describing the measurement context: worker thread count,
 /// hardware concurrency, compiler, and build mode. Embedded in the perf

@@ -15,7 +15,9 @@
 // equivalence suite (tests/test_slicing_equivalence.cpp) asserts the two
 // produce bit-identical assignments; this harness asserts the cached timing
 // loops build zero GraphAnalysis instances, then reports speedups and
-// writes BENCH_slicing.json.
+// writes BENCH_slicing.json. Every size row averages over kRowSeeds
+// scenarios (same idiom as perf_scheduling) so one outlier DAG cannot skew
+// the row.
 #include <algorithm>
 #include <bit>
 #include <chrono>
@@ -355,6 +357,11 @@ GeneratorConfig sized_config(std::size_t tasks, std::size_t processors) {
   return cfg;
 }
 
+/// Scenarios averaged per row (mirrors perf_scheduling's kRowSeeds): one
+/// lucky or unlucky DAG must not skew a size's numbers, so every timing
+/// loop iterates all seeds per call and divides by the seed count.
+constexpr std::size_t kRowSeeds = 5;
+
 struct MetricRow {
   std::string name;
   double legacy_us = 0.0;
@@ -383,6 +390,7 @@ std::string to_json(const std::vector<SizeReport>& reports,
   std::string out = "{\n";
   out += "  \"benchmark\": \"slicing-hot-path\",\n";
   out += "  \"processors\": " + std::to_string(processors) + ",\n";
+  out += "  \"seeds_per_row\": " + std::to_string(kRowSeeds) + ",\n";
   out += "  \"machine\": " + bench::machine_json(1) + ",\n";
   out += "  \"metric_unit\": {\"build\": \"us\", \"weights\": \"us/call\", "
          "\"slicing\": \"scenarios/sec\"},\n";
@@ -428,23 +436,37 @@ SizeReport measure_size(std::size_t tasks, std::size_t processors,
   SizeReport report;
   report.tasks = tasks;
 
-  const Scenario sc = generate_scenario_at(sized_config(tasks, processors), 0);
-  const Application& app = sc.application;
-  const auto est = estimate_wcets(app, WcetEstimation::kAverage);
+  const GeneratorConfig cfg = sized_config(tasks, processors);
+  std::vector<Scenario> scenarios;
+  std::vector<std::vector<double>> ests;
+  scenarios.reserve(kRowSeeds);
+  ests.reserve(kRowSeeds);
+  for (std::size_t s = 0; s < kRowSeeds; ++s) {
+    scenarios.push_back(generate_scenario_at(cfg, s));
+    ests.push_back(
+        estimate_wcets(scenarios.back().application, WcetEstimation::kAverage));
+  }
+  const double inv = 1.0 / static_cast<double>(kRowSeeds);
 
   report.legacy_closure_build_us =
-      1e6 * time_per_call(min_seconds, 3, [&] {
-        legacy::Closure closure(app.graph());
-        volatile std::size_t sink = closure.parallel_set_size(0);
-        (void)sink;
+      1e6 * inv * time_per_call(min_seconds, 3, [&] {
+        for (const Scenario& sc : scenarios) {
+          legacy::Closure closure(sc.application.graph());
+          volatile std::size_t sink = closure.parallel_set_size(0);
+          (void)sink;
+        }
       });
-  report.analysis_build_us = 1e6 * time_per_call(min_seconds, 3, [&] {
-    GraphAnalysis analysis(app.graph());
-    volatile std::size_t sink = analysis.parallel_set_size(0);
-    (void)sink;
+  report.analysis_build_us = 1e6 * inv * time_per_call(min_seconds, 3, [&] {
+    for (const Scenario& sc : scenarios) {
+      GraphAnalysis analysis(sc.application.graph());
+      volatile std::size_t sink = analysis.parallel_set_size(0);
+      (void)sink;
+    }
   });
 
-  app.analysis();  // warm the memoized cache for every cached measurement
+  for (const Scenario& sc : scenarios) {
+    sc.application.analysis();  // warm the memoized cache
+  }
   const std::uint64_t constructions_before = GraphAnalysis::construction_count();
 
   MetricWorkspace metric_ws;
@@ -453,34 +475,49 @@ SizeReport measure_size(std::size_t tasks, std::size_t processors,
     const DeadlineMetric metric(kind);
     MetricRow row;
     row.name = to_string(kind);
-    row.legacy_us = 1e6 * time_per_call(min_seconds, 3, [&] {
-      volatile double sink =
-          legacy::weights(metric, app, est, processors).back();
-      (void)sink;
+    row.legacy_us = 1e6 * inv * time_per_call(min_seconds, 3, [&] {
+      for (std::size_t s = 0; s < kRowSeeds; ++s) {
+        volatile double sink =
+            legacy::weights(metric, scenarios[s].application, ests[s],
+                            processors)
+                .back();
+        (void)sink;
+      }
     });
-    row.cached_us = 1e6 * time_per_call(min_seconds, 3, [&] {
-      metric.weights_into(app, est, processors, nullptr, out, &metric_ws);
-      volatile double sink = out.back();
-      (void)sink;
+    row.cached_us = 1e6 * inv * time_per_call(min_seconds, 3, [&] {
+      for (std::size_t s = 0; s < kRowSeeds; ++s) {
+        metric.weights_into(scenarios[s].application, ests[s], processors,
+                            nullptr, out, &metric_ws);
+        volatile double sink = out.back();
+        (void)sink;
+      }
     });
     report.weights.push_back(row);
   }
 
   const DeadlineMetric adapt_l(MetricKind::kAdaptL);
-  const double legacy_slice_s = time_per_call(min_seconds, 3, [&] {
-    volatile double sink =
-        legacy::run_slicing(app, est, adapt_l, processors).windows[0].deadline;
-    (void)sink;
+  const double legacy_slice_s = inv * time_per_call(min_seconds, 3, [&] {
+    for (std::size_t s = 0; s < kRowSeeds; ++s) {
+      volatile double sink =
+          legacy::run_slicing(scenarios[s].application, ests[s], adapt_l,
+                              processors)
+              .windows[0]
+              .deadline;
+      (void)sink;
+    }
   });
   SlicingWorkspace slicing_ws;
   SlicingOptions options;
   options.workspace = &slicing_ws;
-  const double cached_slice_s = time_per_call(min_seconds, 3, [&] {
-    volatile double sink =
-        run_slicing(app, est, adapt_l, processors, nullptr, options)
-            .windows[0]
-            .deadline;
-    (void)sink;
+  const double cached_slice_s = inv * time_per_call(min_seconds, 3, [&] {
+    for (std::size_t s = 0; s < kRowSeeds; ++s) {
+      volatile double sink =
+          run_slicing(scenarios[s].application, ests[s], adapt_l, processors,
+                      nullptr, options)
+              .windows[0]
+              .deadline;
+      (void)sink;
+    }
   });
   report.legacy_slicing_per_sec = 1.0 / legacy_slice_s;
   report.cached_slicing_per_sec = 1.0 / cached_slice_s;

@@ -1,12 +1,13 @@
 #!/usr/bin/env bash
 # Performance benchmark driver: Release build + the hot-path harnesses.
-# Writes BENCH_slicing.json and BENCH_scheduling.json at the repo root (see
-# docs/PERFORMANCE.md for how to read them), plus a BENCH_*.metrics.jsonl
-# pipeline-stage breakdown next to each (docs/OBSERVABILITY.md), and runs
-# the perf_obs overhead gate. Extra arguments are forwarded to the slicing
-# and scheduling harnesses, e.g.
+# Writes BENCH_slicing.json, BENCH_scheduling.json and BENCH_sweep.json at
+# the repo root (see docs/PERFORMANCE.md for how to read them), plus a
+# BENCH_*.metrics.jsonl pipeline-stage breakdown next to each
+# (docs/OBSERVABILITY.md), and runs the perf_obs overhead gate. Extra
+# arguments are forwarded to the slicing and scheduling harnesses, e.g.
 #   scripts/bench.sh --smoke
 #   scripts/bench.sh --processors 8 --min-ms 500
+# (the sweep harness only understands --smoke, so it gets just that flag).
 set -euo pipefail
 
 root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -16,14 +17,25 @@ jobs="$(nproc 2>/dev/null || echo 4)"
 
 echo "==> configure [default]"
 cmake --preset default
-echo "==> build [perf_slicing perf_scheduling perf_obs]"
+echo "==> build [perf_slicing perf_scheduling perf_sweep perf_obs]"
 cmake --build --preset default -j "$jobs" --target perf_slicing \
-  --target perf_scheduling --target perf_obs
+  --target perf_scheduling --target perf_sweep --target perf_obs
+
+# The sweep harness takes its own flags (--scenarios, not --processors /
+# --min-ms), so only --smoke is forwarded.
+sweep_args=()
+for arg in "$@"; do
+  [ "$arg" = "--smoke" ] && sweep_args+=(--smoke)
+done
+
 echo "==> run [perf_slicing]"
 ./build/bench/perf_slicing --json "$root/BENCH_slicing.json" "$@"
 echo "==> run [perf_scheduling]"
 ./build/bench/perf_scheduling --json "$root/BENCH_scheduling.json" \
   --min-ms 800 "$@"
+echo "==> run [perf_sweep] (million-scenario streaming run)"
+./build/bench/perf_sweep --json "$root/BENCH_sweep.json" \
+  ${sweep_args[@]+"${sweep_args[@]}"}
 echo "==> run [perf_obs] (disabled-overhead gate)"
 ./build/bench/perf_obs --json "$root/BENCH_obs.json"
 
@@ -37,3 +49,5 @@ echo "==> archive [stage metrics breakdowns]"
   --metrics "$root/BENCH_slicing.metrics.jsonl" > /dev/null
 ./build/bench/perf_scheduling --smoke \
   --metrics "$root/BENCH_scheduling.metrics.jsonl" > /dev/null
+./build/bench/perf_sweep --smoke \
+  --metrics "$root/BENCH_sweep.metrics.jsonl" > /dev/null

@@ -1,39 +1,55 @@
 #!/usr/bin/env python3
-"""Diff a fresh perf_scheduling run against the committed baseline.
+"""Diff a fresh perf bench run against its committed baseline.
 
 Usage:
-    scripts/bench_compare.py FRESH.json [--baseline BENCH_scheduling.json]
+    scripts/bench_compare.py FRESH.json [--baseline BENCH_xxx.json]
                              [--tolerance 0.5] [--strict-e2e]
                              [--correctness-only]
 
-Both files are perf_scheduling --json outputs. The comparator fails (exit 1)
-when:
+The document kind is auto-detected from the "benchmark" field, and the
+baseline defaults to the committed file for that kind:
 
-  * a fresh engine row reports identical=false or warm_grow_events != 0
-    (bit-identity to the legacy scheduler and the zero-warm-path-allocation
-    guarantee are correctness gates, not perf numbers, so no tolerance);
-  * an engine row present in both files lost more than --tolerance of its
-    committed speedup (relative band: fresh >= baseline * (1 - tolerance)).
-    Rows are matched on (tasks, engine); sizes only one side measured —
-    e.g. a --smoke run against the full baseline — are skipped, but at
-    least one row must match or the comparison is vacuous and fails.
+  * "scheduler-engine"  (perf_scheduling) -> BENCH_scheduling.json
+  * "slicing-hot-path"  (perf_slicing)    -> BENCH_slicing.json
+  * "sweep-engine"      (perf_sweep)      -> BENCH_sweep.json
 
-End-to-end rows are noisy on shared hardware (they include generation and
-slicing), so they are reported but only enforced under --strict-e2e.
+Correctness gates fail (exit 1) with no tolerance — they are invariants,
+not perf numbers:
 
---correctness-only keeps the identity / zero-allocation gates and the
-row-overlap requirement but reports speedups without enforcing the band.
-Use it when the fresh run's cost model is not comparable to the committed
-baseline — e.g. an ASan/UBSan build, whose instrumentation inflates the
-engine and legacy sides by different factors.
+  * scheduling: engine rows must report identical=true and
+    warm_grow_events == 0;
+  * slicing: cached timing loops must build zero GraphAnalysis instances
+    (cached_loop_analysis_constructions == 0);
+  * sweep: generation/resume/thread bit-identity gates must be true,
+    steady_grow_events must be 0, and the generation speedup must clear the
+    floor recorded in the document (the bench itself also enforces it).
+
+Speedup bands compare rows present in both files (relative band:
+fresh >= baseline * (1 - tolerance)); rows only one side measured — e.g. a
+--smoke run against the full baseline — are skipped, but at least one row
+must match or the comparison is vacuous and fails. End-to-end rows are
+noisy on shared hardware, so they are reported but only enforced under
+--strict-e2e.
+
+--correctness-only keeps the gates and the row-overlap requirement but
+reports speedups without enforcing the band. Use it when the fresh run's
+cost model is not comparable to the committed baseline — e.g. an
+ASan/UBSan build, whose instrumentation inflates the two sides of each
+ratio by different factors.
 
 Speedups regress loudly here instead of rotting silently: check.sh runs this
-against every fresh smoke bench, and scripts/bench.sh refreshes the baseline.
+against every fresh smoke bench, and scripts/bench.sh refreshes the baselines.
 """
 
 import argparse
 import json
 import sys
+
+DEFAULT_BASELINES = {
+    "scheduler-engine": "BENCH_scheduling.json",
+    "slicing-hot-path": "BENCH_slicing.json",
+    "sweep-engine": "BENCH_sweep.json",
+}
 
 
 def load(path):
@@ -42,6 +58,48 @@ def load(path):
             return json.load(f)
     except (OSError, ValueError) as e:
         sys.exit(f"bench_compare: cannot read {path}: {e}")
+
+
+class Comparison:
+    """Shared failure/row accounting for all document kinds."""
+
+    def __init__(self, args):
+        self.args = args
+        self.failures = []
+        self.compared = 0
+
+    def band(self, label, got, want):
+        floor = want * (1.0 - self.args.tolerance)
+        ok = self.args.correctness_only or got >= floor
+        self.compared += 1
+        note = " (informational)" if self.args.correctness_only else ""
+        print(
+            f"  {label:<32} baseline {want:6.2f}x fresh {got:6.2f}x  "
+            f"floor {floor:5.2f}x  {'ok' if ok else 'REGRESSED'}{note}"
+        )
+        if not ok:
+            self.failures.append(
+                f"{label}: speedup {got:.2f}x below {floor:.2f}x "
+                f"({want:.2f}x baseline - {self.args.tolerance:.0%})"
+            )
+
+    def informational(self, label, got, want, enforce):
+        floor = want * (1.0 - self.args.tolerance)
+        ok = got >= floor
+        enforced = "" if enforce else " (informational)"
+        print(
+            f"  {label:<32} baseline {want:6.2f}x fresh {got:6.2f}x  "
+            f"floor {floor:5.2f}x  {'ok' if ok else 'REGRESSED'}{enforced}"
+        )
+        if not ok and enforce:
+            self.failures.append(
+                f"{label}: speedup {got:.2f}x below {floor:.2f}x"
+            )
+
+
+# ---------------------------------------------------------------------------
+# scheduler-engine (perf_scheduling)
+# ---------------------------------------------------------------------------
 
 
 def engine_rows(doc):
@@ -60,16 +118,140 @@ def e2e_rows(doc):
     }
 
 
+def compare_scheduling(cmp, fresh, baseline):
+    fresh_rows = engine_rows(fresh)
+    base_rows = engine_rows(baseline)
+
+    # Correctness gates on every fresh row, matched or not.
+    for (tasks, engine), row in sorted(fresh_rows.items()):
+        if not row.get("identical", False):
+            cmp.failures.append(
+                f"n={tasks} {engine}: engine result diverged from legacy "
+                "(identical=false)"
+            )
+        if row.get("warm_grow_events", 0) != 0:
+            cmp.failures.append(
+                f"n={tasks} {engine}: warm path grew "
+                f"{row['warm_grow_events']} buffer(s)"
+            )
+
+    for key in sorted(set(fresh_rows) & set(base_rows)):
+        tasks, engine = key
+        cmp.band(
+            f"n={tasks} {engine}",
+            fresh_rows[key].get("speedup", 0.0),
+            base_rows[key].get("speedup", 0.0),
+        )
+
+    for key in sorted(set(e2e_rows(fresh)) & set(e2e_rows(baseline))):
+        tasks, algorithm = key
+        cmp.informational(
+            f"n={tasks} e2e {algorithm}",
+            e2e_rows(fresh)[key].get("speedup", 0.0),
+            e2e_rows(baseline)[key].get("speedup", 0.0),
+            cmp.args.strict_e2e,
+        )
+
+
+# ---------------------------------------------------------------------------
+# slicing-hot-path (perf_slicing)
+# ---------------------------------------------------------------------------
+
+
+def slicing_rows(doc):
+    """{(tasks, label): speedup} over weights and end-to-end slicing rows."""
+    rows = {}
+    for size in doc.get("sizes", []):
+        tasks = size.get("tasks")
+        for row in size.get("weights", []):
+            rows[(tasks, f"weights {row.get('metric')}")] = row.get(
+                "speedup", 0.0
+            )
+        adapt = size.get("slicing_adapt_l", {})
+        if adapt:
+            rows[(tasks, "slicing ADAPT-L")] = adapt.get("speedup", 0.0)
+    return rows
+
+
+def compare_slicing(cmp, fresh, baseline):
+    # Correctness gate: the cached timing loops must never rebuild the
+    # memoized graph analysis.
+    for size in fresh.get("sizes", []):
+        rebuilds = size.get("cached_loop_analysis_constructions", 0)
+        if rebuilds != 0:
+            cmp.failures.append(
+                f"n={size.get('tasks')}: cached loops rebuilt the graph "
+                f"analysis {rebuilds} time(s)"
+            )
+
+    fresh_rows = slicing_rows(fresh)
+    base_rows = slicing_rows(baseline)
+    for key in sorted(set(fresh_rows) & set(base_rows)):
+        tasks, label = key
+        cmp.band(f"n={tasks} {label}", fresh_rows[key], base_rows[key])
+
+
+# ---------------------------------------------------------------------------
+# sweep-engine (perf_sweep)
+# ---------------------------------------------------------------------------
+
+
+def compare_sweep(cmp, fresh, baseline):
+    gates = fresh.get("gates", {})
+    for gate in ("generation_identical", "resume_identical",
+                 "thread_identical"):
+        if not gates.get(gate, False):
+            cmp.failures.append(f"sweep gate {gate} is false")
+    if gates.get("steady_grow_events", -1) != 0:
+        cmp.failures.append(
+            "sweep warm path grew "
+            f"{gates.get('steady_grow_events')} buffer(s) in steady state"
+        )
+
+    fresh_gen = fresh.get("generation", {}).get("speedup", 0.0)
+    gen_floor = gates.get("generation_speedup_floor", 2.0)
+    if fresh_gen < gen_floor:
+        cmp.failures.append(
+            f"generation speedup {fresh_gen:.2f}x below the absolute "
+            f"floor of {gen_floor:.2f}x"
+        )
+
+    base_gen = baseline.get("generation", {}).get("speedup", 0.0)
+    if base_gen > 0.0:
+        cmp.band("generation (batched vs legacy)", fresh_gen, base_gen)
+
+    fresh_e2e = fresh.get("end_to_end", {}).get("speedup", 0.0)
+    base_e2e = baseline.get("end_to_end", {}).get("speedup", 0.0)
+    if base_e2e > 0.0:
+        cmp.informational(
+            "end-to-end (sweep vs legacy)",
+            fresh_e2e,
+            base_e2e,
+            cmp.args.strict_e2e,
+        )
+
+    if not fresh.get("sweep_run", {}).get("complete", False):
+        cmp.failures.append("sweep streaming run did not complete")
+
+
+COMPARATORS = {
+    "scheduler-engine": compare_scheduling,
+    "slicing-hot-path": compare_slicing,
+    "sweep-engine": compare_sweep,
+}
+
+
 def main():
     parser = argparse.ArgumentParser(
-        description="Compare a fresh perf_scheduling run to the committed "
-        "baseline speedups."
+        description="Compare a fresh perf bench run to its committed "
+        "baseline (kind auto-detected from the 'benchmark' field)."
     )
-    parser.add_argument("fresh", help="fresh perf_scheduling --json output")
+    parser.add_argument("fresh", help="fresh perf_* --json output")
     parser.add_argument(
         "--baseline",
-        default="BENCH_scheduling.json",
-        help="committed baseline (default: %(default)s)",
+        default=None,
+        help="committed baseline (default: the BENCH_*.json for the "
+        "detected kind)",
     )
     parser.add_argument(
         "--tolerance",
@@ -85,89 +267,50 @@ def main():
     parser.add_argument(
         "--correctness-only",
         action="store_true",
-        help="enforce only the identity/allocation gates; report speedups "
-        "without the tolerance band (for builds whose cost model is not "
-        "comparable to the baseline, e.g. sanitizers)",
+        help="enforce only the correctness gates; report speedups without "
+        "the tolerance band (for builds whose cost model is not comparable "
+        "to the baseline, e.g. sanitizers)",
     )
     args = parser.parse_args()
     if not 0.0 <= args.tolerance < 1.0:
         sys.exit("bench_compare: --tolerance must be in [0, 1)")
 
     fresh = load(args.fresh)
-    baseline = load(args.baseline)
-
-    failures = []
-    compared = 0
-
-    fresh_rows = engine_rows(fresh)
-    base_rows = engine_rows(baseline)
-
-    # Correctness gates on every fresh row, matched or not.
-    for (tasks, engine), row in sorted(fresh_rows.items()):
-        if not row.get("identical", False):
-            failures.append(
-                f"n={tasks} {engine}: engine result diverged from legacy "
-                "(identical=false)"
-            )
-        if row.get("warm_grow_events", 0) != 0:
-            failures.append(
-                f"n={tasks} {engine}: warm path grew "
-                f"{row['warm_grow_events']} buffer(s)"
-            )
-
-    # Speedup band on the rows both files measured.
-    for key in sorted(set(fresh_rows) & set(base_rows)):
-        tasks, engine = key
-        got = fresh_rows[key].get("speedup", 0.0)
-        want = base_rows[key].get("speedup", 0.0)
-        floor = want * (1.0 - args.tolerance)
-        ok = args.correctness_only or got >= floor
-        compared += 1
-        note = " (informational)" if args.correctness_only else ""
-        print(
-            f"  n={tasks:>5} {engine:<14} baseline {want:6.2f}x "
-            f"fresh {got:6.2f}x  floor {floor:5.2f}x  "
-            f"{'ok' if ok else 'REGRESSED'}{note}"
+    kind = fresh.get("benchmark")
+    if kind not in COMPARATORS:
+        sys.exit(
+            f"bench_compare: unknown benchmark kind {kind!r} in {args.fresh} "
+            f"(expected one of {sorted(COMPARATORS)})"
         )
-        if not ok:
-            failures.append(
-                f"n={tasks} {engine}: speedup {got:.2f}x below "
-                f"{floor:.2f}x ({want:.2f}x baseline - {args.tolerance:.0%})"
-            )
-
-    for key in sorted(set(e2e_rows(fresh)) & set(e2e_rows(baseline))):
-        tasks, algorithm = key
-        got = e2e_rows(fresh)[key].get("speedup", 0.0)
-        want = e2e_rows(baseline)[key].get("speedup", 0.0)
-        floor = want * (1.0 - args.tolerance)
-        ok = got >= floor
-        enforced = "" if args.strict_e2e else " (informational)"
-        print(
-            f"  n={tasks:>5} e2e {algorithm:<10} baseline {want:6.2f}x "
-            f"fresh {got:6.2f}x  floor {floor:5.2f}x  "
-            f"{'ok' if ok else 'REGRESSED'}{enforced}"
-        )
-        if not ok and args.strict_e2e:
-            failures.append(
-                f"n={tasks} e2e {algorithm}: speedup {got:.2f}x below "
-                f"{floor:.2f}x"
-            )
-
-    if compared == 0:
-        failures.append(
-            "no engine rows in common between fresh run and baseline "
-            "(size/engine mismatch?)"
+    baseline_path = args.baseline or DEFAULT_BASELINES[kind]
+    baseline = load(baseline_path)
+    base_kind = baseline.get("benchmark")
+    if base_kind != kind:
+        sys.exit(
+            f"bench_compare: kind mismatch: fresh is {kind!r} but baseline "
+            f"{baseline_path} is {base_kind!r}"
         )
 
-    if failures:
+    cmp = Comparison(args)
+    COMPARATORS[kind](cmp, fresh, baseline)
+
+    if cmp.compared == 0:
+        cmp.failures.append(
+            "no rows in common between fresh run and baseline "
+            "(size/row mismatch?)"
+        )
+
+    if cmp.failures:
         print("bench_compare: FAIL", file=sys.stderr)
-        for f in failures:
+        for f in cmp.failures:
             print(f"  - {f}", file=sys.stderr)
         return 1
     what = (
-        "correctness-gated" if args.correctness_only else "within tolerance"
+        "correctness-gated"
+        if args.correctness_only
+        else "within tolerance"
     )
-    print(f"bench_compare: OK ({compared} engine row(s) {what})")
+    print(f"bench_compare: OK ({cmp.compared} {kind} row(s) {what})")
     return 0
 
 

@@ -28,7 +28,10 @@ done
 # instrumented pass whose trace/metrics are validated by tools/trace_check
 # and must carry the dispatcher event-queue counters.
 echo "==> bench smoke [perf_slicing]"
-./build/bench/perf_slicing --smoke
+mkdir -p ./build/slicing-smoke
+./build/bench/perf_slicing --smoke --json ./build/slicing-smoke/slicing.json
+python3 scripts/bench_compare.py ./build/slicing-smoke/slicing.json \
+  --baseline BENCH_slicing.json --tolerance 0.6
 scheduling_smoke() {
   local build="$1"; shift
   local tag="${build##*/}"
@@ -57,6 +60,38 @@ echo "==> bench smoke [perf_scheduling, default]"
 scheduling_smoke ./build
 echo "==> bench smoke [perf_scheduling, sanitize]"
 scheduling_smoke ./build-sanitize --correctness-only
+
+# Sweep smoke: the batched sweep engine on a tiny scenario count, under both
+# presets. perf_sweep --smoke re-checks the bit-identity gates (batched vs
+# single generation, resume vs uninterrupted, 1 vs N threads) and the
+# steady-state zero-allocation gate — all of which must also hold under
+# ASan/UBSan — and its JSON is diffed against the committed BENCH_sweep.json.
+# A short instrumented sweep_runner pass then validates the engine's
+# trace/metrics exports with tools/trace_check.
+sweep_smoke() {
+  local build="$1"; shift
+  local tag="${build##*/}"
+  local out="$build/sweep-smoke"
+  mkdir -p "$out"
+  "$build/bench/perf_sweep" --smoke --json "$out/sweep.json" \
+    --checkpoint "$out/bench.ckpt" > "$out/stdout.txt"
+  python3 scripts/bench_compare.py "$out/sweep.json" \
+    --baseline BENCH_sweep.json --tolerance 0.6 "$@"
+  "$build/tools/sweep_runner" --scenarios 2048 --shard-size 256 \
+    --checkpoint "$out/runner.ckpt" --checkpoint-every 2 \
+    --trace "$out/trace.json" --metrics "$out/metrics.jsonl" > /dev/null
+  "$build/tools/trace_check" "$out/trace.json"
+  "$build/tools/trace_check" --jsonl "$out/metrics.jsonl"
+  for counter in sweep.shards_completed sweep.checkpoints_written \
+                 sweep.scenarios_per_sec; do
+    grep -q "$counter" "$out/metrics.jsonl" ||
+      { echo "sweep smoke [$tag]: metrics missing $counter" >&2; exit 1; }
+  done
+}
+echo "==> sweep smoke [default]"
+sweep_smoke ./build
+echo "==> sweep smoke [sanitize]"
+sweep_smoke ./build-sanitize --correctness-only
 
 # Degradation smoke: the graceful-degradation surface on a tiny grid, under
 # both presets (the sanitize pass covers the shed/migrate recovery paths and

@@ -52,11 +52,16 @@ double estimate_wcet(const Task& task, WcetEstimation strategy) {
 std::vector<double> estimate_wcets(const Application& app,
                                    WcetEstimation strategy) {
   std::vector<double> out;
-  out.reserve(app.task_count());
-  for (NodeId i = 0; i < app.task_count(); ++i) {
-    out.push_back(estimate_wcet(app.task(i), strategy));
-  }
+  estimate_wcets_into(app, strategy, out);
   return out;
+}
+
+void estimate_wcets_into(const Application& app, WcetEstimation strategy,
+                         std::vector<double>& out) {
+  out.resize(app.task_count());
+  for (NodeId i = 0; i < app.task_count(); ++i) {
+    out[i] = estimate_wcet(app.task(i), strategy);
+  }
 }
 
 std::vector<double> mandatory_estimates(const Application& app,

@@ -28,6 +28,10 @@ std::string to_string(WcetEstimation strategy);
 std::vector<double> estimate_wcets(const Application& app,
                                    WcetEstimation strategy);
 
+/// Allocation-free variant writing into a reusable buffer (batch sweeps).
+void estimate_wcets_into(const Application& app, WcetEstimation strategy,
+                         std::vector<double>& out);
+
 /// Single-task variant.
 double estimate_wcet(const Task& task, WcetEstimation strategy);
 

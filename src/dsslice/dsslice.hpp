@@ -31,6 +31,7 @@
 #include "dsslice/gen/generator_config.hpp"
 #include "dsslice/gen/platform_generator.hpp"
 #include "dsslice/gen/rng.hpp"
+#include "dsslice/gen/scenario_batch.hpp"
 #include "dsslice/gen/taskgraph_generator.hpp"
 #include "dsslice/graph/algorithms.hpp"
 #include "dsslice/graph/closure.hpp"
@@ -69,6 +70,9 @@
 #include "dsslice/sim/runner.hpp"
 #include "dsslice/sim/serialization.hpp"
 #include "dsslice/sim/sweeps.hpp"
+#include "dsslice/sweep/aggregate.hpp"
+#include "dsslice/sweep/checkpoint.hpp"
+#include "dsslice/sweep/sweep_engine.hpp"
 #include "dsslice/util/check.hpp"
 #include "dsslice/util/cli.hpp"
 #include "dsslice/util/stats.hpp"

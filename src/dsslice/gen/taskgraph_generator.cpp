@@ -13,42 +13,45 @@ namespace dsslice {
 namespace {
 
 /// Distributes `n` tasks over `depth` levels, at least one per level; the
-/// surplus is spread uniformly at random. Returns per-level task counts.
-std::vector<std::size_t> draw_level_sizes(std::size_t n, std::size_t depth,
-                                          Xoshiro256& rng) {
-  std::vector<std::size_t> sizes(depth, 1);
+/// surplus is spread uniformly at random. Fills scratch.level_sizes and the
+/// per-level start ids (node ids are assigned consecutively by level, so a
+/// level is fully described by its [start, start + size) range).
+void draw_level_sizes(std::size_t n, std::size_t depth, Xoshiro256& rng,
+                      GeneratorScratch& scratch) {
+  scratch.fill(scratch.level_sizes, depth, std::size_t{1});
   for (std::size_t extra = 0; extra < n - depth; ++extra) {
     const auto level = static_cast<std::size_t>(
         rng.uniform_int(0, static_cast<std::int64_t>(depth) - 1));
-    ++sizes[level];
+    ++scratch.level_sizes[level];
   }
-  return sizes;
+  scratch.fill(scratch.level_start, depth, NodeId{0});
+  NodeId next = 0;
+  for (std::size_t l = 0; l < depth; ++l) {
+    scratch.level_start[l] = next;
+    next += static_cast<NodeId>(scratch.level_sizes[l]);
+  }
 }
 
 /// Draws the layered precedence structure: each task beyond level 0 picks
 /// 1–3 predecessors from the previous level (preferring predecessors that
 /// still have spare out-degree); level-ℓ tasks without successors are then
 /// wired forward so only the last level contains output tasks.
-TaskGraph draw_structure(const WorkloadConfig& cfg, std::size_t n,
-                         std::size_t depth, Xoshiro256& rng) {
-  const auto sizes = draw_level_sizes(n, depth, rng);
-  std::vector<std::vector<NodeId>> levels(depth);
-  TaskGraph g(n);
-  {
-    NodeId next = 0;
-    for (std::size_t l = 0; l < depth; ++l) {
-      for (std::size_t k = 0; k < sizes[l]; ++k) {
-        levels[l].push_back(next++);
-      }
-    }
-  }
+void draw_structure_into(TaskGraph& g, const WorkloadConfig& cfg,
+                         std::size_t n, std::size_t depth, Xoshiro256& rng,
+                         GeneratorScratch& scratch) {
+  draw_level_sizes(n, depth, rng, scratch);
+  g.reset(n);
 
-  // Tasks at earlier levels than l, for the any-earlier edge mode.
-  std::vector<NodeId> earlier;
+  // Node ids are consecutive by level, so the previous level is the id
+  // range [prev_start, start) and "any earlier level" is [0, start) — the
+  // same enumeration orders the materialized pools used to have, hence the
+  // same uniform_int draws.
   for (std::size_t l = 1; l < depth; ++l) {
-    const auto& prev = levels[l - 1];
-    earlier.insert(earlier.end(), prev.begin(), prev.end());
-    for (const NodeId v : levels[l]) {
+    const NodeId prev_start = scratch.level_start[l - 1];
+    const NodeId start = scratch.level_start[l];
+    const NodeId end = start + static_cast<NodeId>(scratch.level_sizes[l]);
+    const std::size_t prev_size = scratch.level_sizes[l - 1];
+    for (NodeId v = start; v < end; ++v) {
       const auto want = static_cast<std::size_t>(rng.uniform_int(
           static_cast<std::int64_t>(cfg.min_degree),
           static_cast<std::int64_t>(cfg.max_degree)));
@@ -56,26 +59,33 @@ TaskGraph draw_structure(const WorkloadConfig& cfg, std::size_t n,
       // One predecessor always comes from the immediately preceding level:
       // it pins v's topological depth to its layer. Prefer predecessors with
       // spare out-capacity so out-degrees also stay in the configured band.
-      std::vector<NodeId> with_capacity;
-      for (const NodeId u : prev) {
+      scratch.with_capacity.clear();
+      for (NodeId u = prev_start; u < start; ++u) {
         if (g.out_degree(u) < cfg.max_degree) {
-          with_capacity.push_back(u);
+          scratch.push(scratch.with_capacity, u);
         }
       }
-      const std::vector<NodeId>& anchor_pool =
-          with_capacity.empty() ? prev : with_capacity;
+      const std::size_t anchor_count = scratch.with_capacity.empty()
+                                           ? prev_size
+                                           : scratch.with_capacity.size();
       const auto a = static_cast<std::size_t>(rng.uniform_int(
-          0, static_cast<std::int64_t>(anchor_pool.size()) - 1));
-      g.add_arc(anchor_pool[a], v);
+          0, static_cast<std::int64_t>(anchor_count) - 1));
+      const NodeId anchor = scratch.with_capacity.empty()
+                                ? prev_start + static_cast<NodeId>(a)
+                                : scratch.with_capacity[a];
+      g.add_arc(anchor, v);
 
       // Remaining predecessors per the edge-locality mode.
-      const std::vector<NodeId>& extra_pool =
-          cfg.edge_locality == EdgeLocality::kAnyEarlierLevel ? earlier : prev;
-      std::size_t extra = std::min(want, extra_pool.size()) - 1;
+      const bool any_earlier =
+          cfg.edge_locality == EdgeLocality::kAnyEarlierLevel;
+      const NodeId pool_base = any_earlier ? 0 : prev_start;
+      const std::size_t pool_size =
+          any_earlier ? static_cast<std::size_t>(start) : prev_size;
+      std::size_t extra = std::min(want, pool_size) - 1;
       for (std::size_t k = 0; k < extra; ++k) {
         const auto j = static_cast<std::size_t>(rng.uniform_int(
-            0, static_cast<std::int64_t>(extra_pool.size()) - 1));
-        const NodeId u = extra_pool[j];
+            0, static_cast<std::int64_t>(pool_size) - 1));
+        const NodeId u = pool_base + static_cast<NodeId>(j);
         if (!g.has_arc(u, v)) {
           g.add_arc(u, v);
         }
@@ -83,31 +93,31 @@ TaskGraph draw_structure(const WorkloadConfig& cfg, std::size_t n,
     }
     // Every previous-level task must have at least one successor (only the
     // final level may contain output tasks).
-    for (const NodeId u : prev) {
+    for (NodeId u = prev_start; u < start; ++u) {
       if (g.out_degree(u) != 0) {
         continue;
       }
       // Prefer a current-level task with spare in-capacity.
-      std::vector<NodeId> candidates;
-      for (const NodeId v : levels[l]) {
+      scratch.candidates.clear();
+      for (NodeId v = start; v < end; ++v) {
         if (g.in_degree(v) < cfg.max_degree && !g.has_arc(u, v)) {
-          candidates.push_back(v);
+          scratch.push(scratch.candidates, v);
         }
       }
-      if (candidates.empty()) {
-        for (const NodeId v : levels[l]) {
+      if (scratch.candidates.empty()) {
+        for (NodeId v = start; v < end; ++v) {
           if (!g.has_arc(u, v)) {
-            candidates.push_back(v);
+            scratch.push(scratch.candidates, v);
           }
         }
       }
-      DSSLICE_CHECK(!candidates.empty(), "level with no attachable successor");
+      DSSLICE_CHECK(!scratch.candidates.empty(),
+                    "level with no attachable successor");
       const auto j = static_cast<std::size_t>(rng.uniform_int(
-          0, static_cast<std::int64_t>(candidates.size()) - 1));
-      g.add_arc(u, candidates[j]);
+          0, static_cast<std::int64_t>(scratch.candidates.size()) - 1));
+      g.add_arc(u, scratch.candidates[j]);
     }
   }
-  return g;
 }
 
 /// Draws a message size whose expectation matches the configured CCR.
@@ -133,8 +143,21 @@ double draw_message_items(const WorkloadConfig& cfg, Xoshiro256& rng) {
 Application generate_application(const WorkloadConfig& config,
                                  const Platform& platform, Xoshiro256& rng,
                                  ClassModel class_model,
-                                 double class_deviation) {
+                                 double class_deviation,
+                                 GeneratorScratch* scratch) {
+  Application app{TaskGraph{}, std::vector<Task>{}};
+  generate_application_into(app, config, platform, rng, class_model,
+                            class_deviation, scratch);
+  return app;
+}
+
+void generate_application_into(Application& app, const WorkloadConfig& config,
+                               const Platform& platform, Xoshiro256& rng,
+                               ClassModel class_model, double class_deviation,
+                               GeneratorScratch* scratch) {
   DSSLICE_SPAN("gen.taskgraph");
+  GeneratorScratch local_scratch;
+  GeneratorScratch& scr = scratch != nullptr ? *scratch : local_scratch;
   const auto n = static_cast<std::size_t>(
       rng.uniform_int(static_cast<std::int64_t>(config.min_tasks),
                       static_cast<std::int64_t>(config.max_tasks)));
@@ -143,36 +166,44 @@ Application generate_application(const WorkloadConfig& config,
                       static_cast<std::int64_t>(config.max_depth)));
   DSSLICE_REQUIRE(depth <= n, "graph depth exceeds task count");
 
-  TaskGraph structure = draw_structure(config, n, depth, rng);
-  // Arc message sizes per CCR.
-  TaskGraph g(n);
-  for (const Arc& a : structure.arcs()) {
-    g.add_arc(a.from, a.to, draw_message_items(config, rng));
+  // Structure draws first, then message sizes per CCR in arc-insertion
+  // order — the same total draw order the former two-graph build used, over
+  // a single recycled graph.
+  draw_structure_into(scr.graph, config, n, depth, rng, scr);
+  scr.fill(scr.message_items, scr.graph.arc_count(), 0.0);
+  for (std::size_t k = 0; k < scr.message_items.size(); ++k) {
+    scr.message_items[k] = draw_message_items(config, rng);
   }
+  scr.graph.assign_message_items(scr.message_items);
 
   // Classes that actually have processors: eligibility must keep at least
   // one of these per task or the task could never be scheduled.
   const std::size_t class_count = platform.class_count();
-  std::vector<ProcessorClassId> populated;
+  scr.populated.clear();
   for (ProcessorClassId e = 0; e < class_count; ++e) {
     if (platform.processors_in_class(e) > 0) {
-      populated.push_back(e);
+      scr.push(scr.populated, e);
     }
   }
+  std::vector<ProcessorClassId>& populated = scr.populated;
   DSSLICE_CHECK(!populated.empty(), "platform without populated classes");
 
   const double c_mean = config.mean_execution_time;
-  std::vector<Task> tasks(n);
+  scr.resize_task_slots(n);
   for (NodeId i = 0; i < n; ++i) {
-    Task& t = tasks[i];
-    t.name = "t" + std::to_string(i);
+    Task& t = scr.tasks[i];
+    t.name = "t" + std::to_string(i);  // SSO: no heap for generated names
+    // Reset recycled-slot state the loops below do not overwrite.
+    t.phasing = kTimeZero;
+    t.period = kTimeZero;
+    t.optional_fraction = 0.0;
     // Base execution time under the configured ETD.
     const double base =
         config.etd == 0.0
             ? c_mean
             : rng.uniform(c_mean * (1.0 - config.etd),
                           c_mean * (1.0 + config.etd));
-    t.wcet_by_class.resize(class_count);
+    scr.resize(t.wcet_by_class, class_count);
     for (ProcessorClassId e = 0; e < class_count; ++e) {
       const double scale =
           class_model == ClassModel::kUniformFactors
@@ -182,7 +213,10 @@ Application generate_application(const WorkloadConfig& config,
       t.wcet_by_class[e] = std::max(1.0, std::round(base * scale));
     }
     // 5% per-(task, class) ineligibility; keep >= 1 populated class.
-    const std::vector<double> drawn = t.wcet_by_class;
+    scr.fill(scr.drawn_wcet, t.wcet_by_class.size(), 0.0);
+    std::copy(t.wcet_by_class.begin(), t.wcet_by_class.end(),
+              scr.drawn_wcet.begin());
+    const std::vector<double>& drawn = scr.drawn_wcet;
     for (ProcessorClassId e = 0; e < class_count; ++e) {
       if (rng.bernoulli(config.ineligible_probability)) {
         t.wcet_by_class[e] = kIneligibleWcet;
@@ -199,7 +233,9 @@ Application generate_application(const WorkloadConfig& config,
     }
   }
 
-  Application app(std::move(g), std::move(tasks));
+  // Trade the freshly drawn storage for the target's previous storage; the
+  // scratch recycles that capacity on the next call.
+  app.rebuild_swap(scr.graph, scr.tasks);
 
   // E-T-E deadline from the OLR over the average accumulated workload
   // (mean WCET across eligible classes, summed over all tasks).
@@ -216,7 +252,12 @@ Application generate_application(const WorkloadConfig& config,
     }
     avg_workload += sum / static_cast<double>(k);
   }
-  for (const NodeId out : app.graph().output_nodes()) {
+  // Direct ascending scans visit outputs/inputs in the same order as the
+  // materialized output_nodes()/input_nodes() lists, without allocating.
+  for (NodeId out = 0; out < n; ++out) {
+    if (!app.graph().is_output(out)) {
+      continue;
+    }
     const double spread =
         config.olr_spread == 0.0
             ? 1.0
@@ -224,8 +265,10 @@ Application generate_application(const WorkloadConfig& config,
     app.set_ete_deadline(out,
                          std::round(config.olr * avg_workload * spread));
   }
-  for (const NodeId in : app.graph().input_nodes()) {
-    app.set_input_arrival(in, kTimeZero);
+  for (NodeId in = 0; in < n; ++in) {
+    if (app.graph().is_input(in)) {
+      app.set_input_arrival(in, kTimeZero);
+    }
   }
 
   // Imprecise-computation splits, drawn after every other draw so that a
@@ -238,20 +281,36 @@ Application generate_application(const WorkloadConfig& config,
           config.min_optional_fraction, config.max_optional_fraction);
     }
   }
-  return app;
 }
 
 Scenario generate_scenario(const GeneratorConfig& config, std::uint64_t seed) {
+  config.validate();
+  return generate_scenario_with(config, seed, nullptr);
+}
+
+Scenario generate_scenario_with(const GeneratorConfig& config,
+                                std::uint64_t seed,
+                                GeneratorScratch* scratch) {
   DSSLICE_SPAN("gen.scenario");
   DSSLICE_COUNT("gen.scenarios", 1);
-  config.validate();
   Xoshiro256 rng(seed);
   Platform platform = generate_platform(config.platform, rng);
   Application app =
       generate_application(config.workload, platform, rng,
                            config.platform.class_model,
-                           config.platform.class_deviation);
+                           config.platform.class_deviation, scratch);
   return Scenario{std::move(platform), std::move(app)};
+}
+
+void generate_scenario_into(const GeneratorConfig& config, std::uint64_t seed,
+                            Scenario& out, GeneratorScratch* scratch) {
+  DSSLICE_SPAN("gen.scenario");
+  DSSLICE_COUNT("gen.scenarios", 1);
+  Xoshiro256 rng(seed);
+  out.platform = generate_platform(config.platform, rng);
+  generate_application_into(out.application, config.workload, out.platform,
+                            rng, config.platform.class_model,
+                            config.platform.class_deviation, scratch);
 }
 
 Scenario generate_scenario_at(const GeneratorConfig& config,

@@ -32,6 +32,35 @@ void TaskGraph::add_arc(NodeId from, NodeId to, double message_items) {
   arcs_.push_back(Arc{from, to, message_items});
 }
 
+void TaskGraph::reset(std::size_t n) {
+  const std::size_t keep = std::min(n, succ_.size());
+  for (std::size_t v = 0; v < keep; ++v) {
+    succ_[v].clear();
+    pred_[v].clear();
+    succ_items_[v].clear();
+  }
+  succ_.resize(n);
+  pred_.resize(n);
+  succ_items_.resize(n);
+  arcs_.clear();
+}
+
+void TaskGraph::assign_message_items(std::span<const double> items) {
+  DSSLICE_REQUIRE(items.size() == arcs_.size(),
+                  "one message size per arc required");
+  // succ_[from] lists arcs in insertion order, so re-pushing in global
+  // insertion order reproduces the parallel layout exactly. The entries were
+  // pushed by add_arc, so every inner vector already has the capacity.
+  for (auto& slots : succ_items_) {
+    slots.clear();
+  }
+  for (std::size_t k = 0; k < arcs_.size(); ++k) {
+    DSSLICE_REQUIRE(items[k] >= 0.0, "negative message size");
+    arcs_[k].message_items = items[k];
+    succ_items_[arcs_[k].from].push_back(items[k]);
+  }
+}
+
 std::span<const NodeId> TaskGraph::successors(NodeId v) const {
   require_node(v);
   return succ_[v];

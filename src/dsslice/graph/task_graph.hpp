@@ -41,6 +41,18 @@ class TaskGraph {
   /// cycles are detected lazily by algorithms::topological_order.
   void add_arc(NodeId from, NodeId to, double message_items = 0.0);
 
+  /// Resets to `n` isolated nodes. Equivalent to *this = TaskGraph(n) except
+  /// that previously allocated adjacency storage is kept, so rebuilding a
+  /// graph of similar shape performs no heap allocation (batch-generation
+  /// hot path).
+  void reset(std::size_t n);
+
+  /// Rewrites the message size of every arc, `items` parallel to arcs()
+  /// (insertion order). Lets the generator draw the layered structure and
+  /// annotate message sizes in two passes over a single graph instead of
+  /// rebuilding the adjacency. Allocation-free.
+  void assign_message_items(std::span<const double> items);
+
   std::size_t node_count() const { return succ_.size(); }
   std::size_t arc_count() const { return arcs_.size(); }
 

@@ -52,6 +52,15 @@ Application& Application::operator=(Application&& other) noexcept {
   return *this;
 }
 
+void Application::rebuild_swap(TaskGraph& graph, std::vector<Task>& tasks) {
+  DSSLICE_REQUIRE(graph.node_count() == tasks.size(),
+                  "one task per graph node required");
+  std::swap(graph_, graph);
+  std::swap(tasks_, tasks);
+  ete_deadline_.assign(tasks_.size(), kTimeInfinity);
+  analysis_cache_.store(nullptr, std::memory_order_release);
+}
+
 const GraphAnalysis& Application::analysis() const {
   auto cached = analysis_cache_.load(std::memory_order_acquire);
   if (cached == nullptr) {

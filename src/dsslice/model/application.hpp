@@ -37,10 +37,18 @@ class Application {
   /// memoized for the lifetime of the application. Thread-safe: concurrent
   /// first calls race benignly (one result wins, the rest are discarded).
   /// Requires an acyclic graph, like every consumer of the analysis.
-  /// Invalidation: none needed today — the graph is immutable after
-  /// construction. Any future API that mutates the graph in place must
-  /// reset `analysis_cache_`.
+  /// Invalidation: the graph only changes through rebuild_swap, which
+  /// resets `analysis_cache_`; any future API that mutates the graph in
+  /// place must do the same.
   const GraphAnalysis& analysis() const;
+
+  /// Rebuilds this application in place by *swapping* in new graph and task
+  /// storage: the previous storage lands back in the arguments so the caller
+  /// can recycle its heap capacity (batch-generation hot path). Arrivals
+  /// revert to the tasks' phasing, E-T-E deadlines reset to unset and the
+  /// memoized analysis is dropped — the result is indistinguishable from a
+  /// freshly constructed Application(graph, tasks).
+  void rebuild_swap(TaskGraph& graph, std::vector<Task>& tasks);
 
   const Task& task(NodeId i) const;
   Task& mutable_task(NodeId i);

@@ -95,12 +95,22 @@ DeadlineAssignment distribute_for_config(const ExperimentConfig& config,
 
 GraphOutcome evaluate_scenario(const ExperimentConfig& config,
                                std::uint64_t seed, ScenarioScratch* scratch) {
-  DSSLICE_SPAN("sim.scenario");
   const Scenario scenario = generate_scenario(config.generator, seed);
+  return evaluate_generated(config, scenario, scratch);
+}
+
+GraphOutcome evaluate_generated(const ExperimentConfig& config,
+                                const Scenario& scenario,
+                                ScenarioScratch* scratch) {
+  DSSLICE_SPAN("sim.scenario");
   const Application& app = scenario.application;
   const Platform& platform = scenario.platform;
 
-  const std::vector<double> est = estimate_wcets(app, config.wcet_strategy);
+  std::vector<double> local_est;
+  std::vector<double>& est_buf =
+      scratch != nullptr ? scratch->est : local_est;
+  estimate_wcets_into(app, config.wcet_strategy, est_buf);
+  std::span<const double> est = est_buf;
 
   GraphOutcome outcome;
   outcome.task_count = app.task_count();

@@ -18,6 +18,7 @@
 #include "dsslice/core/slicing.hpp"
 #include "dsslice/core/wcet_estimate.hpp"
 #include "dsslice/gen/generator_config.hpp"
+#include "dsslice/gen/taskgraph_generator.hpp"
 #include "dsslice/sched/dispatch_scheduler.hpp"
 #include "dsslice/sched/edf_list_scheduler.hpp"
 #include "dsslice/sched/preemptive_scheduler.hpp"
@@ -83,6 +84,7 @@ struct ScenarioScratch {
   SchedulerResult sched_result;
   PreemptiveResult pre_result;
   std::vector<double> mandatory_est;  // mandatory-demand estimate buffer
+  std::vector<double> est;            // estimated-WCET buffer
 };
 
 /// Runs the configured deadline-distribution technique (slicing or direct)
@@ -97,11 +99,20 @@ DeadlineAssignment distribute_for_config(const ExperimentConfig& config,
                                          std::size_t* slicing_passes = nullptr,
                                          ScenarioScratch* scratch = nullptr);
 
-/// Evaluates a single already-generated scenario under the configuration
-/// (the per-graph unit of work; exposed for tests and custom drivers).
-/// `scratch` is optional reusable per-thread scratch (see ScenarioScratch).
+/// Evaluates a single scenario generated from `seed` under the
+/// configuration (the per-graph unit of work; exposed for tests and custom
+/// drivers). `scratch` is optional reusable per-thread scratch (see
+/// ScenarioScratch).
 GraphOutcome evaluate_scenario(const ExperimentConfig& config,
                                std::uint64_t seed,
                                ScenarioScratch* scratch = nullptr);
+
+/// Evaluation half of evaluate_scenario for an already-generated scenario —
+/// the consumer side of the batched sweep pipeline (gen/scenario_batch.hpp
+/// produces, this evaluates). Identical outcome to evaluate_scenario on the
+/// seed the scenario was generated from.
+GraphOutcome evaluate_generated(const ExperimentConfig& config,
+                                const Scenario& scenario,
+                                ScenarioScratch* scratch = nullptr);
 
 }  // namespace dsslice

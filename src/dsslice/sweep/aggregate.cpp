@@ -1,0 +1,45 @@
+#include "dsslice/sweep/aggregate.hpp"
+
+#include <sstream>
+
+#include "dsslice/util/string_util.hpp"
+
+namespace dsslice {
+
+void SweepAggregate::add(const GraphOutcome& outcome) {
+  success.add(outcome.scheduled);
+  min_laxity.add(outcome.min_laxity);
+  laxity.add(outcome.min_laxity);
+  if (outcome.lateness_valid) {
+    max_lateness.add(outcome.max_lateness);
+  }
+  if (outcome.scheduled) {
+    makespan.add(outcome.makespan);
+  }
+  slicing_passes.add(static_cast<double>(outcome.slicing_passes));
+  task_count.add(static_cast<double>(outcome.task_count));
+}
+
+void SweepAggregate::merge(const SweepAggregate& other) {
+  success.merge(other.success);
+  min_laxity.merge(other.min_laxity);
+  laxity.merge(other.laxity);
+  max_lateness.merge(other.max_lateness);
+  makespan.merge(other.makespan);
+  slicing_passes.merge(other.slicing_passes);
+  task_count.merge(other.task_count);
+}
+
+std::string SweepAggregate::summary(const std::string& label) const {
+  std::ostringstream os;
+  os << pad_right(label, 16) << " scenarios " << scenarios() << "  success "
+     << pad_left(format_percent(success_ratio(), 1), 7) << " ±"
+     << format_percent(success.ci95_halfwidth(), 1) << "  min-laxity "
+     << format_fixed(min_laxity.mean(), 2);
+  if (makespan.count() > 0) {
+    os << "  makespan " << format_fixed(makespan.mean(), 1);
+  }
+  return os.str();
+}
+
+}  // namespace dsslice

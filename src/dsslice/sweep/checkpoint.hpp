@@ -1,0 +1,65 @@
+// Checkpoint format for resumable sweeps.
+//
+// A checkpoint is the sweep's durable state at a shard boundary: which
+// shards have completed plus each completed shard's SweepAggregate. Because
+// the final result is a fold of per-shard aggregates in shard-index order,
+// persisting the *per-shard* aggregates (rather than a running merge) makes
+// resume trivially bit-identical to an uninterrupted run — the engine
+// restores the completed shards, computes the missing ones, and folds
+// exactly the same sequence.
+//
+// The file is the repo's usual line-oriented text format with a version
+// header ("dsslice-sweep-checkpoint 1"). Doubles are stored as 16-hex-digit
+// raw bit patterns, not decimals: Welford state must round-trip to the last
+// bit or the resumed aggregates drift from the uninterrupted ones.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dsslice/sim/experiment.hpp"
+#include "dsslice/sweep/aggregate.hpp"
+
+namespace dsslice {
+
+/// Durable sweep state: layout parameters, a completed-shard bitmap and the
+/// per-shard aggregates (entries for incomplete shards are default-empty).
+struct SweepCheckpoint {
+  /// Fingerprint of the ExperimentConfig the sweep ran under (see
+  /// sweep_config_fingerprint). Resuming under a different configuration is
+  /// rejected — the restored aggregates would silently mix distributions.
+  std::uint64_t fingerprint = 0;
+  std::uint64_t scenario_count = 0;
+  std::uint64_t shard_size = 0;
+  std::vector<std::uint8_t> completed;  ///< one flag per shard
+  std::vector<SweepAggregate> shards;   ///< one aggregate per shard
+
+  std::size_t shard_count() const { return completed.size(); }
+  std::size_t completed_count() const;
+};
+
+/// FNV-1a fingerprint over a canonical rendering of every field that
+/// affects sweep outcomes: generator (platform + workload + base seed),
+/// technique, metric parameters, WCET strategy, scheduler options and
+/// algorithm. graph_count is deliberately excluded — the sweep supplies its
+/// own scenario count.
+std::uint64_t sweep_config_fingerprint(const ExperimentConfig& config);
+
+/// Canonical text form of one aggregate — exposed so tests and benches can
+/// assert bit-identity of two aggregates without poking at Welford state.
+std::string serialize_sweep_aggregate(const SweepAggregate& aggregate);
+
+std::string serialize_sweep_checkpoint(const SweepCheckpoint& checkpoint);
+/// Throws ConfigError (with a line number) on version mismatch, truncation
+/// or corruption.
+SweepCheckpoint parse_sweep_checkpoint(const std::string& text);
+
+/// Atomic save: writes to `path + ".tmp"` then renames over `path`, so an
+/// interrupt mid-write leaves the previous checkpoint intact.
+void save_sweep_checkpoint(const SweepCheckpoint& checkpoint,
+                           const std::string& path);
+/// Throws ConfigError when the file is missing or malformed.
+SweepCheckpoint load_sweep_checkpoint(const std::string& path);
+
+}  // namespace dsslice

@@ -1,0 +1,244 @@
+#include "dsslice/sweep/sweep_engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <mutex>
+#include <vector>
+
+#include "dsslice/gen/scenario_batch.hpp"
+#include "dsslice/obs/trace.hpp"
+#include "dsslice/sweep/checkpoint.hpp"
+#include "dsslice/util/check.hpp"
+
+namespace dsslice {
+
+namespace {
+
+/// Per-thread arena: one scenario batch (generator storage + scratch) and
+/// one evaluation scratch, reused across every shard the thread runs.
+/// Arenas self-register so sweep_arena_grow_events() can see the growth
+/// counters of live threads; a dying thread flushes its count into the
+/// retired tally (the obs registry's live+retired idiom).
+class SweepArena {
+ public:
+  SweepArena();
+  ~SweepArena();
+
+  SweepArena(const SweepArena&) = delete;
+  SweepArena& operator=(const SweepArena&) = delete;
+
+  ScenarioBatch batch;
+  ScenarioScratch scratch;
+
+  /// Counts capacity growths of the scratch buffers that no workspace
+  /// accounts for itself (the estimate vectors). Called between shards —
+  /// after the first shard these capacities are warm and stable.
+  void note_extra_capacity() {
+    extra_grow_ += scratch.est.capacity() > est_cap_ ? 1 : 0;
+    est_cap_ = std::max(est_cap_, scratch.est.capacity());
+    extra_grow_ += scratch.mandatory_est.capacity() > mand_cap_ ? 1 : 0;
+    mand_cap_ = std::max(mand_cap_, scratch.mandatory_est.capacity());
+  }
+
+  std::uint64_t grow_events() const {
+    return batch.grow_events() + scratch.sched.grow_events() + extra_grow_;
+  }
+
+ private:
+  std::uint64_t extra_grow_ = 0;
+  std::size_t est_cap_ = 0;
+  std::size_t mand_cap_ = 0;
+};
+
+struct ArenaRegistry {
+  std::mutex mutex;
+  std::vector<const SweepArena*> live;
+  std::uint64_t retired = 0;
+};
+
+ArenaRegistry& arena_registry() {
+  // Leaked on purpose: worker thread_locals may outlive any static with a
+  // destructor, and a reachable singleton is not a leak to LSan.
+  static ArenaRegistry* registry = new ArenaRegistry;
+  return *registry;
+}
+
+SweepArena::SweepArena() {
+  ArenaRegistry& reg = arena_registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  reg.live.push_back(this);
+}
+
+SweepArena::~SweepArena() {
+  ArenaRegistry& reg = arena_registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  std::erase(reg.live, this);
+  reg.retired += grow_events();
+}
+
+SweepArena& local_arena() {
+  thread_local SweepArena arena;
+  return arena;
+}
+
+void validate_options(const SweepOptions& options) {
+  if (options.scenario_count == 0) {
+    throw ConfigError("sweep scenario_count must be positive");
+  }
+  if (options.shard_size == 0) {
+    throw ConfigError("sweep shard_size must be positive");
+  }
+  if (options.gen_chunk == 0) {
+    throw ConfigError("sweep gen_chunk must be positive");
+  }
+  if (options.resume && options.checkpoint_path.empty()) {
+    throw ConfigError("sweep resume requires a checkpoint path");
+  }
+}
+
+}  // namespace
+
+std::uint64_t sweep_arena_grow_events() {
+  ArenaRegistry& reg = arena_registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  std::uint64_t total = reg.retired;
+  for (const SweepArena* arena : reg.live) {
+    total += arena->grow_events();
+  }
+  return total;
+}
+
+SweepReport run_sweep(const ExperimentConfig& config,
+                      const SweepOptions& options, ThreadPool& pool) {
+  DSSLICE_SPAN("sweep.run");
+  validate_options(options);
+  config.generator.validate();
+
+  const std::size_t shard_count =
+      (options.scenario_count + options.shard_size - 1) / options.shard_size;
+  const std::uint64_t fingerprint = sweep_config_fingerprint(config);
+
+  SweepCheckpoint state;
+  state.fingerprint = fingerprint;
+  state.scenario_count = options.scenario_count;
+  state.shard_size = options.shard_size;
+  state.completed.assign(shard_count, 0);
+  state.shards.assign(shard_count, SweepAggregate{});
+
+  SweepReport report;
+  report.shard_count = shard_count;
+
+  if (options.resume &&
+      std::filesystem::exists(options.checkpoint_path)) {
+    SweepCheckpoint loaded = load_sweep_checkpoint(options.checkpoint_path);
+    if (loaded.fingerprint != fingerprint) {
+      throw ConfigError(
+          "sweep checkpoint " + options.checkpoint_path +
+          " was written under a different experiment configuration "
+          "(fingerprint mismatch) — refusing to mix aggregates");
+    }
+    if (loaded.scenario_count != options.scenario_count ||
+        loaded.shard_size != options.shard_size) {
+      throw ConfigError(
+          "sweep checkpoint " + options.checkpoint_path +
+          " has a different layout (" +
+          std::to_string(loaded.scenario_count) + " scenarios in shards of " +
+          std::to_string(loaded.shard_size) + ") than this sweep");
+    }
+    state = std::move(loaded);
+    report.shards_resumed = state.completed_count();
+    DSSLICE_COUNT("sweep.shards_resumed",
+                  static_cast<std::int64_t>(report.shards_resumed));
+  }
+
+  std::vector<std::size_t> pending;
+  pending.reserve(shard_count);
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    if (state.completed[s] == 0) {
+      pending.push_back(s);
+    }
+  }
+  if (options.max_shards != 0 && pending.size() > options.max_shards) {
+    pending.resize(options.max_shards);
+  }
+
+  const bool checkpointing = !options.checkpoint_path.empty();
+  const std::size_t wave_width =
+      options.checkpoint_every == 0 ? std::max<std::size_t>(1, pending.size())
+                                    : options.checkpoint_every;
+
+  const auto run_one_shard = [&](std::size_t shard) {
+    DSSLICE_SPAN("sweep.shard");
+    SweepArena& arena = local_arena();
+    SweepAggregate aggregate;
+    const std::size_t first = shard * options.shard_size;
+    const std::size_t last =
+        std::min(first + options.shard_size, options.scenario_count);
+    for (std::size_t chunk = first; chunk < last; chunk += options.gen_chunk) {
+      const std::size_t n = std::min(options.gen_chunk, last - chunk);
+      arena.batch.generate(config.generator, chunk, n);
+      for (std::size_t i = 0; i < n; ++i) {
+        aggregate.add(evaluate_generated(config, arena.batch[i],
+                                         &arena.scratch));
+      }
+    }
+    arena.note_extra_capacity();
+    state.shards[shard] = aggregate;
+    state.completed[shard] = 1;
+    DSSLICE_COUNT("sweep.shards_completed", 1);
+  };
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::size_t scenarios_run = 0;
+  for (std::size_t wave = 0; wave < pending.size(); wave += wave_width) {
+    const std::size_t wave_end = std::min(wave + wave_width, pending.size());
+    parallel_for(pool, wave_end - wave, 1,
+                 [&](std::size_t begin, std::size_t end) {
+                   for (std::size_t k = begin; k < end; ++k) {
+                     run_one_shard(pending[wave + k]);
+                   }
+                 });
+    for (std::size_t k = wave; k < wave_end; ++k) {
+      const std::size_t first = pending[k] * options.shard_size;
+      scenarios_run += std::min(first + options.shard_size,
+                                options.scenario_count) -
+                       first;
+    }
+    report.shards_run += wave_end - wave;
+    if (checkpointing) {
+      DSSLICE_SPAN("sweep.checkpoint");
+      save_sweep_checkpoint(state, options.checkpoint_path);
+      ++report.checkpoints_written;
+      DSSLICE_COUNT("sweep.checkpoints_written", 1);
+    }
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  report.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+
+  // Fold in shard-index order — the only order that makes thread count,
+  // completion order and resume boundaries invisible in the result.
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    if (state.completed[s] != 0) {
+      report.aggregate.merge(state.shards[s]);
+    }
+  }
+  report.complete = state.completed_count() == shard_count;
+
+  DSSLICE_COUNT("sweep.scenarios", static_cast<std::int64_t>(scenarios_run));
+  if (report.wall_seconds > 0.0 && scenarios_run > 0) {
+    DSSLICE_GAUGE("sweep.scenarios_per_sec",
+                  static_cast<std::int64_t>(
+                      static_cast<double>(scenarios_run) /
+                      report.wall_seconds));
+  }
+  return report;
+}
+
+SweepReport run_sweep(const ExperimentConfig& config,
+                      const SweepOptions& options) {
+  return run_sweep(config, options, global_pool());
+}
+
+}  // namespace dsslice

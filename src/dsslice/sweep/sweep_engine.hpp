@@ -1,0 +1,82 @@
+// Batched, sharded, resumable sweep engine — the throughput path for the
+// roadmap's 10⁶–10⁷-scenario evaluation runs.
+//
+// Layout: `scenario_count` scenarios are split into shards of `shard_size`
+// consecutive scenario indices. A shard is the unit of scheduling,
+// aggregation and checkpointing:
+//
+//   - workers claim shards via the thread pool; within a shard, scenarios
+//     are generated in ScenarioBatch chunks (amortizing generator scratch)
+//     and evaluated through evaluate_generated with a per-thread
+//     ScenarioScratch — after warm-up the whole path is allocation-free
+//     (sweep_arena_grow_events() is the counter the benches gate on);
+//   - each shard folds its outcomes into its own SweepAggregate; the final
+//     result folds per-shard aggregates in shard-index order, so thread
+//     count and completion order cannot perturb a single bit;
+//   - shards are run in *waves* of `checkpoint_every`: after each wave
+//     barrier the engine persists the completed-shard bitmap plus per-shard
+//     aggregates (sweep/checkpoint.hpp). An interrupted sweep resumed from
+//     its checkpoint reproduces the uninterrupted aggregates bit-exactly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "dsslice/sim/experiment.hpp"
+#include "dsslice/sweep/aggregate.hpp"
+#include "dsslice/util/thread_pool.hpp"
+
+namespace dsslice {
+
+struct SweepOptions {
+  /// Total number of scenarios (indices [0, scenario_count) under the
+  /// config's base seed). Must be positive.
+  std::size_t scenario_count = 0;
+  /// Scenarios per shard. The shard is the checkpoint/aggregation grain:
+  /// smaller shards checkpoint finer but fold more aggregates.
+  std::size_t shard_size = 1024;
+  /// Scenarios generated per ScenarioBatch chunk within a shard.
+  std::size_t gen_chunk = 64;
+  /// Checkpoint wave width in shards; 0 = one wave (checkpoint only at the
+  /// end, and only when checkpoint_path is set).
+  std::size_t checkpoint_every = 0;
+  /// Checkpoint file path; empty disables checkpointing entirely.
+  std::string checkpoint_path;
+  /// When true and checkpoint_path exists, restore completed shards from it
+  /// (rejecting fingerprint/layout mismatches) and compute only the rest.
+  bool resume = false;
+  /// Stop after running this many *new* shards (0 = no limit). This is the
+  /// interruption hook: tests and benches use it to abandon a sweep at a
+  /// checkpoint boundary and resume it later.
+  std::size_t max_shards = 0;
+};
+
+struct SweepReport {
+  SweepAggregate aggregate;  ///< fold of completed shards in index order
+  std::size_t shard_count = 0;
+  std::size_t shards_run = 0;      ///< shards computed by this call
+  std::size_t shards_resumed = 0;  ///< shards restored from the checkpoint
+  std::size_t checkpoints_written = 0;
+  bool complete = false;  ///< every shard completed (run or resumed)
+  double wall_seconds = 0.0;
+
+  std::uint64_t scenarios() const { return aggregate.scenarios(); }
+};
+
+/// Runs (or resumes) a sweep on the given pool. Throws ConfigError for
+/// invalid options or a checkpoint that does not match the configuration.
+SweepReport run_sweep(const ExperimentConfig& config,
+                      const SweepOptions& options, ThreadPool& pool);
+
+/// Convenience overload using the process-wide pool.
+SweepReport run_sweep(const ExperimentConfig& config,
+                      const SweepOptions& options);
+
+/// Capacity growths observed inside the sweep's per-thread arenas
+/// (generator batch storage + scratch, scheduler workspaces, estimate
+/// buffers) since process start, including arenas of exited threads. Warm
+/// sweeps must not move this counter — the zero-allocation gate enforced by
+/// bench/perf_sweep and the sweep tests.
+std::uint64_t sweep_arena_grow_events();
+
+}  // namespace dsslice

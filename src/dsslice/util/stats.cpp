@@ -37,6 +37,21 @@ void RunningStats::merge(const RunningStats& other) {
   max_ = std::max(max_, other.max_);
 }
 
+RunningStatsState RunningStats::state() const {
+  return RunningStatsState{n_, mean_, m2_, sum_, min_, max_};
+}
+
+RunningStats RunningStats::from_state(const RunningStatsState& state) {
+  RunningStats s;
+  s.n_ = state.n;
+  s.mean_ = state.mean;
+  s.m2_ = state.m2;
+  s.sum_ = state.sum;
+  s.min_ = state.min;
+  s.max_ = state.max;
+  return s;
+}
+
 double RunningStats::mean() const { return n_ == 0 ? 0.0 : mean_; }
 
 double RunningStats::variance() const {
@@ -140,6 +155,66 @@ double LogHistogram::percentile(double p) const {
     cumulative = next;
   }
   return bucket_upper(kBucketCount - 1);
+}
+
+LinearHistogram::LinearHistogram(double lo, double hi) : lo_(lo), hi_(hi) {
+  DSSLICE_REQUIRE(lo < hi, "histogram range must be non-empty");
+}
+
+void LinearHistogram::add(double x) {
+  ++count_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  const auto index = static_cast<std::size_t>(
+      (x - lo_) / (hi_ - lo_) * static_cast<double>(kBinCount));
+  ++bins_[std::min(index, kBinCount - 1)];
+}
+
+void LinearHistogram::merge(const LinearHistogram& other) {
+  DSSLICE_REQUIRE(lo_ == other.lo_ && hi_ == other.hi_,
+                  "merging histograms with different ranges");
+  count_ += other.count_;
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  for (std::size_t k = 0; k < kBinCount; ++k) {
+    bins_[k] += other.bins_[k];
+  }
+}
+
+void LinearHistogram::clear() {
+  count_ = 0;
+  underflow_ = 0;
+  overflow_ = 0;
+  bins_.fill(0);
+}
+
+std::uint64_t LinearHistogram::bin(std::size_t index) const {
+  DSSLICE_REQUIRE(index < kBinCount, "histogram bin out of range");
+  return bins_[index];
+}
+
+double LinearHistogram::bin_lower(std::size_t index) const {
+  DSSLICE_REQUIRE(index < kBinCount, "histogram bin out of range");
+  return lo_ + (hi_ - lo_) * static_cast<double>(index) /
+                   static_cast<double>(kBinCount);
+}
+
+void LinearHistogramAccess::restore(
+    LinearHistogram& h, std::uint64_t underflow, std::uint64_t overflow,
+    const std::array<std::uint64_t, LinearHistogram::kBinCount>& bins) {
+  h.underflow_ = underflow;
+  h.overflow_ = overflow;
+  h.bins_ = bins;
+  h.count_ = underflow + overflow;
+  for (const std::uint64_t b : bins) {
+    h.count_ += b;
+  }
 }
 
 void SuccessCounter::add(bool success) {

@@ -10,6 +10,20 @@
 
 namespace dsslice {
 
+/// Complete internal state of a RunningStats accumulator — exposed so a
+/// checkpoint can persist an accumulator and restore it *bit-exactly*
+/// (resume-after-interrupt must reproduce the uninterrupted aggregates to
+/// the last bit, so lossy decimal round-trips are not an option; the sweep
+/// checkpoint stores these doubles as raw bit patterns).
+struct RunningStatsState {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double m2 = 0.0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
 /// Streaming univariate accumulator (Welford's algorithm) — O(1) memory,
 /// numerically stable mean/variance, suitable for millions of samples.
 class RunningStats {
@@ -17,6 +31,12 @@ class RunningStats {
   void add(double x);
   /// Merge another accumulator into this one (parallel reduction support).
   void merge(const RunningStats& other);
+
+  /// Snapshot of the full internal state (see RunningStatsState).
+  RunningStatsState state() const;
+  /// Reconstructs an accumulator from a snapshot; the result behaves
+  /// bit-identically to the accumulator the snapshot was taken from.
+  static RunningStats from_state(const RunningStatsState& state);
 
   std::size_t count() const { return n_; }
   bool empty() const { return n_ == 0; }
@@ -86,6 +106,59 @@ class LogHistogram {
  private:
   std::uint64_t count_ = 0;
   std::array<std::uint32_t, kBucketCount> buckets_{};
+};
+
+/// Fixed-bin linear histogram over a closed value range, with one underflow
+/// and one overflow bin — the shape behind the sweep engine's laxity
+/// distribution. Unlike LogHistogram it accepts negative samples (laxity
+/// goes negative exactly when a window is infeasible, which is the
+/// interesting tail). add() is a subtraction, a multiply and two clamps;
+/// merge() is a vector add, so per-shard histograms fold deterministically
+/// regardless of completion order.
+class LinearHistogram {
+ public:
+  static constexpr std::size_t kBinCount = 64;
+
+  /// Histogram over [lo, hi) split into kBinCount equal bins. Samples below
+  /// lo land in underflow(), samples at or above hi in overflow().
+  LinearHistogram(double lo, double hi);
+  /// Default range for min-laxity distributions: [-200, 440) in time units
+  /// (10-unit bins around the paper's c_mean = 20 workloads).
+  LinearHistogram() : LinearHistogram(-200.0, 440.0) {}
+
+  void add(double x);
+  /// Merges a histogram with the same range (enforced).
+  void merge(const LinearHistogram& other);
+  void clear();
+
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  std::uint64_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
+  std::uint64_t bin(std::size_t index) const;
+  /// Inclusive lower edge of a bin.
+  double bin_lower(std::size_t index) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::uint64_t count_ = 0;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::array<std::uint64_t, kBinCount> bins_{};
+
+  friend struct LinearHistogramAccess;
+};
+
+/// Checkpoint-side backdoor: lets the sweep checkpoint restore a
+/// histogram's raw counters without widening the public interface.
+struct LinearHistogramAccess {
+  static void restore(LinearHistogram& h, std::uint64_t underflow,
+                      std::uint64_t overflow,
+                      const std::array<std::uint64_t,
+                                       LinearHistogram::kBinCount>& bins);
 };
 
 /// Success-ratio counter: successes over trials with a binomial CI.

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <array>
+#include <bit>
 #include <cmath>
+#include <cstdint>
 
 #include "dsslice/util/check.hpp"
 #include "dsslice/util/stats.hpp"
@@ -114,6 +117,78 @@ TEST(SuccessCounter, AddManyAndMerge) {
   EXPECT_EQ(a.trials(), 20u);
   EXPECT_DOUBLE_EQ(a.ratio(), 0.5);
   EXPECT_THROW(a.add_many(5, 4), ConfigError);
+}
+
+TEST(RunningStats, StateRoundTripIsBitExact) {
+  RunningStats a;
+  for (int i = 0; i < 100; ++i) {
+    a.add(0.1 * static_cast<double>(i * i) - 3.7);
+  }
+  RunningStats b = RunningStats::from_state(a.state());
+  // The restored accumulator must behave bit-identically, including after
+  // further samples and merges (resume must match an uninterrupted run).
+  a.add(12.25);
+  b.add(12.25);
+  const RunningStatsState sa = a.state();
+  const RunningStatsState sb = b.state();
+  EXPECT_EQ(sa.n, sb.n);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(sa.mean),
+            std::bit_cast<std::uint64_t>(sb.mean));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(sa.m2),
+            std::bit_cast<std::uint64_t>(sb.m2));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(sa.sum),
+            std::bit_cast<std::uint64_t>(sb.sum));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(sa.min),
+            std::bit_cast<std::uint64_t>(sb.min));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(sa.max),
+            std::bit_cast<std::uint64_t>(sb.max));
+}
+
+TEST(RunningStats, EmptyStateRoundTrip) {
+  const RunningStats restored = RunningStats::from_state(RunningStats{}.state());
+  EXPECT_TRUE(restored.empty());
+  RunningStats merged;
+  merged.merge(restored);  // empty-merge must stay a no-op
+  EXPECT_TRUE(merged.empty());
+}
+
+TEST(LinearHistogram, BinsUnderflowOverflowAndMerge) {
+  LinearHistogram h(0.0, 64.0);  // 1-unit bins
+  h.add(-0.5);                   // underflow
+  h.add(0.0);                    // bin 0
+  h.add(31.5);                   // bin 31
+  h.add(63.999);                 // bin 63
+  h.add(64.0);                   // overflow (hi is exclusive)
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.bin(0), 1u);
+  EXPECT_EQ(h.bin(31), 1u);
+  EXPECT_EQ(h.bin(63), 1u);
+  EXPECT_DOUBLE_EQ(h.bin_lower(31), 31.0);
+
+  LinearHistogram other(0.0, 64.0);
+  other.add(31.2);
+  h.merge(other);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_EQ(h.bin(31), 2u);
+}
+
+TEST(LinearHistogram, MergeRejectsRangeMismatch) {
+  LinearHistogram a(0.0, 64.0);
+  LinearHistogram b(0.0, 128.0);
+  EXPECT_THROW(a.merge(b), ConfigError);
+}
+
+TEST(LinearHistogram, RestoreRebuildsCounters) {
+  LinearHistogram h;
+  std::array<std::uint64_t, LinearHistogram::kBinCount> bins{};
+  bins[3] = 7;
+  LinearHistogramAccess::restore(h, 2, 5, bins);
+  EXPECT_EQ(h.count(), 14u);
+  EXPECT_EQ(h.underflow(), 2u);
+  EXPECT_EQ(h.overflow(), 5u);
+  EXPECT_EQ(h.bin(3), 7u);
 }
 
 }  // namespace
