@@ -22,9 +22,53 @@ inline std::string temp_path(const std::string& name) {
   return (ec ? std::filesystem::path{"."} / name : dir / name).string();
 }
 
+/// Instruction-set description of this build/machine pair: the ISA baseline
+/// the compiler was allowed to assume (compile-time macros) and, on x86, the
+/// best SIMD level the running CPU actually reports. Perf numbers — the
+/// batch kernel's in particular — are only comparable within one ISA
+/// envelope, so the JSON reports carry both.
+inline std::string isa_compiled() {
+#if defined(__AVX512F__)
+  return "avx512f";
+#elif defined(__AVX2__)
+  return "avx2";
+#elif defined(__AVX__)
+  return "avx";
+#elif defined(__SSE2__) || defined(__x86_64__)
+  return "sse2";
+#elif defined(__ARM_NEON)
+  return "neon";
+#else
+  return "generic";
+#endif
+}
+
+inline std::string isa_runtime() {
+#if defined(__x86_64__) || defined(__i386__)
+  if (__builtin_cpu_supports("avx512f")) {
+    return "avx512f";
+  }
+  if (__builtin_cpu_supports("avx2")) {
+    return "avx2";
+  }
+  if (__builtin_cpu_supports("avx")) {
+    return "avx";
+  }
+  if (__builtin_cpu_supports("sse2")) {
+    return "sse2";
+  }
+  return "x86-baseline";
+#elif defined(__ARM_NEON)
+  return "neon";
+#else
+  return "generic";
+#endif
+}
+
 /// JSON object describing the measurement context: worker thread count,
-/// hardware concurrency, compiler, and build mode. Embedded in the perf
-/// JSON reports (BENCH_*.json) so committed numbers carry their provenance.
+/// hardware concurrency, compiler, build mode, architecture and SIMD ISA
+/// (compiled baseline vs runtime capability). Embedded in the perf JSON
+/// reports (BENCH_*.json) so committed numbers carry their provenance.
 inline std::string machine_json(std::size_t threads) {
   std::string out = "{\"threads\": " + std::to_string(threads);
   out += ", \"hardware_concurrency\": " +
@@ -37,6 +81,15 @@ inline std::string machine_json(std::size_t threads) {
 #else
   out += ", \"build\": \"debug\"";
 #endif
+#if defined(__x86_64__)
+  out += ", \"arch\": \"x86_64\"";
+#elif defined(__aarch64__)
+  out += ", \"arch\": \"aarch64\"";
+#else
+  out += ", \"arch\": \"other\"";
+#endif
+  out += ", \"isa_compiled\": \"" + isa_compiled() + "\"";
+  out += ", \"isa_runtime\": \"" + isa_runtime() + "\"";
   out += "}";
   return out;
 }

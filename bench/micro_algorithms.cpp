@@ -131,6 +131,48 @@ BENCHMARK(BM_AdaptLWeightsCached)
     ->Range(16, 1024)
     ->Complexity();
 
+void BM_BatchSliceByMode(benchmark::State& state, BatchLaneMode mode) {
+  // The batch slicing kernel per engine: kReference peels with the scalar
+  // run_slicing pipeline, kLanes64 with the incremental bitset-walked DP.
+  // Identical inputs and entry point, so the pair isolates the lane engine's
+  // contribution (same A/B as bench/perf_slicing_batch, in microbench form).
+  const auto n = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kBatch = 8;
+  std::vector<Scenario> scenarios;
+  scenarios.reserve(kBatch);
+  for (std::size_t s = 0; s < kBatch; ++s) {
+    scenarios.push_back(generate_scenario_at(sized_config(n, 3), s));
+    scenarios.back().application.analysis();
+  }
+  BatchSliceKernel kernel;
+  BatchSliceConfig config;
+  config.metric = MetricKind::kAdaptL;
+  config.lane_mode = mode;
+  kernel.run(scenarios, config);  // warm: the timed loop is allocation-free
+  for (auto _ : state) {
+    kernel.run(scenarios, config);
+    benchmark::DoNotOptimize(kernel.assignment(0).windows.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kBatch));
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+
+void BM_BatchSliceReference(benchmark::State& state) {
+  BM_BatchSliceByMode(state, BatchLaneMode::kReference);
+}
+void BM_BatchSliceLanes64(benchmark::State& state) {
+  BM_BatchSliceByMode(state, BatchLaneMode::kLanes64);
+}
+BENCHMARK(BM_BatchSliceReference)
+    ->RangeMultiplier(2)
+    ->Range(32, 512)
+    ->Complexity();
+BENCHMARK(BM_BatchSliceLanes64)
+    ->RangeMultiplier(2)
+    ->Range(32, 512)
+    ->Complexity();
+
 void BM_EdfScheduler(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const auto m = static_cast<std::size_t>(state.range(1));

@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "dsslice/batch/slice_kernel.hpp"
 #include "dsslice/dsslice.hpp"
 
 #include "bench_common.hpp"
@@ -376,6 +377,8 @@ struct SizeReport {
   std::vector<MetricRow> weights;
   double legacy_slicing_per_sec = 0.0;   // ADAPT-L end to end
   double cached_slicing_per_sec = 0.0;   // warm cache + workspace
+  double batch_slicing_per_sec = 0.0;    // SoA batch kernel (lanes64)
+  std::uint64_t batch_steady_grow_events = 0;   // must be 0
   std::uint64_t cached_loop_constructions = 0;  // must be 0
 };
 
@@ -421,7 +424,16 @@ std::string to_json(const std::vector<SizeReport>& reports,
                                   ? s.cached_slicing_per_sec /
                                         s.legacy_slicing_per_sec
                                   : 0.0) +
+           ", \"batch_per_sec\": " +
+           json_escape_number(s.batch_slicing_per_sec) +
+           ", \"batch_speedup\": " +
+           json_escape_number(s.cached_slicing_per_sec > 0.0
+                                  ? s.batch_slicing_per_sec /
+                                        s.cached_slicing_per_sec
+                                  : 0.0) +
            "},\n";
+    out += "      \"batch_steady_grow_events\": " +
+           std::to_string(s.batch_steady_grow_events) + ",\n";
     out += "      \"cached_loop_analysis_constructions\": " +
            std::to_string(s.cached_loop_constructions) + "\n";
     out += "    }";
@@ -522,6 +534,22 @@ SizeReport measure_size(std::size_t tasks, std::size_t processors,
   report.legacy_slicing_per_sec = 1.0 / legacy_slice_s;
   report.cached_slicing_per_sec = 1.0 / cached_slice_s;
 
+  // The SoA batch kernel over the same scenarios, one batch per call. Warm
+  // once so the timed loop exercises the steady state, then assert it never
+  // allocated (the sweep integration depends on exactly this property).
+  BatchSliceKernel kernel;
+  BatchSliceConfig batch_cfg;
+  batch_cfg.metric = MetricKind::kAdaptL;
+  kernel.run(scenarios, batch_cfg);
+  const std::uint64_t batch_warm_grow = kernel.grow_events();
+  const double batch_slice_s = inv * time_per_call(min_seconds, 3, [&] {
+    kernel.run(scenarios, batch_cfg);
+    volatile double sink = kernel.assignment(0).windows[0].deadline;
+    (void)sink;
+  });
+  report.batch_slicing_per_sec = 1.0 / batch_slice_s;
+  report.batch_steady_grow_events = kernel.grow_events() - batch_warm_grow;
+
   report.cached_loop_constructions =
       GraphAnalysis::construction_count() - constructions_before;
   return report;
@@ -565,11 +593,15 @@ int main(int argc, char** argv) {
     for (const MetricRow& m : r.weights) {
       std::printf("  %s %0.1fx", m.name.c_str(), m.speedup());
     }
-    std::printf("  slicing %.0f -> %.0f /s (%.1fx)  rebuilds=%llu\n",
-                r.legacy_slicing_per_sec, r.cached_slicing_per_sec,
-                r.cached_slicing_per_sec / r.legacy_slicing_per_sec,
-                static_cast<unsigned long long>(r.cached_loop_constructions));
-    if (r.cached_loop_constructions != 0) {
+    std::printf(
+        "  slicing %.0f -> %.0f /s (%.1fx)  batch %.0f /s (%.2fx)  "
+        "rebuilds=%llu\n",
+        r.legacy_slicing_per_sec, r.cached_slicing_per_sec,
+        r.cached_slicing_per_sec / r.legacy_slicing_per_sec,
+        r.batch_slicing_per_sec,
+        r.batch_slicing_per_sec / r.cached_slicing_per_sec,
+        static_cast<unsigned long long>(r.cached_loop_constructions));
+    if (r.cached_loop_constructions != 0 || r.batch_steady_grow_events != 0) {
       cache_clean = false;
     }
     reports.push_back(std::move(r));

@@ -265,12 +265,14 @@ struct Report {
   bool generation_identical = true;
   bool resume_identical = false;
   bool thread_identical = false;
+  bool batch_identical = false;
   std::uint64_t steady_grow_events = ~std::uint64_t{0};
   std::size_t timing_scenarios = 0;
   double gen_legacy_us = 0.0;
   double gen_batched_us = 0.0;
   double e2e_legacy_us = 0.0;
   double e2e_sweep_us = 0.0;
+  double scalar_sweep_us = 0.0;  // sweep with the batch kernel disabled
   // The large streaming run.
   std::size_t sweep_scenarios = 0;
   std::size_t sweep_shards = 0;
@@ -283,6 +285,9 @@ struct Report {
   }
   double e2e_speedup() const {
     return e2e_sweep_us > 0.0 ? e2e_legacy_us / e2e_sweep_us : 0.0;
+  }
+  double batch_kernel_speedup() const {
+    return e2e_sweep_us > 0.0 ? scalar_sweep_us / e2e_sweep_us : 0.0;
   }
   double sweep_per_sec() const {
     return sweep_wall_seconds > 0.0
@@ -311,10 +316,14 @@ std::string to_json(const Report& r) {
   out += "  \"end_to_end\": {\"legacy_us\": " + fmt_num(r.e2e_legacy_us) +
          ", \"sweep_us\": " + fmt_num(r.e2e_sweep_us) +
          ", \"speedup\": " + fmt_num(r.e2e_speedup()) + "},\n";
+  out += "  \"batch_kernel\": {\"scalar_us\": " + fmt_num(r.scalar_sweep_us) +
+         ", \"kernel_us\": " + fmt_num(r.e2e_sweep_us) +
+         ", \"speedup\": " + fmt_num(r.batch_kernel_speedup()) + "},\n";
   out += std::string("  \"gates\": {\"generation_identical\": ") +
          (r.generation_identical ? "true" : "false") +
          ", \"resume_identical\": " + (r.resume_identical ? "true" : "false") +
          ", \"thread_identical\": " + (r.thread_identical ? "true" : "false") +
+         ", \"batch_identical\": " + (r.batch_identical ? "true" : "false") +
          ", \"steady_grow_events\": " +
          std::to_string(r.steady_grow_events) +
          ", \"generation_speedup_floor\": 2.0},\n";
@@ -428,13 +437,26 @@ int main(int argc, char** argv) {
     SweepOptions opt;
     opt.scenario_count = n;
     opt.shard_size = 512;
-    (void)run_sweep(config, opt, pool);
+    const SweepReport kernel_run = run_sweep(config, opt, pool);
     const auto t2 = Clock::now();
+    // The same sweep with the batch kernel switched off: the on/off pair
+    // must fold to bit-identical aggregates, and the timing difference is
+    // the kernel's contribution to end-to-end throughput.
+    SweepOptions scalar_opt = opt;
+    scalar_opt.use_batch_kernel = false;
+    const SweepReport scalar_run = run_sweep(config, scalar_opt, pool);
+    const auto t3 = Clock::now();
+    report.batch_identical =
+        serialize_sweep_aggregate(kernel_run.aggregate) ==
+        serialize_sweep_aggregate(scalar_run.aggregate);
     report.e2e_legacy_us =
         std::chrono::duration<double, std::micro>(t1 - t0).count() /
         static_cast<double>(n);
     report.e2e_sweep_us =
         std::chrono::duration<double, std::micro>(t2 - t1).count() /
+        static_cast<double>(n);
+    report.scalar_sweep_us =
+        std::chrono::duration<double, std::micro>(t3 - t2).count() /
         static_cast<double>(n);
 
     // Gate 2: zero warm-path scratch growth once the arena has settled.
@@ -456,6 +478,11 @@ int main(int argc, char** argv) {
   }
   std::printf("end to end  %7.1f us -> %7.1f us per scenario (%.2fx)\n",
               report.e2e_legacy_us, report.e2e_sweep_us, report.e2e_speedup());
+  std::printf("batch kernel off -> on  %7.1f us -> %7.1f us (%.2fx), "
+              "aggregates %s\n",
+              report.scalar_sweep_us, report.e2e_sweep_us,
+              report.batch_kernel_speedup(),
+              report.batch_identical ? "identical" : "DIVERGED");
   std::printf("steady-state scratch growths: %llu\n",
               static_cast<unsigned long long>(report.steady_grow_events));
 
@@ -525,8 +552,8 @@ int main(int argc, char** argv) {
   }
 
   bool ok = report.generation_identical && report.resume_identical &&
-            report.thread_identical && report.steady_grow_events == 0 &&
-            report.sweep_complete;
+            report.thread_identical && report.batch_identical &&
+            report.steady_grow_events == 0 && report.sweep_complete;
   if (report.gen_speedup() < 2.0) {
     std::fprintf(stderr,
                  "FAIL: batched generation %.2fx below the 2x floor\n",

@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
 # Performance benchmark driver: Release build + the hot-path harnesses.
-# Writes BENCH_slicing.json, BENCH_scheduling.json and BENCH_sweep.json at
-# the repo root (see docs/PERFORMANCE.md for how to read them), plus a
-# BENCH_*.metrics.jsonl pipeline-stage breakdown next to each
-# (docs/OBSERVABILITY.md), and runs the perf_obs overhead gate. Extra
+# Writes BENCH_slicing.json, BENCH_slicing_batch.json, BENCH_scheduling.json
+# and BENCH_sweep.json at the repo root (see docs/PERFORMANCE.md for how to
+# read them), plus a BENCH_*.metrics.jsonl pipeline-stage breakdown next to
+# each (docs/OBSERVABILITY.md), and runs the perf_obs overhead gate. Extra
 # arguments are forwarded to the slicing and scheduling harnesses, e.g.
 #   scripts/bench.sh --smoke
 #   scripts/bench.sh --processors 8 --min-ms 500
@@ -17,9 +17,10 @@ jobs="$(nproc 2>/dev/null || echo 4)"
 
 echo "==> configure [default]"
 cmake --preset default
-echo "==> build [perf_slicing perf_scheduling perf_sweep perf_obs]"
+echo "==> build [perf_slicing perf_slicing_batch perf_scheduling perf_sweep perf_obs]"
 cmake --build --preset default -j "$jobs" --target perf_slicing \
-  --target perf_scheduling --target perf_sweep --target perf_obs
+  --target perf_slicing_batch --target perf_scheduling --target perf_sweep \
+  --target perf_obs
 
 # The sweep harness takes its own flags (--scenarios, not --processors /
 # --min-ms), so only --smoke is forwarded.
@@ -30,6 +31,8 @@ done
 
 echo "==> run [perf_slicing]"
 ./build/bench/perf_slicing --json "$root/BENCH_slicing.json" "$@"
+echo "==> run [perf_slicing_batch]"
+./build/bench/perf_slicing_batch --json "$root/BENCH_slicing_batch.json" "$@"
 echo "==> run [perf_scheduling]"
 ./build/bench/perf_scheduling --json "$root/BENCH_scheduling.json" \
   --min-ms 800 "$@"
@@ -47,6 +50,8 @@ echo "==> run [perf_obs] (disabled-overhead gate)"
 echo "==> archive [stage metrics breakdowns]"
 ./build/bench/perf_slicing --smoke \
   --metrics "$root/BENCH_slicing.metrics.jsonl" > /dev/null
+./build/bench/perf_slicing_batch --smoke \
+  --metrics "$root/BENCH_slicing_batch.metrics.jsonl" > /dev/null
 ./build/bench/perf_scheduling --smoke \
   --metrics "$root/BENCH_scheduling.metrics.jsonl" > /dev/null
 ./build/bench/perf_sweep --smoke \

@@ -9,9 +9,10 @@ Usage:
 The document kind is auto-detected from the "benchmark" field, and the
 baseline defaults to the committed file for that kind:
 
-  * "scheduler-engine"  (perf_scheduling) -> BENCH_scheduling.json
-  * "slicing-hot-path"  (perf_slicing)    -> BENCH_slicing.json
-  * "sweep-engine"      (perf_sweep)      -> BENCH_sweep.json
+  * "scheduler-engine"  (perf_scheduling)    -> BENCH_scheduling.json
+  * "slicing-hot-path"  (perf_slicing)       -> BENCH_slicing.json
+  * "slicing-batch"     (perf_slicing_batch) -> BENCH_slicing_batch.json
+  * "sweep-engine"      (perf_sweep)         -> BENCH_sweep.json
 
 Correctness gates fail (exit 1) with no tolerance — they are invariants,
 not perf numbers:
@@ -19,8 +20,18 @@ not perf numbers:
   * scheduling: engine rows must report identical=true and
     warm_grow_events == 0;
   * slicing: cached timing loops must build zero GraphAnalysis instances
-    (cached_loop_analysis_constructions == 0);
-  * sweep: generation/resume/thread bit-identity gates must be true,
+    (cached_loop_analysis_constructions == 0), the batch kernel's warm
+    timing loops must grow zero buffers (batch_steady_grow_events == 0),
+    and — unless --correctness-only — the batch-kernel rows at n >= 128
+    must be >= 3x the cached scalar path (the kernel's headline target);
+  * slicing-batch: every metric row must report identical=true (lanes64
+    bit-identical to the reference engine), steady_grow_events must be 0,
+    and — on builds whose timings are comparable, i.e. not under
+    --correctness-only — the ADAPT-L rows at n >= gates.floor_tasks must
+    clear the absolute gates.lanes_speedup_floor (a lane-engine regression
+    canary, deliberately below the 3x headline since the reference engine
+    already enjoys batch staging);
+  * sweep: generation/resume/thread/batch bit-identity gates must be true,
     steady_grow_events must be 0, and the generation speedup must clear the
     floor recorded in the document (the bench itself also enforces it).
 
@@ -48,6 +59,7 @@ import sys
 DEFAULT_BASELINES = {
     "scheduler-engine": "BENCH_scheduling.json",
     "slicing-hot-path": "BENCH_slicing.json",
+    "slicing-batch": "BENCH_slicing_batch.json",
     "sweep-engine": "BENCH_sweep.json",
 }
 
@@ -170,12 +182,17 @@ def slicing_rows(doc):
         adapt = size.get("slicing_adapt_l", {})
         if adapt:
             rows[(tasks, "slicing ADAPT-L")] = adapt.get("speedup", 0.0)
+            if "batch_speedup" in adapt:
+                rows[(tasks, "slicing ADAPT-L batch")] = adapt.get(
+                    "batch_speedup", 0.0
+                )
     return rows
 
 
 def compare_slicing(cmp, fresh, baseline):
-    # Correctness gate: the cached timing loops must never rebuild the
-    # memoized graph analysis.
+    # Correctness gates: the cached timing loops must never rebuild the
+    # memoized graph analysis, and the warm batch-kernel loops must never
+    # grow a buffer.
     for size in fresh.get("sizes", []):
         rebuilds = size.get("cached_loop_analysis_constructions", 0)
         if rebuilds != 0:
@@ -183,12 +200,92 @@ def compare_slicing(cmp, fresh, baseline):
                 f"n={size.get('tasks')}: cached loops rebuilt the graph "
                 f"analysis {rebuilds} time(s)"
             )
+        grows = size.get("batch_steady_grow_events", 0)
+        if grows != 0:
+            cmp.failures.append(
+                f"n={size.get('tasks')}: warm batch kernel grew "
+                f"{grows} buffer(s)"
+            )
 
+    # The batch kernel's headline target: >=3x slicing_adapt_l throughput
+    # over the cached scalar path at n >= 128. Skipped under
+    # --correctness-only (sanitizer cost models skew the two sides by
+    # different factors).
     fresh_rows = slicing_rows(fresh)
+    if not cmp.args.correctness_only:
+        for (tasks, label), speedup in sorted(fresh_rows.items()):
+            if label == "slicing ADAPT-L batch" and tasks >= 128 and (
+                speedup < 3.0
+            ):
+                cmp.failures.append(
+                    f"n={tasks}: batch kernel speedup {speedup:.2f}x over "
+                    "the cached path is below the absolute 3.0x floor"
+                )
+
     base_rows = slicing_rows(baseline)
     for key in sorted(set(fresh_rows) & set(base_rows)):
         tasks, label = key
         cmp.band(f"n={tasks} {label}", fresh_rows[key], base_rows[key])
+
+
+# ---------------------------------------------------------------------------
+# slicing-batch (perf_slicing_batch)
+# ---------------------------------------------------------------------------
+
+
+def batch_rows(doc):
+    """{(tasks, metric): row} from a perf_slicing_batch JSON document."""
+    rows = {}
+    for size in doc.get("sizes", []):
+        for row in size.get("metrics", []):
+            rows[(size.get("tasks"), row.get("metric"))] = row
+    return rows
+
+
+def compare_slicing_batch(cmp, fresh, baseline):
+    gates = fresh.get("gates", {})
+    floor = gates.get("lanes_speedup_floor", 2.2)
+    floor_tasks = gates.get("floor_tasks", 128)
+
+    fresh_rows = batch_rows(fresh)
+    for (tasks, metric), row in sorted(fresh_rows.items()):
+        if not row.get("identical", False):
+            cmp.failures.append(
+                f"n={tasks} {metric}: lanes engine diverged from the "
+                "reference engine (identical=false)"
+            )
+        # Regression canary for the lane engine (the headline 3x target is
+        # measured against the cached scalar path by perf_slicing's batch
+        # row and gated in compare_slicing). Only meaningful when the fresh
+        # run's cost model is uninstrumented — sanitizer runs pass
+        # --correctness-only and skip it.
+        if (
+            not cmp.args.correctness_only
+            and metric == "ADAPT-L"
+            and tasks >= floor_tasks
+            and row.get("speedup", 0.0) < floor
+        ):
+            cmp.failures.append(
+                f"n={tasks} {metric}: lanes speedup "
+                f"{row.get('speedup', 0.0):.2f}x below the absolute "
+                f"{floor:.1f}x floor"
+            )
+    for size in fresh.get("sizes", []):
+        grows = size.get("steady_grow_events", 0)
+        if grows != 0:
+            cmp.failures.append(
+                f"n={size.get('tasks')}: warm batch kernel grew "
+                f"{grows} buffer(s)"
+            )
+
+    base_rows = batch_rows(baseline)
+    for key in sorted(set(fresh_rows) & set(base_rows)):
+        tasks, metric = key
+        cmp.band(
+            f"n={tasks} batch {metric}",
+            fresh_rows[key].get("speedup", 0.0),
+            base_rows[key].get("speedup", 0.0),
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -199,7 +296,7 @@ def compare_slicing(cmp, fresh, baseline):
 def compare_sweep(cmp, fresh, baseline):
     gates = fresh.get("gates", {})
     for gate in ("generation_identical", "resume_identical",
-                 "thread_identical"):
+                 "thread_identical", "batch_identical"):
         if not gates.get(gate, False):
             cmp.failures.append(f"sweep gate {gate} is false")
     if gates.get("steady_grow_events", -1) != 0:
@@ -237,6 +334,7 @@ def compare_sweep(cmp, fresh, baseline):
 COMPARATORS = {
     "scheduler-engine": compare_scheduling,
     "slicing-hot-path": compare_slicing,
+    "slicing-batch": compare_slicing_batch,
     "sweep-engine": compare_sweep,
 }
 

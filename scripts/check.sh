@@ -32,6 +32,35 @@ mkdir -p ./build/slicing-smoke
 ./build/bench/perf_slicing --smoke --json ./build/slicing-smoke/slicing.json
 python3 scripts/bench_compare.py ./build/slicing-smoke/slicing.json \
   --baseline BENCH_slicing.json --tolerance 0.6
+
+# Batch slicing kernel smoke: the lanes64-vs-reference A/B under both
+# presets. The bit-identity and zero-allocation gates must hold under
+# ASan/UBSan too; the absolute ADAPT-L speedup floor only applies to the
+# Release run (sanitizer instrumentation skews the two engines by different
+# factors, so the sanitize pass compares --correctness-only). A short
+# instrumented pass validates the kernel's batch.* spans and counters.
+batch_smoke() {
+  local build="$1"; shift
+  local tag="${build##*/}"
+  local out="$build/slicing-batch-smoke"
+  mkdir -p "$out"
+  "$build/bench/perf_slicing_batch" --smoke \
+    --json "$out/batch.json" > "$out/stdout.txt"
+  python3 scripts/bench_compare.py "$out/batch.json" \
+    --baseline BENCH_slicing_batch.json --tolerance 0.6 "$@"
+  "$build/bench/perf_slicing_batch" --smoke \
+    --trace "$out/trace.json" --metrics "$out/metrics.jsonl" > /dev/null
+  "$build/tools/trace_check" "$out/trace.json"
+  "$build/tools/trace_check" --jsonl "$out/metrics.jsonl"
+  for counter in batch.scenarios batch.passes; do
+    grep -q "$counter" "$out/metrics.jsonl" ||
+      { echo "batch smoke [$tag]: metrics missing $counter" >&2; exit 1; }
+  done
+}
+echo "==> bench smoke [perf_slicing_batch, default]"
+batch_smoke ./build
+echo "==> bench smoke [perf_slicing_batch, sanitize]"
+batch_smoke ./build-sanitize --correctness-only
 scheduling_smoke() {
   local build="$1"; shift
   local tag="${build##*/}"

@@ -10,25 +10,13 @@ namespace dsslice {
 
 namespace {
 
-constexpr NodeId kNoPrev = std::numeric_limits<NodeId>::max();
+constexpr NodeId kNoPrev = kNoPathPrev;
+
+bool better(const PathCandidate& a, const PathCandidate& b) {
+  return path_candidate_better(a, b);
+}
 
 }  // namespace
-
-bool CriticalPathSearch::better(const Entry& a, const Entry& b) {
-  if (!b.valid) {
-    return a.valid;
-  }
-  if (!a.valid) {
-    return false;
-  }
-  if (a.score != b.score) {
-    return a.score < b.score;
-  }
-  if (a.sum_weight != b.sum_weight) {
-    return a.sum_weight > b.sum_weight;
-  }
-  return a.prev < b.prev;
-}
 
 bool CriticalPathSearch::find(const GraphAnalysis& analysis,
                               const AnchorState& anchors,

@@ -40,6 +40,42 @@
 
 namespace dsslice {
 
+/// Sentinel predecessor id marking the head of a partial path.
+inline constexpr NodeId kNoPathPrev = std::numeric_limits<NodeId>::max();
+
+/// Best partial path ending at a node during the forward DP. Shared by the
+/// scalar search and the batch slicing kernel (batch/slice_kernel.hpp) so
+/// both rank candidates with literally the same code.
+struct PathCandidate {
+  Time start = kTimeZero;   // arrival anchor of the path's first task
+  double sum_weight = 0.0;  // Σ weights along the partial path
+  std::uint32_t count = 0;  // number of tasks on the partial path
+  NodeId prev = 0;          // predecessor on the path
+  double score = std::numeric_limits<double>::infinity();
+  bool valid = false;
+};
+
+/// Deterministic candidate ranking: lower projected ratio wins; ties prefer
+/// the heavier path, then the smaller predecessor id. Candidates with equal
+/// (score, sum_weight, prev) are the same candidate, so this is a strict
+/// weak order over any candidate set and the winner is order-independent.
+inline bool path_candidate_better(const PathCandidate& a,
+                                  const PathCandidate& b) {
+  if (!b.valid) {
+    return a.valid;
+  }
+  if (!a.valid) {
+    return false;
+  }
+  if (a.score != b.score) {
+    return a.score < b.score;
+  }
+  if (a.sum_weight != b.sum_weight) {
+    return a.sum_weight > b.sum_weight;
+  }
+  return a.prev < b.prev;
+}
+
 struct CriticalPath {
   /// Chain of immediate-successor tasks, all unassigned.
   std::vector<NodeId> nodes;
@@ -65,19 +101,7 @@ class CriticalPathSearch {
             CriticalPath& out);
 
  private:
-  /// Best partial path ending at a node during the forward DP.
-  struct Entry {
-    Time start = kTimeZero;   // arrival anchor of the path's first task
-    double sum_weight = 0.0;  // Σ weights along the partial path
-    std::uint32_t count = 0;  // number of tasks on the partial path
-    NodeId prev = 0;          // predecessor on the path
-    double score = std::numeric_limits<double>::infinity();
-    bool valid = false;
-  };
-
-  /// Deterministic candidate ranking: lower projected ratio wins; ties
-  /// prefer the heavier path, then the smaller predecessor id.
-  static bool better(const Entry& a, const Entry& b);
+  using Entry = PathCandidate;
 
   std::vector<Time> latest_;
   std::vector<Entry> dp_;

@@ -64,6 +64,17 @@ DeadlineAssignment run_slicing(const Application& app,
                                std::size_t processor_count,
                                SlicingStats* stats,
                                const SlicingOptions& options) {
+  DeadlineAssignment assignment;
+  run_slicing_into(assignment, app, est_wcet, metric, processor_count, stats,
+                   options);
+  return assignment;
+}
+
+void run_slicing_into(DeadlineAssignment& assignment, const Application& app,
+                      std::span<const double> est_wcet,
+                      const DeadlineMetric& metric,
+                      std::size_t processor_count, SlicingStats* stats,
+                      const SlicingOptions& options) {
   const std::size_t n = app.task_count();
   DSSLICE_REQUIRE(est_wcet.size() == n, "estimate vector size mismatch");
   DSSLICE_REQUIRE(processor_count > 0, "need at least one processor");
@@ -92,7 +103,6 @@ DeadlineAssignment run_slicing(const Application& app,
   const std::vector<double>& weights = ws.weights;
   AnchorState anchors(app);
 
-  DeadlineAssignment assignment;
   assignment.windows.resize(n);
   assignment.pass_of.assign(n, -1);
 
@@ -192,7 +202,6 @@ DeadlineAssignment run_slicing(const Application& app,
   if (stats != nullptr) {
     *stats = local_stats;
   }
-  return assignment;
 }
 
 DeadlineAssignment run_slicing(const Application& app, MetricKind metric_kind,

@@ -112,6 +112,17 @@ DeadlineAssignment run_slicing(const Application& app,
                                SlicingStats* stats = nullptr,
                                const SlicingOptions& options = {});
 
+/// Recycling variant of run_slicing: writes the windows into `out`
+/// (windows resized, pass_of reassigned) so batch drivers reuse one
+/// DeadlineAssignment per slot instead of reallocating. Bit-identical to
+/// run_slicing — the value-returning overload delegates here.
+void run_slicing_into(DeadlineAssignment& out, const Application& app,
+                      std::span<const double> est_wcet,
+                      const DeadlineMetric& metric,
+                      std::size_t processor_count,
+                      SlicingStats* stats = nullptr,
+                      const SlicingOptions& options = {});
+
 /// Convenience overload: estimates WCETs internally.
 DeadlineAssignment run_slicing(const Application& app,
                                MetricKind metric_kind,

@@ -19,6 +19,7 @@
 #include "dsslice/baselines/distribution_registry.hpp"
 #include "dsslice/baselines/iterative_refinement.hpp"
 #include "dsslice/baselines/kao_garcia_molina.hpp"
+#include "dsslice/batch/slice_kernel.hpp"
 #include "dsslice/core/anchors.hpp"
 #include "dsslice/core/critical_path.hpp"
 #include "dsslice/core/metrics.hpp"

@@ -112,12 +112,27 @@ GraphOutcome evaluate_generated(const ExperimentConfig& config,
   estimate_wcets_into(app, config.wcet_strategy, est_buf);
   std::span<const double> est = est_buf;
 
+  std::size_t slicing_passes = 0;
+  const DeadlineAssignment assignment = distribute_for_config(
+      config, app, platform, est, &slicing_passes, scratch);
+  return evaluate_scheduled(config, scenario, assignment,
+                            min_laxity(assignment, est), slicing_passes,
+                            scratch);
+}
+
+GraphOutcome evaluate_scheduled(const ExperimentConfig& config,
+                                const Scenario& scenario,
+                                const DeadlineAssignment& assignment,
+                                double pre_min_laxity,
+                                std::size_t slicing_passes,
+                                ScenarioScratch* scratch) {
+  const Application& app = scenario.application;
+  const Platform& platform = scenario.platform;
+
   GraphOutcome outcome;
   outcome.task_count = app.task_count();
-
-  const DeadlineAssignment assignment = distribute_for_config(
-      config, app, platform, est, &outcome.slicing_passes, scratch);
-  outcome.min_laxity = min_laxity(assignment, est);
+  outcome.slicing_passes = slicing_passes;
+  outcome.min_laxity = pre_min_laxity;
 
   if (config.algorithm == SchedulerAlgorithm::kPreemptiveEdf) {
     // The preemptive simulator has its own trace-based result shape.

@@ -115,4 +115,17 @@ GraphOutcome evaluate_generated(const ExperimentConfig& config,
                                 const Scenario& scenario,
                                 ScenarioScratch* scratch = nullptr);
 
+/// Scheduling half of evaluate_generated: runs the configured scheduler over
+/// an already-distributed scenario and assembles the outcome. The deadline
+/// distribution's contributions (`min_laxity` over the original estimates,
+/// the slicer's pass count) are passed in. evaluate_generated ≡
+/// distribution + evaluate_scheduled; the batch sweep path computes the
+/// distribution through BatchSliceKernel and joins back here.
+GraphOutcome evaluate_scheduled(const ExperimentConfig& config,
+                                const Scenario& scenario,
+                                const DeadlineAssignment& assignment,
+                                double pre_min_laxity,
+                                std::size_t slicing_passes,
+                                ScenarioScratch* scratch = nullptr);
+
 }  // namespace dsslice

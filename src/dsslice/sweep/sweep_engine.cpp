@@ -7,6 +7,7 @@
 #include <mutex>
 #include <vector>
 
+#include "dsslice/batch/slice_kernel.hpp"
 #include "dsslice/gen/scenario_batch.hpp"
 #include "dsslice/obs/trace.hpp"
 #include "dsslice/sweep/checkpoint.hpp"
@@ -31,6 +32,7 @@ class SweepArena {
 
   ScenarioBatch batch;
   ScenarioScratch scratch;
+  BatchSliceKernel kernel;
 
   /// Counts capacity growths of the scratch buffers that no workspace
   /// accounts for itself (the estimate vectors). Called between shards —
@@ -43,7 +45,8 @@ class SweepArena {
   }
 
   std::uint64_t grow_events() const {
-    return batch.grow_events() + scratch.sched.grow_events() + extra_grow_;
+    return batch.grow_events() + scratch.sched.grow_events() +
+           kernel.grow_events() + extra_grow_;
   }
 
  private:
@@ -169,6 +172,19 @@ SweepReport run_sweep(const ExperimentConfig& config,
       options.checkpoint_every == 0 ? std::max<std::size_t>(1, pending.size())
                                     : options.checkpoint_every;
 
+  // Slicing techniques route each generator chunk through the SoA batch
+  // kernel: one kernel pass distributes the whole chunk, then every scenario
+  // joins back into the scheduler half. The kernel's bit-identity contract
+  // makes the aggregates indistinguishable from the scalar path.
+  const bool kernel_path =
+      options.use_batch_kernel && is_slicing(config.technique);
+  BatchSliceConfig kernel_config;
+  if (kernel_path) {
+    kernel_config.metric = metric_of(config.technique);
+    kernel_config.params = config.metric_params;
+    kernel_config.wcet_strategy = config.wcet_strategy;
+  }
+
   const auto run_one_shard = [&](std::size_t shard) {
     DSSLICE_SPAN("sweep.shard");
     SweepArena& arena = local_arena();
@@ -179,9 +195,19 @@ SweepReport run_sweep(const ExperimentConfig& config,
     for (std::size_t chunk = first; chunk < last; chunk += options.gen_chunk) {
       const std::size_t n = std::min(options.gen_chunk, last - chunk);
       arena.batch.generate(config.generator, chunk, n);
-      for (std::size_t i = 0; i < n; ++i) {
-        aggregate.add(evaluate_generated(config, arena.batch[i],
-                                         &arena.scratch));
+      if (kernel_path) {
+        arena.kernel.run(arena.batch.scenarios(), kernel_config);
+        for (std::size_t i = 0; i < n; ++i) {
+          aggregate.add(evaluate_scheduled(
+              config, arena.batch[i], arena.kernel.assignment(i),
+              arena.kernel.outcome_min_laxity(i), arena.kernel.stats(i).passes,
+              &arena.scratch));
+        }
+      } else {
+        for (std::size_t i = 0; i < n; ++i) {
+          aggregate.add(evaluate_generated(config, arena.batch[i],
+                                           &arena.scratch));
+        }
       }
     }
     arena.note_extra_capacity();

@@ -49,6 +49,13 @@ struct SweepOptions {
   /// interruption hook: tests and benches use it to abandon a sweep at a
   /// checkpoint boundary and resume it later.
   std::size_t max_shards = 0;
+  /// Route slicing techniques through the SoA batch slicing kernel
+  /// (batch/slice_kernel.hpp): each generator chunk is distributed in one
+  /// kernel pass, then joined back into evaluate_scheduled. Bit-identical
+  /// aggregates to the scalar path by the kernel's equivalence contract; off
+  /// switch kept for A/B benchmarking and as a fallback. Ignored for
+  /// non-slicing techniques.
+  bool use_batch_kernel = true;
 };
 
 struct SweepReport {

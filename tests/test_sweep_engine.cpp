@@ -209,6 +209,30 @@ TEST(SweepEngine, ThreadCountDoesNotChangeAggregateBits) {
             serialize_sweep_aggregate(serial.aggregate));
 }
 
+// The batch slicing kernel is an execution strategy, not a semantic change:
+// toggling it must not perturb a single aggregate bit, for every slicing
+// metric. (Non-slicing techniques ignore the flag; one spot check.)
+TEST(SweepEngine, BatchKernelDoesNotChangeAggregateBits) {
+  ThreadPool pool(2);
+  const DistributionTechnique techniques[] = {
+      DistributionTechnique::kSlicingPure, DistributionTechnique::kSlicingNorm,
+      DistributionTechnique::kSlicingAdaptG,
+      DistributionTechnique::kSlicingAdaptL, DistributionTechnique::kKaoED};
+  for (const DistributionTechnique technique : techniques) {
+    ExperimentConfig config = sweep_config();
+    config.technique = technique;
+    SweepOptions with_kernel = small_options();
+    with_kernel.use_batch_kernel = true;
+    SweepOptions without_kernel = small_options();
+    without_kernel.use_batch_kernel = false;
+    const SweepReport on = run_sweep(config, with_kernel, pool);
+    const SweepReport off = run_sweep(config, without_kernel, pool);
+    EXPECT_EQ(serialize_sweep_aggregate(on.aggregate),
+              serialize_sweep_aggregate(off.aggregate))
+        << "technique " << to_string(technique);
+  }
+}
+
 TEST(SweepEngine, RejectsFingerprintMismatchOnResume) {
   ThreadPool pool(1);
   TempCheckpoint tmp("fingerprint");
