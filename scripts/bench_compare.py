@@ -13,6 +13,7 @@ baseline defaults to the committed file for that kind:
   * "slicing-hot-path"  (perf_slicing)       -> BENCH_slicing.json
   * "slicing-batch"     (perf_slicing_batch) -> BENCH_slicing_batch.json
   * "sweep-engine"      (perf_sweep)         -> BENCH_sweep.json
+  * "perf_obs"          (perf_obs)           -> BENCH_obs.json
 
 Correctness gates fail (exit 1) with no tolerance — they are invariants,
 not perf numbers:
@@ -33,7 +34,13 @@ not perf numbers:
     already enjoys batch staging);
   * sweep: generation/resume/thread/batch bit-identity gates must be true,
     steady_grow_events must be 0, and the generation speedup must clear the
-    floor recorded in the document (the bench itself also enforces it).
+    floor recorded in the document (the bench itself also enforces it);
+  * obs: both overhead gates recorded in the document (gate_ok for the
+    runtime-disabled tax, streaming_ok for the StreamSink tax) must be
+    true, and the streaming-tax row must be present. Overhead rows are
+    percent deltas where lower is better, so their band is additive —
+    fresh delta_pct may exceed the baseline's by at most tolerance*100
+    points — rather than the relative speedup band below.
 
 Speedup bands compare rows present in both files (relative band:
 fresh >= baseline * (1 - tolerance)); rows only one side measured — e.g. a
@@ -61,6 +68,7 @@ DEFAULT_BASELINES = {
     "slicing-hot-path": "BENCH_slicing.json",
     "slicing-batch": "BENCH_slicing_batch.json",
     "sweep-engine": "BENCH_sweep.json",
+    "perf_obs": "BENCH_obs.json",
 }
 
 
@@ -331,11 +339,71 @@ def compare_sweep(cmp, fresh, baseline):
         cmp.failures.append("sweep streaming run did not complete")
 
 
+# ---------------------------------------------------------------------------
+# perf_obs (observability overhead contract)
+# ---------------------------------------------------------------------------
+
+OBS_NOISE_ROW = "kernel A/A (noise floor)"
+OBS_STREAMING_ROW = "pipeline batch, tracing ON vs ON+streaming"
+
+
+def obs_rows(doc):
+    return {row.get("name"): row for row in doc.get("rows", [])}
+
+
+def compare_obs(cmp, fresh, baseline):
+    # Correctness gates. perf_obs exits 1 on these itself, but re-check the
+    # document: a stale JSON from an older binary (no streaming fields)
+    # must not pass silently.
+    if not fresh.get("gate_ok", False):
+        cmp.failures.append(
+            "disabled-tax gate failed "
+            f"(allowed {fresh.get('gate_pct', 0.0):.2f}%)"
+        )
+    if not fresh.get("streaming_ok", False):
+        cmp.failures.append(
+            "streaming-tax gate failed or absent "
+            f"(allowed {fresh.get('streaming_gate_pct', 0.0):.2f}%)"
+        )
+
+    fresh_rows = obs_rows(fresh)
+    if OBS_STREAMING_ROW not in fresh_rows:
+        cmp.failures.append(
+            "fresh run has no streaming-tax row (old perf_obs binary?)"
+        )
+
+    # Overhead rows are percent deltas where lower is better, so the band
+    # is additive: fresh may exceed the baseline's delta by at most
+    # tolerance*100 points. The A/A row is pure noise — reported by the
+    # bench, skipped here.
+    base_rows = obs_rows(baseline)
+    for name in sorted(set(fresh_rows) & set(base_rows)):
+        if name == OBS_NOISE_ROW:
+            continue
+        got = fresh_rows[name].get("delta_pct", 0.0)
+        want = base_rows[name].get("delta_pct", 0.0)
+        ceiling = want + cmp.args.tolerance * 100.0
+        ok = cmp.args.correctness_only or got <= ceiling
+        cmp.compared += 1
+        note = " (informational)" if cmp.args.correctness_only else ""
+        print(
+            f"  {name:<42} baseline {want:+7.2f}% fresh {got:+7.2f}%  "
+            f"ceiling {ceiling:+7.2f}%  {'ok' if ok else 'REGRESSED'}{note}"
+        )
+        if not ok:
+            cmp.failures.append(
+                f"{name}: overhead {got:+.2f}% above the {ceiling:+.2f}% "
+                f"ceiling ({want:+.2f}% baseline + "
+                f"{cmp.args.tolerance * 100:.0f} points)"
+            )
+
+
 COMPARATORS = {
     "scheduler-engine": compare_scheduling,
     "slicing-hot-path": compare_slicing,
     "slicing-batch": compare_slicing_batch,
     "sweep-engine": compare_sweep,
+    "perf_obs": compare_obs,
 }
 
 

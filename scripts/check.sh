@@ -148,8 +148,8 @@ degradation_smoke ./build-sanitize
 
 # Observability smoke: a small sweep exporting a Chrome trace + JSONL
 # metrics, validated by tools/trace_check, under both presets (the sanitize
-# pass exercises the ring/accumulator paths under ASan/UBSan). perf_obs
-# gates the runtime-disabled overhead at <=2% (docs/OBSERVABILITY.md).
+# pass exercises the ring/accumulator paths under ASan/UBSan). The perf_obs
+# overhead gates run after the streaming smoke below.
 obs_smoke() {
   local build="$1"
   local tag="${build##*/}"
@@ -167,7 +167,56 @@ echo "==> obs smoke [default]"
 obs_smoke ./build
 echo "==> obs smoke [sanitize]"
 obs_smoke ./build-sanitize
+
+# Streaming obs smoke: a checkpointed sweep watched live by the StreamSink
+# (status heartbeat + metrics-delta stream + Chrome-trace chunks), under
+# both presets (the sanitize pass runs the concurrent ring-drain path under
+# ASan/UBSan). The stream's final cumulative values must reconcile exactly
+# — bit-for-bit — with the quiescent snapshot export (obs_tail --check
+# --against), and a chunk file cut mid-write at an arbitrary byte (what a
+# mid-run reader sees under stdio buffering) must still validate as a
+# truncated stream.
+stream_smoke() {
+  local build="$1"
+  local tag="${build##*/}"
+  local out="$build/stream-smoke"
+  mkdir -p "$out"
+  rm -f "$out/sweep.ckpt"
+  "$build/tools/sweep_runner" --scenarios 10000 --shard-size 512 \
+    --checkpoint "$out/sweep.ckpt" --checkpoint-every 4 \
+    --status-file "$out/status.json" \
+    --metrics-stream "$out/stream.jsonl" \
+    --trace-stream "$out/chunks.json" \
+    --metrics "$out/final.jsonl" > "$out/stdout.txt"
+  "$build/tools/trace_check" --streaming "$out/chunks.json"
+  "$build/tools/trace_check" --jsonl --streaming "$out/stream.jsonl"
+  "$build/tools/trace_check" --jsonl "$out/final.jsonl"
+  "$build/tools/obs_tail" --check --against "$out/final.jsonl" \
+    "$out/stream.jsonl"
+  head -c 10000 "$out/chunks.json" > "$out/chunks.trunc.json"
+  "$build/tools/trace_check" --streaming "$out/chunks.trunc.json"
+  grep -q '"type":"heartbeat"' "$out/status.json" &&
+    grep -q '"sweep":true' "$out/status.json" ||
+    { echo "stream smoke [$tag]: status file missing sweep heartbeat" >&2;
+      exit 1; }
+  for counter in sweep.progress.scenarios_done sweep.progress.wave \
+                 sweep.checkpoint.save_ms sweep.checkpoint.bytes; do
+    grep -q "$counter" "$out/final.jsonl" ||
+      { echo "stream smoke [$tag]: metrics missing $counter" >&2; exit 1; }
+  done
+}
+echo "==> stream smoke [default]"
+stream_smoke ./build
+echo "==> stream smoke [sanitize]"
+stream_smoke ./build-sanitize
+
+# perf_obs gates the runtime-disabled overhead at <=2% and the streaming
+# (StreamSink attached) overhead at <=5%; its JSON is diffed against the
+# committed BENCH_obs.json with an additive overhead band.
 echo "==> obs overhead gate [perf_obs]"
-./build/bench/perf_obs --smoke
+mkdir -p ./build/obs-smoke
+./build/bench/perf_obs --smoke --json ./build/obs-smoke/perf_obs.json
+python3 scripts/bench_compare.py ./build/obs-smoke/perf_obs.json \
+  --baseline BENCH_obs.json --tolerance 0.6
 
 echo "All checks passed."

@@ -16,6 +16,24 @@ std::string format_double(double value) {
   return buf;
 }
 
+/// Exact serialization for reconcilable metric values: integral values as
+/// plain integers, everything else with 17 significant digits so parsing
+/// the text yields the identical double. The streaming sink
+/// (obs/stream.cpp) writes its cumulative values the same way, which is
+/// what lets tools/obs_tail --against compare stream and snapshot
+/// bit-for-bit.
+std::string format_metric_value(double value) {
+  char buf[64];
+  const double truncated = static_cast<double>(static_cast<long long>(value));
+  if (value == truncated && value > -9.007199254740992e15 &&
+      value < 9.007199254740992e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+  }
+  return buf;
+}
+
 std::string format_fixed(double value, int decimals) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
@@ -104,14 +122,14 @@ std::string to_metrics_jsonl(const MetricsSnapshot& metrics) {
   for (const auto& [name, c] : metrics.counters) {
     out << "{\"type\":\"counter\",\"name\":\"" << json_escape(name)
         << "\",\"count\":" << c.count
-        << ",\"total\":" << format_double(c.total) << "}\n";
+        << ",\"total\":" << format_metric_value(c.total) << "}\n";
   }
   for (const auto& [name, g] : metrics.gauges) {
     out << "{\"type\":\"gauge\",\"name\":\"" << json_escape(name)
         << "\",\"count\":" << g.count
-        << ",\"last\":" << format_double(g.last)
-        << ",\"min\":" << format_double(g.min)
-        << ",\"max\":" << format_double(g.max) << "}\n";
+        << ",\"last\":" << format_metric_value(g.last)
+        << ",\"min\":" << format_metric_value(g.min)
+        << ",\"max\":" << format_metric_value(g.max) << "}\n";
   }
   out << "{\"type\":\"meta\",\"thread_count\":" << metrics.thread_count
       << ",\"dropped_ring_events\":" << metrics.dropped_ring_events

@@ -298,6 +298,47 @@ JsonParseResult parse_json(const std::string& text) {
   return Parser(text).run();
 }
 
+JsonParseResult parse_streaming_json(const std::string& text,
+                                     bool* completed) {
+  JsonParseResult strict = parse_json(text);
+  if (strict.ok) {
+    if (completed != nullptr) {
+      *completed = true;
+    }
+    return strict;
+  }
+  if (completed != nullptr) {
+    *completed = false;
+  }
+  // Truncated streaming array. The appender writes one element per line,
+  // so a cut can land (a) between lines — trailing comma and/or missing
+  // ']' — or (b) mid-record, leaving a partial final line. Drop anything
+  // after the last newline, trim, drop at most one trailing comma, close
+  // the array. Anything else keeps the strict error.
+  std::size_t end = text.rfind('\n');
+  if (end == std::string::npos) {
+    end = text.size();
+  }
+  while (end > 0 &&
+         (text[end - 1] == ' ' || text[end - 1] == '\t' ||
+          text[end - 1] == '\n' || text[end - 1] == '\r')) {
+    --end;
+  }
+  if (end == 0) {
+    return strict;
+  }
+  std::string candidate = text.substr(0, end);
+  if (candidate.back() == ',') {
+    candidate.pop_back();
+  }
+  candidate += ']';
+  JsonParseResult repaired = parse_json(candidate);
+  if (repaired.ok && repaired.value.is_array()) {
+    return repaired;
+  }
+  return strict;  // diagnose the original text, not the repair attempt
+}
+
 bool parse_jsonl(const std::string& text, std::vector<JsonValue>& out,
                  std::string& error) {
   std::istringstream lines(text);
@@ -324,6 +365,34 @@ bool parse_jsonl(const std::string& text, std::vector<JsonValue>& out,
       return false;
     }
     out.push_back(std::move(result.value));
+  }
+  return true;
+}
+
+bool parse_streaming_jsonl(const std::string& text,
+                           std::vector<JsonValue>& out, std::string& error,
+                           bool* truncated) {
+  if (truncated != nullptr) {
+    *truncated = false;
+  }
+  if (text.empty() || text.back() == '\n') {
+    return parse_jsonl(text, out, error);
+  }
+  // No trailing newline: the last line may be a record cut mid-write.
+  const std::size_t cut = text.rfind('\n');
+  const std::string head = cut == std::string::npos
+                               ? std::string()
+                               : text.substr(0, cut + 1);
+  const std::string tail =
+      cut == std::string::npos ? text : text.substr(cut + 1);
+  if (!parse_jsonl(head, out, error)) {
+    return false;
+  }
+  JsonParseResult last = parse_json(tail);
+  if (last.ok) {
+    out.push_back(std::move(last.value));
+  } else if (truncated != nullptr) {
+    *truncated = true;
   }
   return true;
 }

@@ -48,9 +48,28 @@ struct JsonParseResult {
 /// Parses exactly one JSON document; trailing non-whitespace is an error.
 JsonParseResult parse_json(const std::string& text);
 
+/// Tolerant parse for append-only streaming documents (the obs
+/// StreamSink's Chrome-trace chunk files): accepts a strict document
+/// unchanged, and additionally a truncated top-level array — one that ends
+/// mid-stream with a trailing comma, a missing ']' or a final element cut
+/// mid-write (the shapes an interrupted line-per-element appender leaves
+/// behind; Perfetto loads them the same way). When `completed` is non-null
+/// it reports whether the input was already a strict document.
+JsonParseResult parse_streaming_json(const std::string& text,
+                                     bool* completed = nullptr);
+
 /// Parses JSONL: one document per non-empty line. Returns false and fills
 /// `error` (with a 1-based line number) on the first malformed line.
 bool parse_jsonl(const std::string& text, std::vector<JsonValue>& out,
                  std::string& error);
+
+/// Tolerant JSONL parse for streams still being appended to: a malformed
+/// *final* line with no trailing newline (a record cut mid-write) is
+/// dropped instead of failing; any earlier malformed line still fails.
+/// `truncated` (optional) reports whether a partial final line was
+/// dropped.
+bool parse_streaming_jsonl(const std::string& text,
+                           std::vector<JsonValue>& out, std::string& error,
+                           bool* truncated = nullptr);
 
 }  // namespace dsslice::obs

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <mutex>
+#include <utility>
 
 #include "dsslice/obs/internal.hpp"
 
@@ -28,26 +29,32 @@ ThreadBuffer* Registry::create_buffer() {
 
 void Registry::retire(ThreadBuffer* buffer) {
   const std::lock_guard<std::mutex> lock(mu_);
+  if (stream_hook_) {
+    stream_hook_(*buffer);  // drain the unconsumed ring tail into the sink
+  }
   live_.erase(std::remove(live_.begin(), live_.end(), buffer), live_.end());
   for (const Accum& a : buffer->accums) {
-    if (a.name != nullptr) {
-      Accum& merged = retired_accums_[a.name];
+    if (a.name.load(std::memory_order_acquire) != nullptr) {
+      const AccumData data = a.data(/*include_hist=*/true);
+      AccumData& merged = retired_accums_[data.name];
       if (merged.name == nullptr) {  // first retirement under this name
-        merged.name = a.name;
-        merged.kind = a.kind;
+        merged.name = data.name;
+        merged.kind = data.kind;
       }
-      merged.merge(a);
+      merged.merge(data);
     }
   }
-  const std::size_t kept =
-      std::min<std::uint64_t>(buffer->ring_written, buffer->ring.size());
-  const std::uint64_t first = buffer->ring_written - kept;
-  for (std::uint64_t k = first; k < buffer->ring_written; ++k) {
-    retired_events_.push_back(
-        RetiredEvent{buffer->ring[k % buffer->ring.size()], buffer->tid});
+  const std::uint64_t written =
+      buffer->ring_written.load(std::memory_order_acquire);
+  const std::uint64_t kept =
+      std::min<std::uint64_t>(written, buffer->ring_capacity);
+  for (std::uint64_t k = written - kept; k < written; ++k) {
+    retired_events_.push_back(RetiredEvent{
+        buffer->ring[k % buffer->ring_capacity].load(), buffer->tid});
   }
-  retired_ring_written_ += buffer->ring_written;
-  retired_lost_accums_ += buffer->lost_accums;
+  retired_ring_written_ += written;
+  retired_lost_accums_ +=
+      buffer->lost_accums.load(std::memory_order_relaxed);
   delete buffer;
 }
 
@@ -61,21 +68,79 @@ void Registry::reset_locked() {
   retired_lost_accums_ = 0;
 }
 
+bool Registry::attach_stream_hook(StreamHook hook) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (stream_hook_) {
+    return false;
+  }
+  stream_hook_ = std::move(hook);
+  return true;
+}
+
+void Registry::detach_stream_hook() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  stream_hook_ = nullptr;
+}
+
+bool Registry::stream_hook_attached() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<bool>(stream_hook_);
+}
+
 void Registry::set_ring_capacity(std::size_t capacity) {
   ring_capacity_.store(std::max<std::size_t>(1, capacity),
                        std::memory_order_relaxed);
+}
+
+CollectedMetrics collect_metrics_locked(Registry& registry,
+                                        bool include_hist) {
+  CollectedMetrics out;
+  for (const auto& [name, accum] : registry.retired_accums()) {
+    AccumData& merged = out.accums[name];
+    if (merged.name == nullptr) {
+      merged.name = accum.name;
+      merged.kind = accum.kind;
+    }
+    merged.merge(accum);
+  }
+  out.dropped_accum_events = registry.retired_lost_accums();
+
+  // Live buffers merge in tid order so gauge `last` is deterministic for a
+  // fixed thread layout; sums and counts are order-independent anyway.
+  std::vector<ThreadBuffer*> buffers = registry.live();
+  std::sort(buffers.begin(), buffers.end(),
+            [](const ThreadBuffer* a, const ThreadBuffer* b) {
+              return a->tid < b->tid;
+            });
+  for (const ThreadBuffer* buffer : buffers) {
+    for (const Accum& a : buffer->accums) {
+      if (a.name.load(std::memory_order_acquire) != nullptr) {
+        const AccumData data = a.data(include_hist);
+        AccumData& merged = out.accums[data.name];
+        if (merged.name == nullptr) {
+          merged.name = data.name;
+          merged.kind = data.kind;
+        }
+        merged.merge(data);
+      }
+    }
+    out.dropped_accum_events +=
+        buffer->lost_accums.load(std::memory_order_relaxed);
+  }
+  out.thread_count = registry.thread_count();
+  return out;
 }
 
 }  // namespace detail
 
 namespace {
 
-using detail::Accum;
+using detail::AccumData;
 using detail::Registry;
 using detail::ThreadBuffer;
 
 void merge_accum_into(MetricsSnapshot& snapshot, const std::string& name,
-                      const Accum& a) {
+                      const AccumData& a) {
   switch (a.kind) {
     case EventKind::kSpan: {
       SpanStats& s = snapshot.spans[name];
@@ -112,33 +177,23 @@ MetricsSnapshot metrics_snapshot() {
   const std::lock_guard<std::mutex> lock(registry.mutex());
 
   MetricsSnapshot snapshot;
-  for (const auto& [name, accum] : registry.retired_accums()) {
+  const detail::CollectedMetrics collected =
+      detail::collect_metrics_locked(registry, /*include_hist=*/true);
+  for (const auto& [name, accum] : collected.accums) {
     merge_accum_into(snapshot, name, accum);
   }
-  snapshot.dropped_accum_events = registry.retired_lost_accums();
+  snapshot.dropped_accum_events = collected.dropped_accum_events;
+  snapshot.thread_count = collected.thread_count;
+
   std::uint64_t ring_written = registry.retired_ring_written();
   std::uint64_t ring_kept = registry.retired_events().size();
-
-  // Live buffers merge in tid order so gauge `last` is deterministic for a
-  // fixed thread layout; sums and counts are order-independent anyway.
-  std::vector<ThreadBuffer*> buffers = registry.live();
-  std::sort(buffers.begin(), buffers.end(),
-            [](const ThreadBuffer* a, const ThreadBuffer* b) {
-              return a->tid < b->tid;
-            });
-  for (const ThreadBuffer* buffer : buffers) {
-    for (const Accum& a : buffer->accums) {
-      if (a.name != nullptr) {
-        merge_accum_into(snapshot, a.name, a);
-      }
-    }
-    snapshot.dropped_accum_events += buffer->lost_accums;
-    ring_written += buffer->ring_written;
-    ring_kept +=
-        std::min<std::uint64_t>(buffer->ring_written, buffer->ring.size());
+  for (const ThreadBuffer* buffer : registry.live()) {
+    const std::uint64_t written =
+        buffer->ring_written.load(std::memory_order_acquire);
+    ring_written += written;
+    ring_kept += std::min<std::uint64_t>(written, buffer->ring_capacity);
   }
   snapshot.dropped_ring_events = ring_written - ring_kept;
-  snapshot.thread_count = registry.thread_count();
   return snapshot;
 }
 
@@ -155,16 +210,18 @@ TraceSnapshot trace_snapshot() {
                                        retired.event.depth});
   }
   for (const ThreadBuffer* buffer : registry.live()) {
+    const std::uint64_t buffer_written =
+        buffer->ring_written.load(std::memory_order_acquire);
     const std::uint64_t kept =
-        std::min<std::uint64_t>(buffer->ring_written, buffer->ring.size());
-    const std::uint64_t first = buffer->ring_written - kept;
-    for (std::uint64_t k = first; k < buffer->ring_written; ++k) {
-      const detail::RingEvent& event = buffer->ring[k % buffer->ring.size()];
+        std::min<std::uint64_t>(buffer_written, buffer->ring_capacity);
+    for (std::uint64_t k = buffer_written - kept; k < buffer_written; ++k) {
+      const detail::SpanRecord event =
+          buffer->ring[k % buffer->ring_capacity].load();
       snapshot.spans.push_back(TraceSpan{event.name, event.start_ns,
                                          event.end_ns, buffer->tid,
                                          event.depth});
     }
-    written += buffer->ring_written;
+    written += buffer_written;
   }
   snapshot.dropped = written - snapshot.spans.size();
   std::stable_sort(snapshot.spans.begin(), snapshot.spans.end(),

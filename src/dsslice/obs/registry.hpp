@@ -5,7 +5,12 @@
 // buffer creation and retirement, but recording threads write their own
 // buffers without synchronization. Call these only while no instrumented
 // code is running (drivers snapshot after their batch / pool work has
-// drained) — exactly how every exporter in this repo uses them.
+// drained) — exactly how every exporter in this repo uses them. The
+// streaming path (obs/stream.hpp) is the one consumer exempt from this
+// contract: its drains read the rings through their published write indices
+// and touch only monotone accumulators, so they run concurrently with
+// recorders. Do not call reset() while a StreamSink is active — the sink's
+// delta encoding assumes accumulators never move backwards.
 //
 // Determinism: aggregate counts, integer nanosecond totals, and histogram
 // buckets are sums of per-thread integers merged in name order, so a

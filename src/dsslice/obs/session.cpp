@@ -16,13 +16,39 @@ void ObsCli::register_flags(CliParser& cli) {
   cli.add_bool_flag("obs-summary", "print a span/counter summary table");
   cli.add_flag("trace-capacity", "8192",
                "span ring capacity per thread (older spans drop first)");
+  cli.add_flag("trace-stream", "",
+               "append Chrome-trace chunks here while running "
+               "(Perfetto-loadable mid-run)");
+  cli.add_flag("metrics-stream", "",
+               "append JSONL metric deltas here while running");
+  cli.add_flag("status-file", "",
+               "atomically rewrite a one-object JSON heartbeat here every "
+               "stream interval");
+  cli.add_flag("stream-interval-ms", "500",
+               "streaming flush period in milliseconds");
+  cli.add_bool_flag("live",
+                    "render a one-line heartbeat to stderr every stream "
+                    "interval");
 }
 
 ObsCli::ObsCli(const CliParser& cli)
     : trace_path_(cli.get_string("trace")),
       metrics_path_(cli.get_string("metrics")),
       summary_(cli.get_bool("obs-summary")) {
-  active_ = !trace_path_.empty() || !metrics_path_.empty() || summary_;
+  StreamOptions stream;
+  stream.trace_chunk_path = cli.get_string("trace-stream");
+  stream.metrics_delta_path = cli.get_string("metrics-stream");
+  stream.status_path = cli.get_string("status-file");
+  stream.interval_ms =
+      static_cast<std::uint32_t>(cli.get_int("stream-interval-ms"));
+  stream.heartbeat_stderr = cli.get_bool("live");
+  const bool streaming_requested = !stream.trace_chunk_path.empty() ||
+                                   !stream.metrics_delta_path.empty() ||
+                                   !stream.status_path.empty() ||
+                                   stream.heartbeat_stderr;
+
+  active_ = !trace_path_.empty() || !metrics_path_.empty() || summary_ ||
+            streaming_requested;
   if (active_) {
     set_ring_capacity(static_cast<std::size_t>(cli.get_int("trace-capacity")));
     reset();
@@ -33,6 +59,16 @@ ObsCli::ObsCli(const CliParser& cli)
                  "compiled it out (DSSLICE_OBS=OFF)\n");
 #endif
   }
+  if (streaming_requested) {
+    sink_ = std::make_unique<StreamSink>(stream);
+    sink_->start();
+  }
+}
+
+ObsCli::~ObsCli() {
+  if (sink_ != nullptr) {
+    sink_->stop();
+  }
 }
 
 bool ObsCli::finish() {
@@ -41,6 +77,18 @@ bool ObsCli::finish() {
   }
   finished_ = true;
   set_enabled(false);
+  if (sink_ != nullptr) {
+    // Recording is off, so this final drain is quiescent: the stream's
+    // last cumulative values equal the snapshots exported below.
+    sink_->stop();
+    const StreamStats stats = sink_->stats();
+    std::printf("stream: %llu spans (%llu dropped), %llu metric deltas, "
+                "%llu ticks\n",
+                static_cast<unsigned long long>(stats.spans_streamed),
+                static_cast<unsigned long long>(stats.spans_dropped),
+                static_cast<unsigned long long>(stats.delta_records),
+                static_cast<unsigned long long>(stats.ticks));
+  }
   bool ok = true;
   if (!trace_path_.empty()) {
     const TraceSnapshot trace = trace_snapshot();

@@ -9,28 +9,40 @@
 //   obs_session.finish();           // --trace/--metrics files, --obs-summary
 #pragma once
 
+#include <memory>
 #include <string>
 
+#include "dsslice/obs/stream.hpp"
 #include "dsslice/util/cli.hpp"
 
 namespace dsslice::obs {
 
 class ObsCli {
  public:
-  /// Adds --trace, --metrics, --obs-summary and --trace-capacity.
+  /// Adds --trace, --metrics, --obs-summary, --trace-capacity and the
+  /// streaming flags (--trace-stream, --metrics-stream, --status-file,
+  /// --stream-interval-ms, --live).
   static void register_flags(CliParser& cli);
 
   /// Reads the flags; if any output was requested, sets the ring capacity
-  /// and enables recording process-wide.
+  /// and enables recording process-wide. Any streaming flag additionally
+  /// starts a StreamSink that flushes every --stream-interval-ms until
+  /// finish().
   explicit ObsCli(const CliParser& cli);
+  ~ObsCli();
 
   /// True when any observability output was requested (recording is on).
   bool active() const { return active_; }
 
-  /// Disables recording, snapshots, and emits everything requested: the
-  /// Chrome trace to --trace, the JSONL metrics to --metrics, the text
-  /// summary to stdout under --obs-summary. Returns false if a file could
-  /// not be written (a warning is printed; the run's results still stand).
+  /// True when a streaming sink is running.
+  bool streaming() const { return sink_ != nullptr; }
+
+  /// Disables recording, stops the streaming sink (final drain — the
+  /// stream's cumulative values now reconcile exactly with the snapshot
+  /// exports below), snapshots, and emits everything requested: the Chrome
+  /// trace to --trace, the JSONL metrics to --metrics, the text summary to
+  /// stdout under --obs-summary. Returns false if a file could not be
+  /// written (a warning is printed; the run's results still stand).
   bool finish();
 
  private:
@@ -39,6 +51,7 @@ class ObsCli {
   bool summary_ = false;
   bool active_ = false;
   bool finished_ = false;
+  std::unique_ptr<StreamSink> sink_;
 };
 
 }  // namespace dsslice::obs

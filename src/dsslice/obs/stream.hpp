@@ -1,0 +1,97 @@
+// Streaming observability sink: periodic, non-quiescent export of the
+// per-thread recorders of obs/trace.hpp while the workload is still
+// running. Complements the snapshot exporters (obs/registry.hpp +
+// obs/export.hpp), which require quiescence.
+//
+// A StreamSink runs a background flusher thread that every `interval_ms`:
+//  1. drains each recorder ring behind its published write cursor
+//     (release/acquire on the write index — recording threads never block,
+//     never take a lock, and record bit-identical results whether or not a
+//     sink is attached);
+//  2. appends the drained spans to an append-only Chrome-trace chunk file
+//     that Perfetto can load mid-run (tools/trace_check --streaming
+//     validates the truncated form);
+//  3. folds the accumulator tables into a cumulative view and appends the
+//     *changes* to a JSONL metrics-delta stream — one `{"type":"delta",...}`
+//     line per changed metric carrying both the delta since the previous
+//     tick and the authoritative cumulative value, terminated by a
+//     `{"type":"tick","seq":N,...}` line;
+//  4. rewrites a single-JSON-object heartbeat status file atomically
+//     (tmp+rename, the sweep-checkpoint discipline) and, under
+//     `heartbeat_stderr`, renders a one-line live view (scenarios/s, shard
+//     wave, checkpoint age, ETA, success ratio — fed by the
+//     `sweep.progress.*` gauges of sweep_engine.cpp).
+//
+// Reconciliation contract: stop() performs a final drain; once recording
+// is disabled before stop() (the obs::ObsCli::finish ordering), the final
+// cumulative values in the delta stream equal a quiescent
+// metrics_snapshot() bit-for-bit (numbers are serialized round-trip-exact;
+// pinned by tests/test_obs_stream.cpp and checked in CI by
+// tools/obs_tail --check --against).
+//
+// Rules: one StreamSink at a time (start() throws otherwise), and do not
+// call obs::reset() or re-arm recording while a sink is active — the
+// cumulative view assumes monotone accumulators.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace dsslice::obs {
+
+/// Output selection for a StreamSink. Empty paths disable that output.
+struct StreamOptions {
+  /// Append-only Chrome-trace chunk file ("[" + one event per line, each
+  /// with a trailing comma; closed into a strict JSON array by stop()).
+  std::string trace_chunk_path;
+  /// JSONL metrics-delta stream (delta/tick records, see above).
+  std::string metrics_delta_path;
+  /// Heartbeat status file, atomically rewritten every tick.
+  std::string status_path;
+  /// Flush period. Clamped to >= 1.
+  std::uint32_t interval_ms = 500;
+  /// Render the one-line heartbeat to stderr every tick (--live).
+  bool heartbeat_stderr = false;
+};
+
+/// Lifetime totals of a sink, for driver summaries and tests.
+struct StreamStats {
+  std::uint64_t ticks = 0;           ///< flusher passes (incl. final)
+  std::uint64_t spans_streamed = 0;  ///< ring entries written to the chunk
+  std::uint64_t spans_dropped = 0;   ///< ring entries lost to wraparound
+                                     ///< before a drain reached them
+  std::uint64_t delta_records = 0;   ///< metric delta lines written
+};
+
+class StreamSink {
+ public:
+  explicit StreamSink(StreamOptions options);
+  /// Calls stop() if still active.
+  ~StreamSink();
+
+  StreamSink(const StreamSink&) = delete;
+  StreamSink& operator=(const StreamSink&) = delete;
+
+  /// Opens the outputs and launches the flusher thread. Throws ConfigError
+  /// when a file cannot be opened or another sink is already attached.
+  void start();
+
+  /// Stops the flusher, performs the final drain (exact reconciliation
+  /// when recorders are quiescent by then), closes the chunk file into a
+  /// strict JSON array and releases the sink attachment. Idempotent.
+  void stop();
+
+  /// One synchronous flush, outside the periodic schedule (tests, and
+  /// drivers that want a tick at a phase boundary).
+  void tick_now();
+
+  bool active() const;
+  StreamStats stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace dsslice::obs

@@ -41,9 +41,14 @@ std::uint64_t hash_pointer(const char* p) {
   return x;
 }
 
+// All accumulator updates below are single-writer (the owning thread), so
+// load-modify-store with relaxed ordering is exact — the atomics only make
+// the concurrent streaming drain read coherent values, they never contend.
+constexpr auto kRelaxed = std::memory_order_relaxed;
+
 }  // namespace
 
-void Accum::merge(const Accum& other) {
+void AccumData::merge(const AccumData& other) {
   count += other.count;
   total_ns += other.total_ns;
   min_ns = std::min(min_ns, other.min_ns);
@@ -57,8 +62,27 @@ void Accum::merge(const Accum& other) {
   hist.merge(other.hist);
 }
 
-ThreadBuffer::ThreadBuffer(std::size_t ring_capacity) {
-  ring.resize(std::max<std::size_t>(1, ring_capacity));
+AccumData Accum::data(bool include_hist) const {
+  AccumData d;
+  d.name = name.load(std::memory_order_acquire);
+  d.kind = kind;
+  d.count = count.load(kRelaxed);
+  d.total_ns = total_ns.load(kRelaxed);
+  d.min_ns = min_ns.load(kRelaxed);
+  d.max_ns = max_ns.load(kRelaxed);
+  d.total = total.load(kRelaxed);
+  d.last = last.load(kRelaxed);
+  d.min_value = min_value.load(kRelaxed);
+  d.max_value = max_value.load(kRelaxed);
+  if (include_hist) {
+    d.hist = hist;  // quiescence-only (see internal.hpp)
+  }
+  return d;
+}
+
+ThreadBuffer::ThreadBuffer(std::size_t capacity) {
+  ring_capacity = std::max<std::size_t>(1, capacity);
+  ring = std::make_unique<RingEvent[]>(ring_capacity);
 }
 
 Accum* ThreadBuffer::find_or_create(const char* name, EventKind kind) {
@@ -66,16 +90,18 @@ Accum* ThreadBuffer::find_or_create(const char* name, EventKind kind) {
                      kAccumSlots;
   for (std::size_t probes = 0; probes < kAccumSlots; ++probes) {
     Accum& a = accums[slot];
-    if (a.name == name) {
+    const char* existing = a.name.load(kRelaxed);
+    if (existing == name) {
       return &a;
     }
-    if (a.name == nullptr) {
+    if (existing == nullptr) {
       if (accum_used >= kAccumLoadLimit) {
         return nullptr;  // saturated — count the loss, keep the table fast
       }
       ++accum_used;
-      a.name = name;
       a.kind = kind;
+      // Release: a drainer that sees the name sees the kind too.
+      a.name.store(name, std::memory_order_release);
       return &a;
     }
     slot = (slot + 1) % kAccumSlots;
@@ -88,49 +114,62 @@ void ThreadBuffer::record_span(const char* name, std::uint64_t start_ns,
   const std::uint64_t duration =
       end_ns >= start_ns ? end_ns - start_ns : 0;
   if (Accum* a = find_or_create(name, EventKind::kSpan)) {
-    ++a->count;
-    a->total_ns += duration;
-    a->min_ns = std::min(a->min_ns, duration);
-    a->max_ns = std::max(a->max_ns, duration);
+    a->count.store(a->count.load(kRelaxed) + 1, kRelaxed);
+    a->total_ns.store(a->total_ns.load(kRelaxed) + duration, kRelaxed);
+    a->min_ns.store(std::min(a->min_ns.load(kRelaxed), duration), kRelaxed);
+    a->max_ns.store(std::max(a->max_ns.load(kRelaxed), duration), kRelaxed);
     a->hist.add(duration);
   } else {
-    ++lost_accums;
+    lost_accums.store(lost_accums.load(kRelaxed) + 1, kRelaxed);
   }
-  RingEvent& slot = ring[ring_written % ring.size()];
-  slot.name = name;
-  slot.start_ns = start_ns;
-  slot.end_ns = end_ns;
-  slot.depth = depth;
-  ++ring_written;
+  const std::uint64_t index = ring_written.load(kRelaxed);
+  ring[index % ring_capacity].store(
+      SpanRecord{name, start_ns, end_ns, depth});
+  // Publication point: a drainer that acquire-loads the new index sees the
+  // slot contents written above.
+  ring_written.store(index + 1, std::memory_order_release);
 }
 
 void ThreadBuffer::add_counter(const char* name, double delta) {
   if (Accum* a = find_or_create(name, EventKind::kCounter)) {
-    ++a->count;
-    a->total += delta;
+    a->count.store(a->count.load(kRelaxed) + 1, kRelaxed);
+    a->total.store(a->total.load(kRelaxed) + delta, kRelaxed);
   } else {
-    ++lost_accums;
+    lost_accums.store(lost_accums.load(kRelaxed) + 1, kRelaxed);
   }
 }
 
 void ThreadBuffer::set_gauge(const char* name, double value) {
   if (Accum* a = find_or_create(name, EventKind::kGauge)) {
-    ++a->count;
-    a->last = value;
-    a->min_value = std::min(a->min_value, value);
-    a->max_value = std::max(a->max_value, value);
+    a->count.store(a->count.load(kRelaxed) + 1, kRelaxed);
+    a->last.store(value, kRelaxed);
+    a->min_value.store(std::min(a->min_value.load(kRelaxed), value),
+                       kRelaxed);
+    a->max_value.store(std::max(a->max_value.load(kRelaxed), value),
+                       kRelaxed);
   } else {
-    ++lost_accums;
+    lost_accums.store(lost_accums.load(kRelaxed) + 1, kRelaxed);
   }
 }
 
 void ThreadBuffer::clear() {
   for (Accum& a : accums) {
-    a = Accum{};
+    a.kind = EventKind::kSpan;
+    a.count.store(0, kRelaxed);
+    a.total_ns.store(0, kRelaxed);
+    a.min_ns.store(std::numeric_limits<std::uint64_t>::max(), kRelaxed);
+    a.max_ns.store(0, kRelaxed);
+    a.total.store(0.0, kRelaxed);
+    a.last.store(0.0, kRelaxed);
+    a.min_value.store(std::numeric_limits<double>::infinity(), kRelaxed);
+    a.max_value.store(-std::numeric_limits<double>::infinity(), kRelaxed);
+    a.hist.clear();
+    a.name.store(nullptr, kRelaxed);
   }
   accum_used = 0;
-  ring_written = 0;
-  lost_accums = 0;
+  ring_written.store(0, kRelaxed);
+  ring_drained = 0;
+  lost_accums.store(0, kRelaxed);
 }
 
 void record_span(const char* name, std::uint64_t start_ns,

@@ -315,15 +315,16 @@ SweepCheckpoint parse_sweep_checkpoint(const std::string& text) {
   return cp;
 }
 
-void save_sweep_checkpoint(const SweepCheckpoint& checkpoint,
-                           const std::string& path) {
+std::size_t save_sweep_checkpoint(const SweepCheckpoint& checkpoint,
+                                  const std::string& path) {
   const std::string tmp = path + ".tmp";
+  const std::string text = serialize_sweep_checkpoint(checkpoint);
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) {
       throw ConfigError("cannot write sweep checkpoint: " + tmp);
     }
-    out << serialize_sweep_checkpoint(checkpoint);
+    out << text;
     out.flush();
     if (!out) {
       throw ConfigError("write failed for sweep checkpoint: " + tmp);
@@ -332,6 +333,7 @@ void save_sweep_checkpoint(const SweepCheckpoint& checkpoint,
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     throw ConfigError("cannot move sweep checkpoint into place: " + path);
   }
+  return text.size();
 }
 
 SweepCheckpoint load_sweep_checkpoint(const std::string& path) {

@@ -56,9 +56,10 @@ std::string serialize_sweep_checkpoint(const SweepCheckpoint& checkpoint);
 SweepCheckpoint parse_sweep_checkpoint(const std::string& text);
 
 /// Atomic save: writes to `path + ".tmp"` then renames over `path`, so an
-/// interrupt mid-write leaves the previous checkpoint intact.
-void save_sweep_checkpoint(const SweepCheckpoint& checkpoint,
-                           const std::string& path);
+/// interrupt mid-write leaves the previous checkpoint intact. Returns the
+/// serialized size in bytes (feeds the sweep.checkpoint.bytes counter).
+std::size_t save_sweep_checkpoint(const SweepCheckpoint& checkpoint,
+                                  const std::string& path);
 /// Throws ConfigError when the file is missing or malformed.
 SweepCheckpoint load_sweep_checkpoint(const std::string& path);
 

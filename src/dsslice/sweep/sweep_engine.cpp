@@ -172,6 +172,34 @@ SweepReport run_sweep(const ExperimentConfig& config,
       options.checkpoint_every == 0 ? std::max<std::size_t>(1, pending.size())
                                     : options.checkpoint_every;
 
+  // Progress feed for the streaming sink's heartbeat (obs/stream.cpp):
+  // cumulative sweep.progress.* counters plus per-wave gauges. Recording
+  // them is independent of whether a sink is attached, so a streaming run
+  // and a plain run execute identical instruction streams through the
+  // sweep itself — the aggregates stay bit-identical either way.
+  const std::size_t waves_total =
+      pending.empty() ? 0 : (pending.size() + wave_width - 1) / wave_width;
+  DSSLICE_GAUGE("sweep.progress.scenarios_total",
+                static_cast<std::int64_t>(options.scenario_count));
+  DSSLICE_GAUGE("sweep.progress.waves_total",
+                static_cast<std::int64_t>(waves_total));
+  DSSLICE_GAUGE("sweep.progress.shards_resumed",
+                static_cast<std::int64_t>(report.shards_resumed));
+  if (report.shards_resumed > 0) {
+    std::uint64_t resumed_scenarios = 0;
+    std::uint64_t resumed_successes = 0;
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      if (state.completed[s] != 0) {
+        resumed_scenarios += state.shards[s].scenarios();
+        resumed_successes += state.shards[s].success.successes();
+      }
+    }
+    DSSLICE_COUNT("sweep.progress.scenarios_done",
+                  static_cast<std::int64_t>(resumed_scenarios));
+    DSSLICE_COUNT("sweep.progress.successes",
+                  static_cast<std::int64_t>(resumed_successes));
+  }
+
   // Slicing techniques route each generator chunk through the SoA batch
   // kernel: one kernel pass distributes the whole chunk, then every scenario
   // joins back into the scheduler half. The kernel's bit-identity contract
@@ -218,26 +246,60 @@ SweepReport run_sweep(const ExperimentConfig& config,
 
   const auto t0 = std::chrono::steady_clock::now();
   std::size_t scenarios_run = 0;
+  double rate_ewma = 0.0;
   for (std::size_t wave = 0; wave < pending.size(); wave += wave_width) {
     const std::size_t wave_end = std::min(wave + wave_width, pending.size());
+    const auto wave_t0 = std::chrono::steady_clock::now();
     parallel_for(pool, wave_end - wave, 1,
                  [&](std::size_t begin, std::size_t end) {
                    for (std::size_t k = begin; k < end; ++k) {
                      run_one_shard(pending[wave + k]);
                    }
                  });
+    const double wave_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wave_t0)
+            .count();
+    std::uint64_t wave_scenarios = 0;
+    std::uint64_t wave_successes = 0;
     for (std::size_t k = wave; k < wave_end; ++k) {
-      const std::size_t first = pending[k] * options.shard_size;
-      scenarios_run += std::min(first + options.shard_size,
-                                options.scenario_count) -
-                       first;
+      wave_scenarios += state.shards[pending[k]].scenarios();
+      wave_successes += state.shards[pending[k]].success.successes();
     }
+    scenarios_run += wave_scenarios;
     report.shards_run += wave_end - wave;
+
+    const double wave_rate =
+        wave_seconds > 0.0
+            ? static_cast<double>(wave_scenarios) / wave_seconds
+            : 0.0;
+    rate_ewma = rate_ewma == 0.0 ? wave_rate
+                                 : 0.25 * wave_rate + 0.75 * rate_ewma;
+    DSSLICE_COUNT("sweep.progress.scenarios_done",
+                  static_cast<std::int64_t>(wave_scenarios));
+    DSSLICE_COUNT("sweep.progress.successes",
+                  static_cast<std::int64_t>(wave_successes));
+    DSSLICE_GAUGE("sweep.progress.wave",
+                  static_cast<std::int64_t>(wave / wave_width + 1));
+    DSSLICE_GAUGE("sweep.progress.shards_done",
+                  static_cast<std::int64_t>(report.shards_run +
+                                            report.shards_resumed));
+    DSSLICE_GAUGE("sweep.progress.scenarios_per_sec_ewma", rate_ewma);
+
     if (checkpointing) {
       DSSLICE_SPAN("sweep.checkpoint");
-      save_sweep_checkpoint(state, options.checkpoint_path);
+      const auto save_t0 = std::chrono::steady_clock::now();
+      const std::size_t bytes =
+          save_sweep_checkpoint(state, options.checkpoint_path);
+      const double save_ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - save_t0)
+              .count();
       ++report.checkpoints_written;
       DSSLICE_COUNT("sweep.checkpoints_written", 1);
+      DSSLICE_GAUGE("sweep.checkpoint.save_ms", save_ms);
+      DSSLICE_COUNT("sweep.checkpoint.bytes",
+                    static_cast<std::int64_t>(bytes));
     }
   }
   const auto t1 = std::chrono::steady_clock::now();

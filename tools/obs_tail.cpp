@@ -1,0 +1,458 @@
+// obs_tail: follows a StreamSink metrics-delta stream (obs/stream.cpp) and
+// prints a refreshing summary table, or audits one after the fact.
+//
+//   obs_tail stream.jsonl                 # one-shot summary of the stream
+//   obs_tail --follow stream.jsonl        # refresh until the final tick
+//   obs_tail --check stream.jsonl         # audit seq + delta bookkeeping
+//   obs_tail --check --against m.jsonl stream.jsonl
+//                                         # + reconcile the final cumulative
+//                                         #   values against a quiescent
+//                                         #   metrics snapshot, exactly
+//
+// --check validates the stream invariants: sequence numbers monotone,
+// per-name delta counts telescoping exactly to the cumulative counts, and
+// (with --against) every cumulative value equal to the snapshot exporter's
+// value — both sides serialize round-trip-exact, so equality here is
+// equality of the underlying doubles. scripts/check.sh runs the audit
+// against a live sweep's stream in both presets.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "dsslice/obs/json_lint.hpp"
+#include "dsslice/report/table.hpp"
+
+namespace {
+
+using dsslice::Table;
+using dsslice::obs::JsonValue;
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+double num(const JsonValue& record, const char* key, double fallback = 0.0) {
+  const JsonValue* v = record.find(key);
+  return v != nullptr && v->type == JsonValue::Type::kNumber ? v->number
+                                                             : fallback;
+}
+
+/// Folded view of one metric across the stream: last cumulative values
+/// plus the telescoping delta sums --check verifies against them.
+struct Folded {
+  std::string kind;
+  double cum_count = 0.0;
+  double cum_total = 0.0;     // counters
+  double cum_total_ns = 0.0;  // spans
+  double min_ns = 0.0;
+  double max_ns = 0.0;
+  double last = 0.0;  // gauges
+  double min = 0.0;
+  double max = 0.0;
+  double sum_count = 0.0;
+  double sum_total = 0.0;
+  double sum_total_ns = 0.0;
+  bool totals_integral = true;
+};
+
+struct Stream {
+  std::map<std::string, Folded> metrics;
+  double last_seq = 0.0;
+  double last_tick_seq = 0.0;
+  std::size_t ticks = 0;
+  double wall_ms = 0.0;
+  double spans_total = 0.0;
+  double dropped_total = 0.0;
+  double threads = 0.0;
+  bool final_tick = false;
+  bool truncated = false;
+  bool seq_ok = true;
+  std::string seq_error;
+};
+
+bool fold_stream(const std::string& text, Stream& out, std::string& error) {
+  std::vector<JsonValue> records;
+  if (!dsslice::obs::parse_streaming_jsonl(text, records, error,
+                                           &out.truncated)) {
+    return false;
+  }
+  std::size_t index = 0;
+  for (const JsonValue& record : records) {
+    const JsonValue* type = record.find("type");
+    if (type == nullptr || type->type != JsonValue::Type::kString) {
+      error = "record " + std::to_string(index) + " has no type";
+      return false;
+    }
+    if (type->string == "delta") {
+      const JsonValue* name = record.find("name");
+      const JsonValue* kind = record.find("kind");
+      if (name == nullptr || kind == nullptr) {
+        error = "record " + std::to_string(index) + " (delta) missing "
+                "name/kind";
+        return false;
+      }
+      const double seq = num(record, "seq");
+      if (seq < out.last_seq && out.seq_ok) {
+        out.seq_ok = false;
+        out.seq_error = "delta seq went backwards at record " +
+                        std::to_string(index);
+      }
+      out.last_seq = std::max(out.last_seq, seq);
+      Folded& f = out.metrics[name->string];
+      f.kind = kind->string;
+      const double dc = num(record, "count");
+      f.sum_count += dc;
+      f.cum_count = num(record, "cum_count");
+      if (kind->string == "span") {
+        const double dt = num(record, "total_ns");
+        f.sum_total_ns += dt;
+        f.cum_total_ns = num(record, "cum_total_ns");
+        f.min_ns = num(record, "min_ns");
+        f.max_ns = num(record, "max_ns");
+      } else if (kind->string == "counter") {
+        const double dt = num(record, "total");
+        f.totals_integral = f.totals_integral && dt == std::floor(dt);
+        f.sum_total += dt;
+        f.cum_total = num(record, "cum_total");
+      } else if (kind->string == "gauge") {
+        f.last = num(record, "last");
+        f.min = num(record, "min");
+        f.max = num(record, "max");
+      }
+    } else if (type->string == "tick") {
+      const double seq = num(record, "seq");
+      if (seq <= out.last_tick_seq && out.seq_ok) {
+        out.seq_ok = false;
+        out.seq_error = "tick seq not strictly increasing at record " +
+                        std::to_string(index);
+      }
+      if (seq < out.last_seq && out.seq_ok) {
+        out.seq_ok = false;
+        out.seq_error = "tick seq behind its deltas at record " +
+                        std::to_string(index);
+      }
+      out.last_tick_seq = seq;
+      out.last_seq = std::max(out.last_seq, seq);
+      ++out.ticks;
+      out.wall_ms = num(record, "wall_ms");
+      out.spans_total = num(record, "spans_total");
+      out.dropped_total = num(record, "dropped_total");
+      out.threads = num(record, "threads");
+      const JsonValue* final_flag = record.find("final");
+      out.final_tick = final_flag != nullptr &&
+                       final_flag->type == JsonValue::Type::kBool &&
+                       final_flag->boolean;
+    }
+    // hello / heartbeat / snapshot records pass through untouched.
+    ++index;
+  }
+  return true;
+}
+
+std::string format_count(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.0f", v);
+  return buf;
+}
+
+std::string format_value(double v) {
+  char buf[32];
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.4g", v);
+  }
+  return buf;
+}
+
+void render(const Stream& stream, std::size_t top) {
+  std::printf("stream: seq %.0f | %zu ticks | %.1f s | %.0f spans "
+              "(%.0f dropped) | %.0f threads%s%s\n",
+              stream.last_seq, stream.ticks, stream.wall_ms / 1000.0,
+              stream.spans_total, stream.dropped_total, stream.threads,
+              stream.final_tick ? " | final" : "",
+              stream.truncated ? " | partial tail" : "");
+  std::vector<std::pair<std::string, const Folded*>> spans;
+  Table metrics_table({"metric", "kind", "count", "value"});
+  for (const auto& [name, f] : stream.metrics) {
+    if (f.kind == "span") {
+      spans.emplace_back(name, &f);
+    } else if (f.kind == "counter") {
+      metrics_table.add_row({name, "counter", format_count(f.cum_count),
+                             format_value(f.cum_total)});
+    } else {
+      metrics_table.add_row({name, "gauge", format_count(f.cum_count),
+                             format_value(f.last) + " [" +
+                                 format_value(f.min) + ", " +
+                                 format_value(f.max) + "]"});
+    }
+  }
+  std::stable_sort(spans.begin(), spans.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second->cum_total_ns > b.second->cum_total_ns;
+                   });
+  if (spans.size() > top) {
+    spans.resize(top);
+  }
+  if (!spans.empty()) {
+    Table table({"span", "count", "total_ms", "mean_us", "max_us"});
+    for (const auto& [name, f] : spans) {
+      const double mean_us =
+          f->cum_count > 0.0 ? f->cum_total_ns / f->cum_count / 1000.0 : 0.0;
+      char total_ms[32];
+      std::snprintf(total_ms, sizeof(total_ms), "%.3f",
+                    f->cum_total_ns / 1e6);
+      char mean[32];
+      std::snprintf(mean, sizeof(mean), "%.1f", mean_us);
+      char max_us[32];
+      std::snprintf(max_us, sizeof(max_us), "%.1f", f->max_ns / 1000.0);
+      table.add_row({name, format_count(f->cum_count), total_ms, mean,
+                     max_us});
+    }
+    std::printf("spans:\n%s", table.to_string(2).c_str());
+  }
+  if (!stream.metrics.empty()) {
+    std::printf("counters & gauges:\n%s", metrics_table.to_string(2).c_str());
+  }
+}
+
+int check_stream(const Stream& stream) {
+  if (stream.ticks == 0) {
+    std::fprintf(stderr, "check failed: stream has no tick records\n");
+    return 1;
+  }
+  if (!stream.seq_ok) {
+    std::fprintf(stderr, "check failed: %s\n", stream.seq_error.c_str());
+    return 1;
+  }
+  for (const auto& [name, f] : stream.metrics) {
+    if (f.sum_count != f.cum_count) {
+      std::fprintf(stderr,
+                   "check failed: %s delta counts sum to %.0f but "
+                   "cum_count is %.0f\n",
+                   name.c_str(), f.sum_count, f.cum_count);
+      return 1;
+    }
+    if (f.kind == "span" && f.sum_total_ns != f.cum_total_ns) {
+      std::fprintf(stderr,
+                   "check failed: %s delta total_ns sum to %.0f but "
+                   "cum_total_ns is %.0f\n",
+                   name.c_str(), f.sum_total_ns, f.cum_total_ns);
+      return 1;
+    }
+    // Counter totals telescope exactly only when every delta was integral
+    // (floating deltas re-associate); integral is the norm in this repo.
+    if (f.kind == "counter" && f.totals_integral &&
+        f.sum_total != f.cum_total) {
+      std::fprintf(stderr,
+                   "check failed: %s integral delta totals sum to %.17g "
+                   "but cum_total is %.17g\n",
+                   name.c_str(), f.sum_total, f.cum_total);
+      return 1;
+    }
+  }
+  return 0;
+}
+
+int check_against(const Stream& stream, const std::string& path) {
+  std::string text;
+  if (!read_file(path, text)) {
+    std::fprintf(stderr, "%s: cannot read file\n", path.c_str());
+    return 1;
+  }
+  std::vector<JsonValue> records;
+  std::string error;
+  if (!dsslice::obs::parse_jsonl(text, records, error)) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), error.c_str());
+    return 1;
+  }
+  const auto mismatch = [&](const std::string& name, const char* field,
+                            double snapshot, double streamed) {
+    std::fprintf(stderr,
+                 "reconciliation failed: %s.%s is %.17g in %s but %.17g "
+                 "in the stream\n",
+                 name.c_str(), field, snapshot, path.c_str(), streamed);
+    return 1;
+  };
+  std::size_t compared = 0;
+  for (const JsonValue& record : records) {
+    const JsonValue* type = record.find("type");
+    const JsonValue* name = record.find("name");
+    if (type == nullptr || type->type != JsonValue::Type::kString ||
+        name == nullptr) {
+      continue;
+    }
+    const std::string& t = type->string;
+    if (t != "span" && t != "counter" && t != "gauge") {
+      continue;
+    }
+    const auto it = stream.metrics.find(name->string);
+    if (it == stream.metrics.end()) {
+      std::fprintf(stderr,
+                   "reconciliation failed: %s '%s' is in %s but never "
+                   "appeared in the stream\n",
+                   t.c_str(), name->string.c_str(), path.c_str());
+      return 1;
+    }
+    const Folded& f = it->second;
+    if (f.kind != t) {
+      std::fprintf(stderr,
+                   "reconciliation failed: '%s' is a %s in %s but a %s in "
+                   "the stream\n",
+                   name->string.c_str(), t.c_str(), path.c_str(),
+                   f.kind.c_str());
+      return 1;
+    }
+    if (num(record, "count") != f.cum_count) {
+      return mismatch(name->string, "count", num(record, "count"),
+                      f.cum_count);
+    }
+    if (t == "span") {
+      if (num(record, "total_ns") != f.cum_total_ns) {
+        return mismatch(name->string, "total_ns", num(record, "total_ns"),
+                        f.cum_total_ns);
+      }
+      if (num(record, "min_ns") != f.min_ns) {
+        return mismatch(name->string, "min_ns", num(record, "min_ns"),
+                        f.min_ns);
+      }
+      if (num(record, "max_ns") != f.max_ns) {
+        return mismatch(name->string, "max_ns", num(record, "max_ns"),
+                        f.max_ns);
+      }
+    } else if (t == "counter") {
+      if (num(record, "total") != f.cum_total) {
+        return mismatch(name->string, "total", num(record, "total"),
+                        f.cum_total);
+      }
+    } else {
+      if (num(record, "last") != f.last) {
+        return mismatch(name->string, "last", num(record, "last"), f.last);
+      }
+      if (num(record, "min") != f.min) {
+        return mismatch(name->string, "min", num(record, "min"), f.min);
+      }
+      if (num(record, "max") != f.max) {
+        return mismatch(name->string, "max", num(record, "max"), f.max);
+      }
+    }
+    ++compared;
+  }
+  if (compared != stream.metrics.size()) {
+    std::fprintf(stderr,
+                 "reconciliation failed: stream has %zu metrics but %s "
+                 "has %zu\n",
+                 stream.metrics.size(), path.c_str(), compared);
+    return 1;
+  }
+  if (compared == 0) {
+    std::fprintf(stderr, "reconciliation failed: nothing to compare\n");
+    return 1;
+  }
+  std::printf("reconciled %zu metrics against %s: exact\n", compared,
+              path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool follow = false;
+  bool check = false;
+  std::string against;
+  std::string path;
+  long interval_ms = 500;
+  std::size_t top = 12;
+  for (int k = 1; k < argc; ++k) {
+    const std::string arg = argv[k];
+    if (arg == "--follow") {
+      follow = true;
+    } else if (arg == "--check") {
+      check = true;
+    } else if (arg == "--against" && k + 1 < argc) {
+      against = argv[++k];
+    } else if (arg == "--interval-ms" && k + 1 < argc) {
+      interval_ms = std::max(1L, std::strtol(argv[++k], nullptr, 10));
+    } else if (arg == "--top" && k + 1 < argc) {
+      top = static_cast<std::size_t>(
+          std::max(1L, std::strtol(argv[++k], nullptr, 10)));
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: obs_tail [--follow] [--interval-ms N] [--top N]\n"
+          "                [--check] [--against metrics.jsonl] <stream>\n");
+      return 0;
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "usage: obs_tail [--follow] [--check] "
+                         "[--against metrics.jsonl] <stream>\n");
+    return 2;
+  }
+
+  double seen_seq = -1.0;
+  const bool tty = ::isatty(1) != 0;
+  for (;;) {
+    std::string text;
+    if (!read_file(path, text)) {
+      if (!follow) {
+        std::fprintf(stderr, "%s: cannot read file\n", path.c_str());
+        return 1;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+      continue;
+    }
+    Stream stream;
+    std::string error;
+    if (!fold_stream(text, stream, error)) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(), error.c_str());
+      return 1;
+    }
+    if (check) {
+      if (const int bad = check_stream(stream)) {
+        return bad;
+      }
+      std::printf("%s: OK (%zu metrics, %zu ticks, seq %.0f)\n",
+                  path.c_str(), stream.metrics.size(), stream.ticks,
+                  stream.last_seq);
+      return against.empty() ? 0 : check_against(stream, against);
+    }
+    if (!follow) {
+      render(stream, top);
+      return 0;
+    }
+    if (stream.last_tick_seq > seen_seq) {
+      seen_seq = stream.last_tick_seq;
+      if (tty) {
+        std::fputs("\033[H\033[2J", stdout);
+      }
+      render(stream, top);
+      std::fflush(stdout);
+    }
+    if (stream.final_tick) {
+      return 0;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+}

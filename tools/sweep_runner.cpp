@@ -3,11 +3,19 @@
 // shard-boundary checkpoints and resuming an interrupted run. The obs flags
 // (--trace/--metrics/--obs-summary) export the engine's instrumentation
 // (sweep.scenarios_per_sec, sweep.shards_completed, checkpoint counters)
-// for tools/trace_check validation.
+// for tools/trace_check validation. The streaming flags watch the sweep
+// while it runs: --live renders a heartbeat line per flush interval (fed
+// by the engine's sweep.progress.* gauges), --status-file keeps a
+// machine-readable heartbeat fresh via atomic rewrite, and
+// --metrics-stream / --trace-stream append incremental exports that
+// tools/obs_tail and Perfetto can follow mid-run.
 //
 //   sweep_runner --scenarios 1000000 --shard-size 1024
 //                --checkpoint sweep.ckpt --checkpoint-every 64
 //   sweep_runner --scenarios 1000000 --checkpoint sweep.ckpt --resume
+//   sweep_runner --scenarios 1000000 --checkpoint sweep.ckpt
+//                --checkpoint-every 64 --live --status-file sweep.status
+//                --metrics-stream sweep.deltas.jsonl
 #include <cstdio>
 #include <exception>
 

@@ -1,11 +1,16 @@
 // trace_check: CI validator for the observability exporters.
 //
-//   trace_check trace.json       # Chrome trace_event JSON (as Perfetto loads)
-//   trace_check --jsonl m.jsonl  # JSONL metrics dump
+//   trace_check trace.json            # Chrome trace_event JSON (strict)
+//   trace_check --streaming chunk.json  # mid-run streaming chunk file
+//   trace_check --jsonl m.jsonl       # JSONL metrics dump
+//   trace_check --jsonl --streaming s.jsonl  # metrics-delta stream
 //
-// Exits 0 when the file parses and has the expected structure; prints the
-// first problem and exits 1 otherwise. scripts/check.sh runs this against
-// the output of a small instrumented sweep in both presets.
+// --streaming tolerates the shapes an interrupted appender leaves behind:
+// a top-level trace array with a trailing comma / missing ']', and a
+// JSONL stream whose final line was cut mid-write. Exits 0 when the file
+// parses and has the expected structure; prints the first problem and
+// exits 1 otherwise. scripts/check.sh runs this against the output of a
+// small instrumented sweep in both presets.
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -28,20 +33,10 @@ bool read_file(const std::string& path, std::string& out) {
   return true;
 }
 
-int check_trace(const std::string& path, const std::string& text) {
-  const auto result = dsslice::obs::parse_json(text);
-  if (!result.ok) {
-    std::fprintf(stderr, "%s: invalid JSON: %s (offset %zu)\n", path.c_str(),
-                 result.error.c_str(), result.error_offset);
-    return 1;
-  }
-  const JsonValue* events = result.value.find("traceEvents");
-  if (events == nullptr || !events->is_array()) {
-    std::fprintf(stderr, "%s: missing traceEvents array\n", path.c_str());
-    return 1;
-  }
+int check_events(const std::string& path,
+                 const std::vector<JsonValue>& events) {
   std::size_t index = 0;
-  for (const JsonValue& event : events->array) {
+  for (const JsonValue& event : events) {
     const JsonValue* name = event.find("name");
     const JsonValue* ph = event.find("ph");
     const JsonValue* ts = event.find("ts");
@@ -61,18 +56,61 @@ int check_trace(const std::string& path, const std::string& text) {
     }
     ++index;
   }
-  std::printf("%s: OK (%zu trace events)\n", path.c_str(), index);
   return 0;
 }
 
-int check_jsonl(const std::string& path, const std::string& text) {
+int check_trace(const std::string& path, const std::string& text,
+                bool streaming) {
+  bool completed = true;
+  const auto result =
+      streaming ? dsslice::obs::parse_streaming_json(text, &completed)
+                : dsslice::obs::parse_json(text);
+  if (!result.ok) {
+    std::fprintf(stderr, "%s: invalid JSON: %s (offset %zu)\n", path.c_str(),
+                 result.error.c_str(), result.error_offset);
+    return 1;
+  }
+  const JsonValue* events = nullptr;
+  if (streaming && result.value.is_array()) {
+    // A streaming chunk file is a bare event array, not the snapshot
+    // exporter's {"traceEvents": [...]} wrapper.
+    events = &result.value;
+  } else {
+    events = result.value.find("traceEvents");
+  }
+  if (events == nullptr || !events->is_array()) {
+    std::fprintf(stderr, "%s: missing traceEvents array\n", path.c_str());
+    return 1;
+  }
+  if (const int bad = check_events(path, events->array)) {
+    return bad;
+  }
+  if (streaming) {
+    std::printf("%s: OK (%zu trace events, %s stream)\n", path.c_str(),
+                events->array.size(), completed ? "complete" : "truncated");
+  } else {
+    std::printf("%s: OK (%zu trace events)\n", path.c_str(),
+                events->array.size());
+  }
+  return 0;
+}
+
+int check_jsonl(const std::string& path, const std::string& text,
+                bool streaming) {
   std::vector<JsonValue> lines;
   std::string error;
-  if (!dsslice::obs::parse_jsonl(text, lines, error)) {
+  bool truncated = false;
+  const bool ok =
+      streaming
+          ? dsslice::obs::parse_streaming_jsonl(text, lines, error,
+                                                &truncated)
+          : dsslice::obs::parse_jsonl(text, lines, error);
+  if (!ok) {
     std::fprintf(stderr, "%s: %s\n", path.c_str(), error.c_str());
     return 1;
   }
   bool saw_meta = false;
+  bool saw_tick = false;
   std::size_t index = 0;
   for (const JsonValue& line : lines) {
     const JsonValue* type = line.find("type");
@@ -82,8 +120,8 @@ int check_jsonl(const std::string& path, const std::string& text) {
       return 1;
     }
     const std::string& t = type->string;
-    if (t == "meta") {
-      saw_meta = true;
+    if (t == "meta" || t == "hello" || t == "heartbeat") {
+      saw_meta = saw_meta || t == "meta";
     } else if (t == "span" || t == "counter" || t == "gauge") {
       const JsonValue* name = line.find("name");
       const JsonValue* count = line.find("count");
@@ -94,6 +132,31 @@ int check_jsonl(const std::string& path, const std::string& text) {
                      path.c_str(), index, t.c_str());
         return 1;
       }
+    } else if (t == "delta") {
+      const JsonValue* name = line.find("name");
+      const JsonValue* kind = line.find("kind");
+      const JsonValue* seq = line.find("seq");
+      const JsonValue* count = line.find("count");
+      if (name == nullptr || name->type != JsonValue::Type::kString ||
+          name->string.empty() || kind == nullptr ||
+          kind->type != JsonValue::Type::kString ||
+          (kind->string != "span" && kind->string != "counter" &&
+           kind->string != "gauge") ||
+          seq == nullptr || seq->type != JsonValue::Type::kNumber ||
+          count == nullptr || count->type != JsonValue::Type::kNumber) {
+        std::fprintf(stderr,
+                     "%s: record %zu (delta) missing name/kind/seq/count\n",
+                     path.c_str(), index);
+        return 1;
+      }
+    } else if (t == "tick") {
+      const JsonValue* seq = line.find("seq");
+      if (seq == nullptr || seq->type != JsonValue::Type::kNumber) {
+        std::fprintf(stderr, "%s: record %zu (tick) missing seq\n",
+                     path.c_str(), index);
+        return 1;
+      }
+      saw_tick = true;
     } else {
       std::fprintf(stderr, "%s: record %zu has unknown type '%s'\n",
                    path.c_str(), index, t.c_str());
@@ -101,11 +164,14 @@ int check_jsonl(const std::string& path, const std::string& text) {
     }
     ++index;
   }
-  if (!saw_meta) {
+  // A snapshot dump always ends with its meta record; a delta stream is
+  // anchored by tick records instead.
+  if (!saw_meta && !saw_tick) {
     std::fprintf(stderr, "%s: missing meta record\n", path.c_str());
     return 1;
   }
-  std::printf("%s: OK (%zu metric records)\n", path.c_str(), index);
+  std::printf("%s: OK (%zu metric records%s)\n", path.c_str(), index,
+              truncated ? ", partial final line dropped" : "");
   return 0;
 }
 
@@ -113,13 +179,16 @@ int check_jsonl(const std::string& path, const std::string& text) {
 
 int main(int argc, char** argv) {
   bool jsonl = false;
+  bool streaming = false;
   std::string path;
   for (int k = 1; k < argc; ++k) {
     const std::string arg = argv[k];
     if (arg == "--jsonl") {
       jsonl = true;
+    } else if (arg == "--streaming") {
+      streaming = true;
     } else if (arg == "--help" || arg == "-h") {
-      std::printf("usage: trace_check [--jsonl] <file>\n");
+      std::printf("usage: trace_check [--jsonl] [--streaming] <file>\n");
       return 0;
     } else if (path.empty()) {
       path = arg;
@@ -129,7 +198,7 @@ int main(int argc, char** argv) {
     }
   }
   if (path.empty()) {
-    std::fprintf(stderr, "usage: trace_check [--jsonl] <file>\n");
+    std::fprintf(stderr, "usage: trace_check [--jsonl] [--streaming] <file>\n");
     return 2;
   }
   std::string text;
@@ -137,5 +206,6 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s: cannot read file\n", path.c_str());
     return 1;
   }
-  return jsonl ? check_jsonl(path, text) : check_trace(path, text);
+  return jsonl ? check_jsonl(path, text, streaming)
+               : check_trace(path, text, streaming);
 }
